@@ -1,0 +1,169 @@
+//! Model-based property tests: all three cell stores must agree with a plain
+//! `HashMap` model under arbitrary edit sequences, including structural
+//! row/column edits and range queries.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dataspread_gridstore::block::BlockConfig;
+use dataspread_gridstore::{BlockGrid, CellStore, NaiveGrid, TileConfig, TiledGrid};
+use dataspread_types::{CellAddr, Range};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set(u32, u32, i64),
+    Remove(u32, u32),
+    InsertRows(u32, u32),
+    DeleteRows(u32, u32),
+    InsertCols(u32, u32),
+    DeleteCols(u32, u32),
+    QueryRange(u32, u32, u32, u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0u32..64, 0u32..64, any::<i64>()).prop_map(|(r, c, v)| Op::Set(r, c, v)),
+            2 => (0u32..64, 0u32..64).prop_map(|(r, c)| Op::Remove(r, c)),
+            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::InsertRows(at, n)),
+            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::DeleteRows(at, n)),
+            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::InsertCols(at, n)),
+            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::DeleteCols(at, n)),
+            2 => (0u32..64, 0u32..64, 0u32..64, 0u32..64)
+                .prop_map(|(a, b, c, d)| Op::QueryRange(a, b, c, d)),
+        ],
+        0..80,
+    )
+}
+
+struct Model {
+    cells: HashMap<CellAddr, i64>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { cells: HashMap::new() }
+    }
+
+    fn apply_shift(&mut self, f: impl Fn(CellAddr) -> Option<CellAddr>) {
+        let old = std::mem::take(&mut self.cells);
+        for (a, v) in old {
+            if let Some(na) = f(a) {
+                self.cells.insert(na, v);
+            }
+        }
+    }
+}
+
+fn run_store<S: CellStore<i64>>(mut store: S, ops: &[Op]) {
+    let mut model = Model::new();
+    for op in ops {
+        match *op {
+            Op::Set(r, c, v) => {
+                let a = CellAddr::new(r, c);
+                let old_s = store.set(a, v);
+                let old_m = model.cells.insert(a, v);
+                assert_eq!(old_s, old_m, "set({a}) old value mismatch");
+            }
+            Op::Remove(r, c) => {
+                let a = CellAddr::new(r, c);
+                assert_eq!(store.remove(a), model.cells.remove(&a), "remove({a})");
+            }
+            Op::InsertRows(at, n) => {
+                store.insert_rows(at, n);
+                model.apply_shift(|a| {
+                    if a.row >= at {
+                        Some(CellAddr::new(a.row + n, a.col))
+                    } else {
+                        Some(a)
+                    }
+                });
+            }
+            Op::DeleteRows(at, n) => {
+                store.delete_rows(at, n);
+                model.apply_shift(|a| {
+                    if a.row >= at && a.row < at + n {
+                        None
+                    } else if a.row >= at + n {
+                        Some(CellAddr::new(a.row - n, a.col))
+                    } else {
+                        Some(a)
+                    }
+                });
+            }
+            Op::InsertCols(at, n) => {
+                store.insert_cols(at, n);
+                model.apply_shift(|a| {
+                    if a.col >= at {
+                        Some(CellAddr::new(a.row, a.col + n))
+                    } else {
+                        Some(a)
+                    }
+                });
+            }
+            Op::DeleteCols(at, n) => {
+                store.delete_cols(at, n);
+                model.apply_shift(|a| {
+                    if a.col >= at && a.col < at + n {
+                        None
+                    } else if a.col >= at + n {
+                        Some(CellAddr::new(a.row, a.col - n))
+                    } else {
+                        Some(a)
+                    }
+                });
+            }
+            Op::QueryRange(r0, c0, r1, c1) => {
+                let q = Range::new(CellAddr::new(r0, c0), CellAddr::new(r1, c1));
+                let got = store.cells_in_range(q);
+                let mut expect: Vec<(CellAddr, i64)> = model
+                    .cells
+                    .iter()
+                    .filter(|(a, _)| q.contains(**a))
+                    .map(|(a, v)| (*a, *v))
+                    .collect();
+                expect.sort_by_key(|(a, _)| *a);
+                assert_eq!(got, expect, "range query {q} mismatch");
+            }
+        }
+        assert_eq!(store.cell_count(), model.cells.len(), "cell count after {op:?}");
+    }
+    // Final full sweep.
+    if let Some(bounds) = store.used_bounds() {
+        let got = store.cells_in_range(bounds);
+        assert_eq!(got.len(), model.cells.len());
+    } else {
+        assert!(model.cells.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn naive_matches_model(ops in arb_ops()) {
+        run_store(NaiveGrid::new(), &ops);
+    }
+
+    #[test]
+    fn tiled_matches_model(ops in arb_ops()) {
+        run_store(TiledGrid::new(TileConfig { tile_rows: 8, tile_cols: 8 }), &ops);
+    }
+
+    #[test]
+    fn tiled_default_matches_model(ops in arb_ops()) {
+        run_store(TiledGrid::default(), &ops);
+    }
+
+    #[test]
+    fn block_matches_model(ops in arb_ops()) {
+        run_store(BlockGrid::new(BlockConfig { capacity: 16, proximity: 4 }), &ops);
+    }
+
+    #[test]
+    fn block_small_capacity_matches_model(ops in arb_ops()) {
+        // Capacity 2 forces constant splitting — stress for the R-tree churn.
+        run_store(BlockGrid::new(BlockConfig { capacity: 2, proximity: 2 }), &ops);
+    }
+}

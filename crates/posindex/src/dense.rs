@@ -1,0 +1,142 @@
+//! The stock-RDBMS baseline: an explicit row-number column.
+//!
+//! Storing the display position as a table attribute (`rownum INTEGER`) gives
+//! O(1) positional lookup through an index, but positional *insert* and
+//! *delete* renumber every subsequent tuple — the O(n) behaviour the paper's
+//! positional index exists to avoid. We model that cost faithfully: the
+//! suffix of the position map is rewritten on every structural edit, exactly
+//! like the `UPDATE t SET rownum = rownum + 1 WHERE rownum >= ?` a stock
+//! system would run.
+
+use std::collections::HashMap;
+
+use dataspread_types::{DsError, DsResult};
+
+use crate::{PositionalIndex, RowKey};
+
+/// Dense positional index: `Vec` of keys plus a key→position hash map that is
+/// renumbered on structural edits.
+#[derive(Clone, Debug, Default)]
+pub struct DenseIndex {
+    keys: Vec<RowKey>,
+    pos: HashMap<RowKey, usize>,
+}
+
+impl DenseIndex {
+    pub fn new() -> Self {
+        DenseIndex::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        DenseIndex { keys: Vec::with_capacity(n), pos: HashMap::with_capacity(n) }
+    }
+
+    /// Bulk-load from keys in positional order. Errors on duplicates.
+    pub fn from_keys(keys: impl IntoIterator<Item = RowKey>) -> DsResult<Self> {
+        let keys: Vec<RowKey> = keys.into_iter().collect();
+        let mut pos = HashMap::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            if pos.insert(k, i).is_some() {
+                return Err(DsError::Storage(format!("duplicate row key {k}")));
+            }
+        }
+        Ok(DenseIndex { keys, pos })
+    }
+}
+
+impl PositionalIndex for DenseIndex {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn insert_at(&mut self, at: usize, key: RowKey) -> DsResult<()> {
+        if at > self.keys.len() {
+            return Err(DsError::Storage(format!(
+                "insert position {at} out of bounds (len {})",
+                self.keys.len()
+            )));
+        }
+        if self.pos.contains_key(&key) {
+            return Err(DsError::Storage(format!("duplicate row key {key}")));
+        }
+        self.keys.insert(at, key);
+        // The renumbering pass a row-number column forces on the database.
+        for (i, k) in self.keys.iter().enumerate().skip(at) {
+            self.pos.insert(*k, i);
+        }
+        Ok(())
+    }
+
+    fn remove_at(&mut self, at: usize) -> DsResult<RowKey> {
+        if at >= self.keys.len() {
+            return Err(DsError::Storage(format!(
+                "remove position {at} out of bounds (len {})",
+                self.keys.len()
+            )));
+        }
+        let key = self.keys.remove(at);
+        self.pos.remove(&key);
+        for (i, k) in self.keys.iter().enumerate().skip(at) {
+            self.pos.insert(*k, i);
+        }
+        Ok(key)
+    }
+
+    fn key_at(&self, at: usize) -> Option<RowKey> {
+        self.keys.get(at).copied()
+    }
+
+    fn position_of(&self, key: RowKey) -> Option<usize> {
+        self.pos.get(&key).copied()
+    }
+
+    fn range(&self, at: usize, count: usize) -> Vec<RowKey> {
+        if at >= self.keys.len() {
+            return Vec::new();
+        }
+        let end = (at + count).min(self.keys.len());
+        self.keys[at..end].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = DenseIndex::new();
+        idx.insert_at(0, 100).unwrap();
+        idx.insert_at(1, 200).unwrap();
+        idx.insert_at(1, 150).unwrap();
+        assert_eq!(idx.to_vec(), vec![100, 150, 200]);
+        assert_eq!(idx.key_at(1), Some(150));
+        assert_eq!(idx.position_of(200), Some(2));
+    }
+
+    #[test]
+    fn remove_renumbers() {
+        let mut idx = DenseIndex::from_keys([1, 2, 3, 4]).unwrap();
+        assert_eq!(idx.remove_at(1).unwrap(), 2);
+        assert_eq!(idx.position_of(3), Some(1));
+        assert_eq!(idx.position_of(4), Some(2));
+        assert_eq!(idx.position_of(2), None);
+    }
+
+    #[test]
+    fn bounds_and_duplicates_error() {
+        let mut idx = DenseIndex::from_keys([1, 2]).unwrap();
+        assert!(idx.insert_at(5, 9).is_err());
+        assert!(idx.insert_at(0, 1).is_err());
+        assert!(idx.remove_at(2).is_err());
+        assert!(DenseIndex::from_keys([7, 7]).is_err());
+    }
+
+    #[test]
+    fn range_clamps() {
+        let idx = DenseIndex::from_keys([10, 20, 30]).unwrap();
+        assert_eq!(idx.range(1, 10), vec![20, 30]);
+        assert_eq!(idx.range(3, 1), Vec::<RowKey>::new());
+        assert_eq!(idx.range(0, 0), Vec::<RowKey>::new());
+    }
+}

@@ -1,0 +1,118 @@
+//! Row mapping: the interface-manager façade over the positional index.
+//!
+//! Paper §3 (Interface Manager): *"the interface manager maintains a mapping
+//! between a tuple's key attribute and its corresponding location. This
+//! enables translation of an update on the interface, having a locational
+//! context, to the underlying relational database, which requires a key to
+//! uniquely identify a tuple."*
+//!
+//! [`RowMapping`] is that mapping for one displayed table/query region:
+//! grid-row-within-region ↔ stable [`RowKey`]. It wraps a [`CountedBtree`]
+//! so both directions are O(log n).
+
+use dataspread_types::DsResult;
+
+use crate::{CountedBtree, PositionalIndex, RowKey};
+
+/// Two-way mapping between region-relative row offsets and tuple keys.
+#[derive(Debug, Default)]
+pub struct RowMapping {
+    index: CountedBtree,
+}
+
+impl RowMapping {
+    pub fn new() -> Self {
+        RowMapping { index: CountedBtree::new() }
+    }
+
+    /// Bulk-build from keys in display order (initial table display).
+    pub fn from_keys(keys: impl IntoIterator<Item = RowKey>) -> DsResult<Self> {
+        Ok(RowMapping { index: CountedBtree::from_keys(keys)? })
+    }
+
+    /// Number of displayed rows.
+    pub fn row_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The tuple displayed at region-relative row `row`.
+    pub fn key_for_row(&self, row: usize) -> Option<RowKey> {
+        self.index.key_at(row)
+    }
+
+    /// Where a tuple is currently displayed (for back-end → front-end sync).
+    pub fn row_for_key(&self, key: RowKey) -> Option<usize> {
+        self.index.position_of(key)
+    }
+
+    /// A window of keys for rows `first_row .. first_row + height`.
+    pub fn keys_in_window(&self, first_row: usize, height: usize) -> Vec<RowKey> {
+        self.index.range(first_row, height)
+    }
+
+    /// Display a new tuple at `row` (rows below shift down).
+    pub fn insert_row(&mut self, row: usize, key: RowKey) -> DsResult<()> {
+        self.index.insert_at(row, key)
+    }
+
+    /// Append a tuple at the bottom of the region.
+    pub fn append(&mut self, key: RowKey) -> DsResult<()> {
+        self.index.push(key)
+    }
+
+    /// Remove the tuple at `row`, returning its key (rows below shift up).
+    pub fn remove_row(&mut self, row: usize) -> DsResult<RowKey> {
+        self.index.remove_at(row)
+    }
+
+    /// Remove a tuple by key (back-end delete), returning the row it occupied.
+    pub fn remove_by_key(&mut self, key: RowKey) -> DsResult<usize> {
+        self.index.remove_key(key)
+    }
+
+    /// All keys in display order.
+    pub fn keys(&self) -> Vec<RowKey> {
+        self.index.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_order_round_trip() {
+        let m = RowMapping::from_keys([30, 10, 20]).unwrap();
+        assert_eq!(m.row_count(), 3);
+        assert_eq!(m.key_for_row(0), Some(30));
+        assert_eq!(m.row_for_key(20), Some(2));
+        assert_eq!(m.keys(), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn front_end_row_insert_shifts_below() {
+        let mut m = RowMapping::from_keys([1, 2, 3]).unwrap();
+        m.insert_row(1, 99).unwrap();
+        assert_eq!(m.keys(), vec![1, 99, 2, 3]);
+        assert_eq!(m.row_for_key(3), Some(3));
+    }
+
+    #[test]
+    fn back_end_delete_translates_to_row() {
+        let mut m = RowMapping::from_keys([5, 6, 7, 8]).unwrap();
+        let row = m.remove_by_key(7).unwrap();
+        assert_eq!(row, 2);
+        assert_eq!(m.keys(), vec![5, 6, 8]);
+    }
+
+    #[test]
+    fn window_fetch() {
+        let m = RowMapping::from_keys(0..100).unwrap();
+        assert_eq!(m.keys_in_window(40, 5), vec![40, 41, 42, 43, 44]);
+        assert_eq!(m.keys_in_window(98, 5), vec![98, 99]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-based property tests: the counted B-tree must behave exactly like
+//! the dense baseline under arbitrary operation sequences, and its structural
+//! invariants must hold after every mutation.
+
+use proptest::prelude::*;
+
+use dataspread_posindex::{CountedBtree, DenseIndex, PositionalIndex, RowKey};
+
+#[derive(Clone, Debug)]
+enum Op {
+    InsertAt(usize, RowKey),
+    RemoveAt(usize),
+    Push(RowKey),
+    RemoveKey(RowKey),
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<usize>(), any::<u32>()).prop_map(|(p, k)| Op::InsertAt(p, k as RowKey)),
+            any::<usize>().prop_map(Op::RemoveAt),
+            any::<u32>().prop_map(|k| Op::Push(k as RowKey)),
+            any::<u32>().prop_map(|k| Op::RemoveKey(k as RowKey)),
+        ],
+        0..max_len,
+    )
+}
+
+fn run_ops(ops: &[Op], fanout: usize) {
+    let mut tree = CountedBtree::with_fanout(fanout);
+    let mut model = DenseIndex::new();
+    for op in ops {
+        match op {
+            Op::InsertAt(p, k) => {
+                let p = if model.len() == 0 { 0 } else { p % (model.len() + 1) };
+                let r1 = tree.insert_at(p, *k);
+                let r2 = model.insert_at(p, *k);
+                assert_eq!(r1.is_ok(), r2.is_ok(), "insert_at({p}, {k}) disagreement");
+            }
+            Op::RemoveAt(p) => {
+                if model.len() > 0 {
+                    let p = p % model.len();
+                    assert_eq!(tree.remove_at(p).unwrap(), model.remove_at(p).unwrap());
+                }
+            }
+            Op::Push(k) => {
+                let r1 = tree.push(*k);
+                let r2 = model.push(*k);
+                assert_eq!(r1.is_ok(), r2.is_ok());
+            }
+            Op::RemoveKey(k) => {
+                let r1 = tree.remove_key(*k);
+                let r2 = model.remove_key(*k);
+                match (r1, r2) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("remove_key({k}) disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), model.len());
+    }
+    // Final state equivalence in every observable way.
+    assert_eq!(tree.to_vec(), model.to_vec());
+    for p in 0..model.len() {
+        assert_eq!(tree.key_at(p), model.key_at(p));
+        let k = model.key_at(p).unwrap();
+        assert_eq!(tree.position_of(k), model.position_of(k));
+    }
+    // Window reads agree at a few offsets.
+    for p in [0, model.len() / 3, model.len() / 2] {
+        assert_eq!(tree.range(p, 7), model.range(p, 7));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model_fanout_4(ops in arb_ops(120)) {
+        run_ops(&ops, 4);
+    }
+
+    #[test]
+    fn btree_matches_model_fanout_5(ops in arb_ops(120)) {
+        // Odd fanout exercises asymmetric splits.
+        run_ops(&ops, 5);
+    }
+
+    #[test]
+    fn btree_matches_model_fanout_16(ops in arb_ops(200)) {
+        run_ops(&ops, 16);
+    }
+
+    #[test]
+    fn bulk_load_equivalent_to_pushes(n in 0usize..600, fanout in 4usize..32) {
+        let keys: Vec<RowKey> = (0..n as RowKey).collect();
+        let bulk = CountedBtree::from_keys_with_fanout(keys.clone(), fanout).unwrap();
+        bulk.check_invariants();
+        prop_assert_eq!(bulk.to_vec(), keys);
+    }
+
+    #[test]
+    fn range_is_window_of_to_vec(n in 1usize..300, pos in 0usize..400, count in 0usize..64) {
+        let t = CountedBtree::from_keys_with_fanout((0..n as RowKey).map(|k| k * 2), 8).unwrap();
+        let all = t.to_vec();
+        let expect: Vec<RowKey> = all.iter().copied().skip(pos).take(count).collect();
+        prop_assert_eq!(t.range(pos, count), expect);
+    }
+}

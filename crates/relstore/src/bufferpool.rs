@@ -1,0 +1,262 @@
+//! Buffer pool: an LRU over page frames with hit/miss/eviction accounting.
+//!
+//! The repository substitutes in-memory pages for the paper's disk blocks
+//! (substitution #3 in `DESIGN.md`); the buffer pool restores the *cost
+//! cliff* of that boundary. Every page access is routed through
+//! [`BufferPool::access`]: a miss models a disk read, an eviction of a dirty
+//! frame models a write-back. Benches report these counters alongside wall
+//! time, so layouts can be compared by "blocks touched" exactly as the paper
+//! argues.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of a page frame: (attribute-group index, page index in chain).
+pub type PageRef = (u32, u32);
+
+/// Counters for the simulated memory/disk boundary.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub dirty_writebacks: AtomicU64,
+}
+
+impl PoolStats {
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+    pub fn dirty_writebacks(&self) -> u64 {
+        self.dirty_writebacks.load(Ordering::Relaxed)
+    }
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.dirty_writebacks.store(0, Ordering::Relaxed);
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct LruNode {
+    key: PageRef,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive doubly-linked LRU list over an arena.
+struct Lru {
+    map: HashMap<PageRef, usize>,
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    cap: usize,
+}
+
+impl Lru {
+    fn new(cap: usize) -> Self {
+        Lru { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, cap }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.nodes[i].prev, self.nodes[i].next);
+        if p != NIL {
+            self.nodes[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.nodes[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Touch a page. Returns `(hit, evicted_dirty)` where `evicted_dirty` is
+    /// `Some(dirty_flag)` if an eviction happened to make room.
+    fn access(&mut self, key: PageRef, write: bool) -> (bool, Option<bool>) {
+        if let Some(&i) = self.map.get(&key) {
+            self.unlink(i);
+            self.push_front(i);
+            if write {
+                self.nodes[i].dirty = true;
+            }
+            return (true, None);
+        }
+        // Miss: maybe evict.
+        let mut evicted = None;
+        if self.map.len() >= self.cap {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = &self.nodes[victim];
+            evicted = Some(node.dirty);
+            self.map.remove(&node.key);
+            self.free.push(victim);
+        }
+        let node = LruNode { key, dirty: write, prev: NIL, next: NIL };
+        let i = if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        (false, evicted)
+    }
+
+    fn evict_all(&mut self) -> u64 {
+        let dirty = self.nodes.iter().enumerate().filter(|(i, n)| {
+            self.map.get(&n.key) == Some(i) && n.dirty
+        });
+        let count = dirty.count() as u64;
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        count
+    }
+}
+
+/// The pool: a bounded LRU plus counters, safe to touch from `&self` paths.
+pub struct BufferPool {
+    lru: Mutex<Lru>,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("hits", &self.stats.hits())
+            .field("misses", &self.stats.misses())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// `capacity` in page frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        BufferPool { lru: Mutex::new(Lru::new(capacity)), stats: PoolStats::default() }
+    }
+
+    /// Record an access to a page. `write` marks the frame dirty.
+    pub fn access(&self, page: PageRef, write: bool) {
+        let (hit, evicted) = self.lru.lock().access(page, write);
+        if hit {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(dirty) = evicted {
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if dirty {
+                self.stats.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Flush everything (e.g. between bench phases): counts dirty frames as
+    /// write-backs and empties the pool.
+    pub fn flush(&self) {
+        let dirty = self.lru.lock().evict_all();
+        self.stats.dirty_writebacks.fetch_add(dirty, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    pub fn resident(&self) -> usize {
+        self.lru.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_touch() {
+        let pool = BufferPool::new(4);
+        pool.access((0, 0), false);
+        pool.access((0, 0), false);
+        pool.access((0, 0), true);
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(pool.stats().hits(), 2);
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_lru_order() {
+        let pool = BufferPool::new(2);
+        pool.access((0, 0), true); // miss
+        pool.access((0, 1), false); // miss
+        pool.access((0, 0), false); // hit, (0,1) is now LRU
+        pool.access((0, 2), false); // miss, evicts (0,1) (clean)
+        assert_eq!(pool.stats().evictions(), 1);
+        assert_eq!(pool.stats().dirty_writebacks(), 0);
+        pool.access((0, 1), false); // miss again, evicts (0,0) which is dirty
+        assert_eq!(pool.stats().dirty_writebacks(), 1);
+        assert_eq!(pool.stats().misses(), 4);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_evicts() {
+        let pool = BufferPool::new(8);
+        for round in 0..10 {
+            for p in 0..8u32 {
+                pool.access((0, p), round % 2 == 0);
+            }
+        }
+        assert_eq!(pool.stats().misses(), 8);
+        assert_eq!(pool.stats().evictions(), 0);
+        assert_eq!(pool.resident(), 8);
+    }
+
+    #[test]
+    fn sequential_flood_thrashes_small_pool() {
+        let pool = BufferPool::new(4);
+        for p in 0..100u32 {
+            pool.access((0, p), false);
+        }
+        assert_eq!(pool.stats().misses(), 100);
+        assert_eq!(pool.stats().evictions(), 96);
+    }
+
+    #[test]
+    fn flush_counts_dirty_frames() {
+        let pool = BufferPool::new(8);
+        pool.access((0, 0), true);
+        pool.access((0, 1), false);
+        pool.access((0, 2), true);
+        pool.flush();
+        assert_eq!(pool.stats().dirty_writebacks(), 2);
+        assert_eq!(pool.resident(), 0);
+    }
+}

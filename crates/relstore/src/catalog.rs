@@ -1,0 +1,129 @@
+//! The catalog: named tables, the entry point for the SQL layer and the
+//! interface manager.
+
+use std::collections::HashMap;
+
+use dataspread_types::{DsError, DsResult};
+
+use crate::schema::Schema;
+use crate::table::{GroupPolicy, Table};
+
+/// Default layout for new tables: the DataSpread hybrid with 4-column groups.
+pub const DEFAULT_POLICY: GroupPolicy = GroupPolicy::Hybrid { max_group_width: 4 };
+
+/// A named collection of tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Keyed by lower-cased name (SQL identifiers are case-insensitive).
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a table with the default (hybrid) layout.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DsResult<&mut Table> {
+        self.create_table_with_policy(name, schema, DEFAULT_POLICY)
+    }
+
+    pub fn create_table_with_policy(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        policy: GroupPolicy,
+    ) -> DsResult<&mut Table> {
+        if name.is_empty() {
+            return Err(DsError::Schema("empty table name".into()));
+        }
+        let k = Self::key(name);
+        if self.tables.contains_key(&k) {
+            return Err(DsError::Schema(format!("table `{name}` already exists")));
+        }
+        self.tables.insert(k.clone(), Table::new(name, schema, policy));
+        Ok(self.tables.get_mut(&k).unwrap())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> DsResult<Table> {
+        self.tables
+            .remove(&Self::key(name))
+            .ok_or_else(|| DsError::TableNotFound(name.to_string()))
+    }
+
+    pub fn get(&self, name: &str) -> DsResult<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| DsError::TableNotFound(name.to_string()))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> DsResult<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DsError::TableNotFound(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// Table names, sorted for deterministic output.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.tables.values().map(|t| t.name().to_string()).collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use dataspread_types::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("id", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create_table("T1", schema()).unwrap();
+        assert!(c.contains("t1"), "case-insensitive");
+        assert!(c.get("T1").is_ok());
+        assert!(c.create_table("t1", schema()).is_err(), "duplicate");
+        let t = c.drop_table("T1").unwrap();
+        assert_eq!(t.name(), "T1");
+        assert!(c.get("t1").is_err());
+        assert!(c.drop_table("t1").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table("zeta", schema()).unwrap();
+        c.create_table("alpha", schema()).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn mutate_through_catalog() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        c.get_mut("t").unwrap().insert(vec![Value::Int(1)]).unwrap();
+        assert_eq!(c.get("t").unwrap().row_count(), 1);
+    }
+}

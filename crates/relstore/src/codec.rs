@@ -1,0 +1,232 @@
+//! Binary tuple codec.
+//!
+//! Tuple *fragments* (the slice of a row belonging to one attribute group)
+//! are serialized into page bytes with a compact tagged encoding. The codec
+//! is the unit that makes "pages touched" a meaningful metric: fragment size
+//! determines how many fragments fit a 4 KiB page, which determines how many
+//! pages a schema change or scan touches.
+
+use bytes::{Buf, BufMut};
+
+use dataspread_types::{CellError, DsError, DsResult, Value};
+
+const TAG_EMPTY: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_TEXT: u8 = 5;
+const TAG_ERROR: u8 = 6;
+
+/// Append one value to `buf`.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Empty => buf.put_u8(TAG_EMPTY),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Error(e) => {
+            buf.put_u8(TAG_ERROR);
+            buf.put_u8(error_code(*e));
+        }
+    }
+}
+
+fn error_code(e: CellError) -> u8 {
+    match e {
+        CellError::Div0 => 0,
+        CellError::Ref => 1,
+        CellError::Value => 2,
+        CellError::Name => 3,
+        CellError::Cycle => 4,
+        CellError::Na => 5,
+        CellError::Num => 6,
+        CellError::Db => 7,
+    }
+}
+
+fn error_from_code(c: u8) -> DsResult<CellError> {
+    Ok(match c {
+        0 => CellError::Div0,
+        1 => CellError::Ref,
+        2 => CellError::Value,
+        3 => CellError::Name,
+        4 => CellError::Cycle,
+        5 => CellError::Na,
+        6 => CellError::Num,
+        7 => CellError::Db,
+        _ => return Err(DsError::Storage(format!("bad error code {c}"))),
+    })
+}
+
+/// Decode one value from the front of `buf`, advancing it.
+pub fn decode_value(buf: &mut &[u8]) -> DsResult<Value> {
+    if buf.is_empty() {
+        return Err(DsError::Storage("truncated value".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_EMPTY => Value::Empty,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(DsError::Storage("truncated int".into()));
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(DsError::Storage("truncated float".into()));
+            }
+            Value::Float(buf.get_f64_le())
+        }
+        TAG_TEXT => {
+            if buf.remaining() < 4 {
+                return Err(DsError::Storage("truncated text length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(DsError::Storage("truncated text body".into()));
+            }
+            let s = std::str::from_utf8(&buf[..len])
+                .map_err(|_| DsError::Storage("invalid utf8 in text value".into()))?
+                .to_string();
+            buf.advance(len);
+            Value::Text(s)
+        }
+        TAG_ERROR => {
+            if buf.remaining() < 1 {
+                return Err(DsError::Storage("truncated error".into()));
+            }
+            Value::Error(error_from_code(buf.get_u8())?)
+        }
+        _ => return Err(DsError::Storage(format!("bad value tag {tag}"))),
+    })
+}
+
+/// Serialize a fragment (a fixed-arity slice of values).
+pub fn encode_fragment(values: &[Value]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(fragment_size_hint(values));
+    buf.put_u16_le(values.len() as u16);
+    for v in values {
+        encode_value(&mut buf, v);
+    }
+    buf
+}
+
+/// Deserialize a fragment.
+pub fn decode_fragment(mut bytes: &[u8]) -> DsResult<Vec<Value>> {
+    if bytes.len() < 2 {
+        return Err(DsError::Storage("truncated fragment".into()));
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_value(&mut bytes)?);
+    }
+    if !bytes.is_empty() {
+        return Err(DsError::Storage("trailing bytes after fragment".into()));
+    }
+    Ok(out)
+}
+
+/// Exact encoded size of one value.
+pub fn value_size(v: &Value) -> usize {
+    match v {
+        Value::Empty | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Text(s) => 5 + s.len(),
+        Value::Error(_) => 2,
+    }
+}
+
+fn fragment_size_hint(values: &[Value]) -> usize {
+    2 + values.iter().map(value_size).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(vals: Vec<Value>) {
+        let bytes = encode_fragment(&vals);
+        let back = decode_fragment(&bytes).unwrap();
+        assert_eq!(back, vals);
+        assert_eq!(bytes.len(), fragment_size_hint(&vals), "size hint exact");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(vec![
+            Value::Empty,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(f64::MIN_POSITIVE),
+            Value::text(""),
+            Value::text("héllo wörld"),
+            Value::Error(CellError::Div0),
+            Value::Error(CellError::Db),
+        ]);
+    }
+
+    #[test]
+    fn empty_fragment() {
+        round_trip(vec![]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_fragment(&[Value::Int(5), Value::text("abc")]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_fragment(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = encode_fragment(&[Value::Int(5)]);
+        bytes.push(0);
+        assert!(decode_fragment(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let bytes = vec![1, 0, 99];
+        assert!(decode_fragment(&bytes).is_err());
+    }
+
+    #[test]
+    fn value_size_matches_encoding() {
+        for v in [
+            Value::Empty,
+            Value::Bool(true),
+            Value::Int(7),
+            Value::Float(1.5),
+            Value::text("abcd"),
+            Value::Error(CellError::Na),
+        ] {
+            let mut buf = Vec::new();
+            encode_value(&mut buf, &v);
+            assert_eq!(buf.len(), value_size(&v), "{v:?}");
+        }
+    }
+}

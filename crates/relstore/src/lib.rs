@@ -1,0 +1,35 @@
+//! The *relational storage manager* (paper §3).
+//!
+//! An embedded storage engine standing in for the PostgreSQL back-end of the
+//! DataSpread demo (substitution #2 in `DESIGN.md`), built so that the
+//! paper's storage arguments are *measurable*:
+//!
+//! * [`table::Table`] stores rows along **attribute groups** — the paper's
+//!   hybrid of row- and column-store. The [`table::GroupPolicy`] selects
+//!   between the stock row-store baseline, a pure column-store, and the
+//!   bounded-width hybrid; experiment `C2` benchmarks `ALTER TABLE` across
+//!   them.
+//! * Fragments live in slotted 4 KiB [`page::Page`]s; every logical page
+//!   touch is counted ([`table::TableStats`]) and routed through a bounded
+//!   LRU [`bufferpool::BufferPool`], restoring the memory/disk cost boundary
+//!   the paper reasons about.
+//! * Each table maintains its presentation order in a positional index
+//!   (`dataspread-posindex`), so windowed scans and positional inserts — the
+//!   operations a spreadsheet interface issues — are O(log n).
+//! * [`catalog::Catalog`] is the named-table entry point used by the SQL
+//!   layer.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod codec;
+pub mod page;
+pub mod schema;
+pub mod table;
+
+pub use bufferpool::{BufferPool, PoolStats};
+pub use catalog::{Catalog, DEFAULT_POLICY};
+pub use page::{Page, PAGE_SIZE};
+pub use schema::{ColumnDef, KeyTuple, Schema};
+pub use table::{GroupPolicy, Table, TableStats};
+
+pub use dataspread_posindex::RowKey;

@@ -1,0 +1,380 @@
+//! Table schemas and key tuples.
+//!
+//! The paper's "dynamic schema" requirement (§2.2) means schemas here are
+//! *mutable values*, not compile-time structures: columns can be added,
+//! dropped, and renamed after creation, and the storage layer (see
+//! [`crate::table`]) makes those operations cheap.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use dataspread_types::{DataType, DsError, DsResult, Value};
+
+/// One column: a name, a type, and nullability. Primary-key membership is
+/// tracked on the [`Schema`], not the column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef { name: name.into(), dtype, nullable: true }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of columns plus an optional primary key (column indices).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    pkey: Vec<usize>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> DsResult<Self> {
+        let s = Schema { columns, pkey: Vec::new() };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Builder: set the primary key by column names. Pk columns become
+    /// NOT NULL.
+    pub fn with_pkey(mut self, names: &[&str]) -> DsResult<Self> {
+        let mut idxs = Vec::with_capacity(names.len());
+        for n in names {
+            let i = self
+                .index_of(n)
+                .ok_or_else(|| DsError::ColumnNotFound((*n).to_string()))?;
+            if idxs.contains(&i) {
+                return Err(DsError::Schema(format!("duplicate pkey column `{n}`")));
+            }
+            idxs.push(i);
+        }
+        for &i in &idxs {
+            self.columns[i].nullable = false;
+        }
+        self.pkey = idxs;
+        Ok(self)
+    }
+
+    fn validate(&self) -> DsResult<()> {
+        if self.columns.is_empty() {
+            return Err(DsError::Schema("a table needs at least one column".into()));
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err(DsError::Schema("empty column name".into()));
+            }
+            if self.columns[..i]
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(DsError::Schema(format!("duplicate column name `{}`", c.name)));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Case-insensitive column lookup (SQL identifier semantics).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, i: usize) -> &ColumnDef {
+        &self.columns[i]
+    }
+
+    pub fn pkey(&self) -> &[usize] {
+        &self.pkey
+    }
+
+    pub fn has_pkey(&self) -> bool {
+        !self.pkey.is_empty()
+    }
+
+    /// Validate a full row against the schema, coercing values to the
+    /// declared types (widening Int→Float, text parsing for typed columns).
+    pub fn conform_row(&self, row: Vec<Value>) -> DsResult<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(DsError::Schema(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, c) in row.into_iter().zip(&self.columns) {
+            out.push(self.conform_value(v, c)?);
+        }
+        Ok(out)
+    }
+
+    /// Validate/coerce one value for one column.
+    pub fn conform_value_at(&self, col: usize, v: Value) -> DsResult<Value> {
+        let c = self
+            .columns
+            .get(col)
+            .ok_or_else(|| DsError::Schema(format!("column index {col} out of range")))?;
+        self.conform_value(v, c)
+    }
+
+    fn conform_value(&self, v: Value, c: &ColumnDef) -> DsResult<Value> {
+        if v.is_empty() {
+            if !c.nullable {
+                return Err(DsError::Schema(format!("column `{}` is NOT NULL", c.name)));
+            }
+            return Ok(Value::Empty);
+        }
+        c.dtype.coerce_for_storage(v.clone()).ok_or_else(|| {
+            DsError::Schema(format!(
+                "value {v:?} does not fit column `{}` of type {}",
+                c.name, c.dtype
+            ))
+        })
+    }
+
+    /// Extract the primary-key tuple from a conforming row.
+    pub fn key_of(&self, row: &[Value]) -> Option<KeyTuple> {
+        if self.pkey.is_empty() {
+            return None;
+        }
+        Some(KeyTuple(self.pkey.iter().map(|&i| row[i].clone()).collect()))
+    }
+
+    // ---- dynamic schema operations (metadata side) ----------------------
+
+    pub fn push_column(&mut self, def: ColumnDef) -> DsResult<usize> {
+        if self.index_of(&def.name).is_some() {
+            return Err(DsError::Schema(format!("duplicate column name `{}`", def.name)));
+        }
+        if def.name.is_empty() {
+            return Err(DsError::Schema("empty column name".into()));
+        }
+        self.columns.push(def);
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Remove a column; returns its old index. Pk columns cannot be dropped.
+    pub fn remove_column(&mut self, name: &str) -> DsResult<usize> {
+        let i = self
+            .index_of(name)
+            .ok_or_else(|| DsError::ColumnNotFound(name.to_string()))?;
+        if self.pkey.contains(&i) {
+            return Err(DsError::Schema(format!("cannot drop primary key column `{name}`")));
+        }
+        if self.columns.len() == 1 {
+            return Err(DsError::Schema("cannot drop the last column".into()));
+        }
+        self.columns.remove(i);
+        for k in &mut self.pkey {
+            if *k > i {
+                *k -= 1;
+            }
+        }
+        Ok(i)
+    }
+
+    pub fn rename_column(&mut self, from: &str, to: &str) -> DsResult<usize> {
+        if to.is_empty() {
+            return Err(DsError::Schema("empty column name".into()));
+        }
+        let i = self
+            .index_of(from)
+            .ok_or_else(|| DsError::ColumnNotFound(from.to_string()))?;
+        if let Some(j) = self.index_of(to) {
+            if j != i {
+                return Err(DsError::Schema(format!("duplicate column name `{to}`")));
+            }
+        }
+        self.columns[i].name = to.to_string();
+        Ok(i)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        if !self.pkey.is_empty() {
+            write!(
+                f,
+                ", PRIMARY KEY ({})",
+                self.pkey
+                    .iter()
+                    .map(|&i| self.columns[i].name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A primary-key tuple with a total order, usable as a `BTreeMap` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeyTuple(pub Vec<Value>);
+
+impl Eq for KeyTuple {}
+
+impl PartialOrd for KeyTuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyTuple {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let n = self.0.len().min(other.0.len());
+        for i in 0..n {
+            let o = self.0[i].total_cmp(&other.0[i]);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("score", DataType::Float),
+        ])
+        .unwrap()
+        .with_pkey(&["id"])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn pkey_columns_become_not_null() {
+        let s = sample();
+        assert!(!s.column(0).nullable);
+        assert!(s.column(1).nullable);
+        assert_eq!(s.pkey(), &[0]);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("A", DataType::Int),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn conform_row_coerces() {
+        let s = sample();
+        let row = s
+            .conform_row(vec![Value::Int(1), Value::text("bob"), Value::Int(90)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(90.0), "Int widened to Float column");
+        assert!(s.conform_row(vec![Value::Int(1), Value::text("b")]).is_err(), "arity");
+        assert!(
+            s.conform_row(vec![Value::Empty, Value::text("b"), Value::Empty]).is_err(),
+            "NOT NULL pk"
+        );
+        assert!(
+            s.conform_row(vec![Value::text("xyz"), Value::text("b"), Value::Empty]).is_err(),
+            "bad int"
+        );
+    }
+
+    #[test]
+    fn conform_parses_numeric_text() {
+        let s = sample();
+        let row = s
+            .conform_row(vec![Value::text("17"), Value::Empty, Value::text("2.5")])
+            .unwrap();
+        assert_eq!(row[0], Value::Int(17));
+        assert_eq!(row[2], Value::Float(2.5));
+    }
+
+    #[test]
+    fn dynamic_schema_ops() {
+        let mut s = sample();
+        let i = s.push_column(ColumnDef::new("grade", DataType::Text)).unwrap();
+        assert_eq!(i, 3);
+        assert!(s.push_column(ColumnDef::new("GRADE", DataType::Int)).is_err());
+        s.rename_column("grade", "letter").unwrap();
+        assert!(s.index_of("letter").is_some());
+        let old = s.remove_column("name").unwrap();
+        assert_eq!(old, 1);
+        assert_eq!(s.width(), 3);
+        assert!(s.remove_column("id").is_err(), "pk protected");
+        // pkey indices survive removal before them.
+        assert_eq!(s.pkey(), &[0]);
+    }
+
+    #[test]
+    fn pkey_index_shifts_on_remove() {
+        let mut s = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+            ColumnDef::new("c", DataType::Int),
+        ])
+        .unwrap()
+        .with_pkey(&["c"])
+        .unwrap();
+        s.remove_column("a").unwrap();
+        assert_eq!(s.pkey(), &[1]);
+        assert_eq!(s.column(1).name, "c");
+    }
+
+    #[test]
+    fn key_tuple_ordering() {
+        let a = KeyTuple(vec![Value::Int(1), Value::text("a")]);
+        let b = KeyTuple(vec![Value::Int(1), Value::text("b")]);
+        let c = KeyTuple(vec![Value::Int(2)]);
+        assert!(a < b);
+        assert!(b < c);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(a.clone(), 1);
+        m.insert(b, 2);
+        assert_eq!(m.get(&a), Some(&1));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("id INTEGER NOT NULL"));
+        assert!(d.contains("PRIMARY KEY (id)"));
+    }
+}

@@ -1,0 +1,909 @@
+//! Attribute-group tables: the relational storage manager.
+//!
+//! Paper §3 (Relational Storage Manager):
+//!
+//! > "the relational storage manager uses a hybrid of column-store and
+//! > row-store to physically store the table. Here, data is structured along
+//! > a collection of attribute groups, thereby radically reducing the disk
+//! > blocks that need an update during a schema change."
+//!
+//! A [`Table`] partitions its columns into *groups*; each group stores its
+//! slice of every row (a *fragment*) row-wise in its own page chain. The
+//! three classical layouts are all grouping policies:
+//!
+//! * [`GroupPolicy::RowStore`] — one group holding every column (stock
+//!   baseline: `ADD COLUMN` rewrites every page).
+//! * [`GroupPolicy::ColumnStore`] — one group per column.
+//! * [`GroupPolicy::Hybrid`] — groups of bounded width; **`ADD COLUMN`
+//!   creates a fresh group whose values are lazily defaulted**, touching
+//!   zero data pages — the paper's "schema change almost as efficient as a
+//!   tuple update".
+//!
+//! Rows are identified by stable [`RowKey`]s; display order is maintained by
+//! the positional index ([`CountedBtree`]), so positional window reads and
+//! positional inserts are O(log n).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dataspread_posindex::{CountedBtree, PositionalIndex, RowKey};
+use dataspread_types::{DsError, DsResult, Value};
+
+use crate::bufferpool::BufferPool;
+use crate::codec::{decode_fragment, encode_fragment};
+use crate::page::{Page, SlotId, PAGE_SIZE};
+use crate::schema::{ColumnDef, KeyTuple, Schema};
+
+/// How columns are partitioned into attribute groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupPolicy {
+    /// All columns in one group — the stock row-store baseline.
+    RowStore,
+    /// Each column in its own group.
+    ColumnStore,
+    /// Groups of at most `max_group_width` columns (the DataSpread layout).
+    Hybrid { max_group_width: usize },
+}
+
+impl GroupPolicy {
+    fn partition(&self, width: usize) -> Vec<Vec<usize>> {
+        match *self {
+            GroupPolicy::RowStore => vec![(0..width).collect()],
+            GroupPolicy::ColumnStore => (0..width).map(|i| vec![i]).collect(),
+            GroupPolicy::Hybrid { max_group_width } => {
+                let w = max_group_width.max(1);
+                (0..width)
+                    .collect::<Vec<_>>()
+                    .chunks(w)
+                    .map(|c| c.to_vec())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Logical page-touch counters ("disk blocks that need an update").
+#[derive(Debug, Default)]
+pub struct TableStats {
+    pub page_reads: AtomicU64,
+    pub page_writes: AtomicU64,
+    pub pages_allocated: AtomicU64,
+}
+
+impl TableStats {
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads.load(Ordering::Relaxed)
+    }
+    pub fn page_writes(&self) -> u64 {
+        self.page_writes.load(Ordering::Relaxed)
+    }
+    pub fn pages_allocated(&self) -> u64 {
+        self.pages_allocated.load(Ordering::Relaxed)
+    }
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.pages_allocated.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct Group {
+    /// Schema column indices stored in this group, in fragment order.
+    cols: Vec<usize>,
+    pages: Vec<Page>,
+    /// Where each row's fragment lives. Rows absent here take `defaults`.
+    rowdir: HashMap<RowKey, (u32, SlotId)>,
+    /// Lazily-materialized values for rows without a fragment (the zero-cost
+    /// `ADD COLUMN` mechanism).
+    defaults: Vec<Value>,
+}
+
+impl Group {
+    fn new(cols: Vec<usize>) -> Self {
+        let defaults = vec![Value::Empty; cols.len()];
+        Group { cols, pages: Vec::new(), rowdir: HashMap::new(), defaults }
+    }
+}
+
+/// Default buffer-pool capacity per table, in page frames.
+pub const DEFAULT_POOL_PAGES: usize = 1024;
+
+/// A stored relation.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    policy: GroupPolicy,
+    groups: Vec<Group>,
+    /// For each schema column: (group index, offset within the fragment).
+    col_group: Vec<(usize, usize)>,
+    next_key: RowKey,
+    pk_index: BTreeMap<KeyTuple, RowKey>,
+    /// Presentation order of rows — the positional index.
+    order: CountedBtree,
+    stats: TableStats,
+    pool: BufferPool,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema, policy: GroupPolicy) -> Self {
+        Table::with_pool_capacity(name, schema, policy, DEFAULT_POOL_PAGES)
+    }
+
+    pub fn with_pool_capacity(
+        name: impl Into<String>,
+        schema: Schema,
+        policy: GroupPolicy,
+        pool_pages: usize,
+    ) -> Self {
+        let groups: Vec<Group> = policy
+            .partition(schema.width())
+            .into_iter()
+            .map(Group::new)
+            .collect();
+        let mut t = Table {
+            name: name.into(),
+            schema,
+            policy,
+            groups,
+            col_group: Vec::new(),
+            next_key: 1,
+            pk_index: BTreeMap::new(),
+            order: CountedBtree::new(),
+            stats: TableStats::default(),
+            pool: BufferPool::new(pool_pages),
+        };
+        t.rebuild_col_group();
+        t
+    }
+
+    fn rebuild_col_group(&mut self) {
+        let mut map = vec![(usize::MAX, usize::MAX); self.schema.width()];
+        for (g, group) in self.groups.iter().enumerate() {
+            for (off, &c) in group.cols.iter().enumerate() {
+                map[c] = (g, off);
+            }
+        }
+        debug_assert!(map.iter().all(|&(g, _)| g != usize::MAX), "unmapped column");
+        self.col_group = map;
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn policy(&self) -> GroupPolicy {
+        self.policy
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Number of attribute groups (for tests/benches).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total allocated pages across all groups.
+    pub fn total_pages(&self) -> usize {
+        self.groups.iter().map(|g| g.pages.len()).sum()
+    }
+
+    /// Pages per group (for the schema-change experiment's reporting).
+    pub fn pages_per_group(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.pages.len()).collect()
+    }
+
+    fn touch_read(&self, g: usize, page: u32) {
+        self.stats.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.pool.access((g as u32, page), false);
+    }
+
+    fn touch_write(&self, g: usize, page: u32) {
+        self.stats.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.pool.access((g as u32, page), true);
+    }
+
+    // ---- fragment plumbing -------------------------------------------------
+
+    /// Append a fragment to group `g`, allocating a page if needed. Returns
+    /// the location.
+    fn append_fragment(&mut self, g: usize, key: RowKey, values: &[Value]) -> DsResult<()> {
+        let bytes = encode_fragment(values);
+        if bytes.len() + 64 > PAGE_SIZE {
+            return Err(DsError::Storage(format!(
+                "fragment of {} bytes exceeds page budget",
+                bytes.len()
+            )));
+        }
+        let group = &mut self.groups[g];
+        let need_new = match group.pages.last() {
+            Some(p) => !p.has_room(bytes.len()),
+            None => true,
+        };
+        if need_new {
+            group.pages.push(Page::new());
+            self.stats.pages_allocated.fetch_add(1, Ordering::Relaxed);
+        }
+        let pidx = (group.pages.len() - 1) as u32;
+        let slot = group.pages[pidx as usize].insert(&bytes)?;
+        group.rowdir.insert(key, (pidx, slot));
+        self.touch_write(g, pidx);
+        Ok(())
+    }
+
+    /// Read the fragment of `key` in group `g`, falling back to the group's
+    /// lazy defaults.
+    fn read_fragment(&self, g: usize, key: RowKey) -> DsResult<Vec<Value>> {
+        let group = &self.groups[g];
+        match group.rowdir.get(&key) {
+            Some(&(pidx, slot)) => {
+                self.touch_read(g, pidx);
+                let bytes = group.pages[pidx as usize].read(slot)?;
+                decode_fragment(bytes)
+            }
+            None => Ok(group.defaults.clone()),
+        }
+    }
+
+    /// Rewrite the fragment of `key` in group `g` with new values,
+    /// materializing or relocating as needed.
+    fn write_fragment(&mut self, g: usize, key: RowKey, values: &[Value]) -> DsResult<()> {
+        let loc = self.groups[g].rowdir.get(&key).copied();
+        match loc {
+            Some((pidx, slot)) => {
+                let bytes = encode_fragment(values);
+                let fits = self.groups[g].pages[pidx as usize].update(slot, &bytes)?;
+                self.touch_write(g, pidx);
+                if !fits {
+                    // Relocate: tombstone the old copy, append elsewhere.
+                    self.groups[g].pages[pidx as usize].delete(slot)?;
+                    self.groups[g].rowdir.remove(&key);
+                    self.append_fragment(g, key, values)?;
+                }
+                Ok(())
+            }
+            None => self.append_fragment(g, key, values),
+        }
+    }
+
+    // ---- row CRUD ----------------------------------------------------------
+
+    /// Insert at the end of the presentation order.
+    pub fn insert(&mut self, row: Vec<Value>) -> DsResult<RowKey> {
+        let pos = self.row_count();
+        self.insert_at(pos, row)
+    }
+
+    /// Insert so the new row is displayed at position `pos` — the positional
+    /// insert a spreadsheet "insert row" needs.
+    pub fn insert_at(&mut self, pos: usize, row: Vec<Value>) -> DsResult<RowKey> {
+        let row = self.schema.conform_row(row)?;
+        if let Some(kt) = self.schema.key_of(&row) {
+            if self.pk_index.contains_key(&kt) {
+                return Err(DsError::KeyViolation(format!(
+                    "duplicate key {:?} in table {}",
+                    kt.0, self.name
+                )));
+            }
+        }
+        let key = self.next_key;
+        self.next_key += 1;
+        for g in 0..self.groups.len() {
+            let frag: Vec<Value> =
+                self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+            self.append_fragment(g, key, &frag)?;
+        }
+        self.order.insert_at(pos, key)?;
+        if let Some(kt) = self.schema.key_of(&row) {
+            self.pk_index.insert(kt, key);
+        }
+        Ok(key)
+    }
+
+    /// Bulk append; returns the keys in order.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) -> DsResult<Vec<RowKey>> {
+        let mut keys = Vec::with_capacity(rows.len());
+        for r in rows {
+            keys.push(self.insert(r)?);
+        }
+        Ok(keys)
+    }
+
+    /// Fetch a full row by key.
+    pub fn get_row(&self, key: RowKey) -> DsResult<Vec<Value>> {
+        if self.order.position_of(key).is_none() {
+            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+        }
+        let mut out = vec![Value::Empty; self.schema.width()];
+        for g in 0..self.groups.len() {
+            let frag = self.read_fragment(g, key)?;
+            for (off, &c) in self.groups[g].cols.iter().enumerate() {
+                out[c] = frag[off].clone();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch a projection of a row, reading only the groups that cover the
+    /// requested columns (the hybrid-layout read advantage).
+    pub fn get_row_project(&self, key: RowKey, cols: &[usize]) -> DsResult<Vec<Value>> {
+        if self.order.position_of(key).is_none() {
+            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+        }
+        let mut needed_groups: Vec<usize> = cols.iter().map(|&c| self.col_group[c].0).collect();
+        needed_groups.sort_unstable();
+        needed_groups.dedup();
+        let mut scatter: HashMap<usize, Value> = HashMap::with_capacity(cols.len());
+        for g in needed_groups {
+            let frag = self.read_fragment(g, key)?;
+            for (off, &c) in self.groups[g].cols.iter().enumerate() {
+                scatter.insert(c, frag[off].clone());
+            }
+        }
+        Ok(cols.iter().map(|c| scatter.remove(c).unwrap_or(Value::Empty)).collect())
+    }
+
+    /// Update one attribute of one row. Touches only the pages of the group
+    /// containing the column.
+    pub fn update_cell(&mut self, key: RowKey, col: usize, value: Value) -> DsResult<Value> {
+        if self.order.position_of(key).is_none() {
+            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+        }
+        let value = self.schema.conform_value_at(col, value)?;
+        // Primary-key maintenance requires the old full key.
+        let in_pk = self.schema.pkey().contains(&col);
+        let old_row = if in_pk { Some(self.get_row(key)?) } else { None };
+        let (g, off) = self.col_group[col];
+        let mut frag = self.read_fragment(g, key)?;
+        let old = std::mem::replace(&mut frag[off], value.clone());
+        if let Some(old_row) = old_row {
+            let old_kt = self.schema.key_of(&old_row).expect("pk column implies pkey");
+            let mut new_row = old_row;
+            new_row[col] = value;
+            let new_kt = self.schema.key_of(&new_row).unwrap();
+            if new_kt != old_kt {
+                if self.pk_index.contains_key(&new_kt) {
+                    return Err(DsError::KeyViolation(format!(
+                        "duplicate key {:?} in table {}",
+                        new_kt.0, self.name
+                    )));
+                }
+                self.pk_index.remove(&old_kt);
+                self.pk_index.insert(new_kt, key);
+            }
+        }
+        self.write_fragment(g, key, &frag)?;
+        Ok(old)
+    }
+
+    /// Replace a full row.
+    pub fn update_row(&mut self, key: RowKey, row: Vec<Value>) -> DsResult<()> {
+        if self.order.position_of(key).is_none() {
+            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+        }
+        let row = self.schema.conform_row(row)?;
+        if self.schema.has_pkey() {
+            let old_row = self.get_row(key)?;
+            let old_kt = self.schema.key_of(&old_row).unwrap();
+            let new_kt = self.schema.key_of(&row).unwrap();
+            if new_kt != old_kt {
+                if self.pk_index.contains_key(&new_kt) {
+                    return Err(DsError::KeyViolation(format!(
+                        "duplicate key {:?} in table {}",
+                        new_kt.0, self.name
+                    )));
+                }
+                self.pk_index.remove(&old_kt);
+                self.pk_index.insert(new_kt, key);
+            }
+        }
+        for g in 0..self.groups.len() {
+            let frag: Vec<Value> =
+                self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+            self.write_fragment(g, key, &frag)?;
+        }
+        Ok(())
+    }
+
+    /// Delete a row by key; returns the position it occupied.
+    pub fn delete_row(&mut self, key: RowKey) -> DsResult<usize> {
+        if self.order.position_of(key).is_none() {
+            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+        }
+        if self.schema.has_pkey() {
+            let row = self.get_row(key)?;
+            let kt = self.schema.key_of(&row).unwrap();
+            self.pk_index.remove(&kt);
+        }
+        for g in 0..self.groups.len() {
+            if let Some((pidx, slot)) = self.groups[g].rowdir.remove(&key) {
+                self.groups[g].pages[pidx as usize].delete(slot)?;
+                self.touch_write(g, pidx);
+            }
+        }
+        self.order.remove_key(key)
+    }
+
+    // ---- positional access ---------------------------------------------------
+
+    /// Key of the row displayed at `pos`.
+    pub fn key_at(&self, pos: usize) -> Option<RowKey> {
+        self.order.key_at(pos)
+    }
+
+    /// Display position of a row.
+    pub fn position_of(&self, key: RowKey) -> Option<usize> {
+        self.order.position_of(key)
+    }
+
+    /// Keys of the rows in the window `[pos, pos+count)`.
+    pub fn keys_in_window(&self, pos: usize, count: usize) -> Vec<RowKey> {
+        self.order.range(pos, count)
+    }
+
+    /// Windowed scan: the rows displayed at `[pos, pos+count)` — the query
+    /// the front-end issues as the user pans.
+    pub fn scan_window(&self, pos: usize, count: usize) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
+        let keys = self.order.range(pos, count);
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            out.push((k, self.get_row(k)?));
+        }
+        Ok(out)
+    }
+
+    /// Lookup by primary key.
+    pub fn key_lookup(&self, kt: &KeyTuple) -> Option<RowKey> {
+        self.pk_index.get(kt).copied()
+    }
+
+    /// Visit every row in presentation order.
+    pub fn for_each_row(&self, f: &mut dyn FnMut(RowKey, Vec<Value>) -> DsResult<()>) -> DsResult<()> {
+        for k in self.order.to_vec() {
+            f(k, self.get_row(k)?)?;
+        }
+        Ok(())
+    }
+
+    /// Full scan, materialized.
+    pub fn scan(&self) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
+        let mut out = Vec::with_capacity(self.row_count());
+        self.for_each_row(&mut |k, r| {
+            out.push((k, r));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Projected full scan: reads only the groups covering `cols`.
+    pub fn scan_project(&self, cols: &[usize]) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
+        let mut out = Vec::with_capacity(self.row_count());
+        for k in self.order.to_vec() {
+            out.push((k, self.get_row_project(k, cols)?));
+        }
+        Ok(out)
+    }
+
+    // ---- dynamic schema ---------------------------------------------------------
+
+    /// `ALTER TABLE ADD COLUMN`. Under the hybrid/column layouts this is a
+    /// metadata operation: a fresh attribute group with a lazy default,
+    /// touching **zero** data pages. Under the row-store baseline every page
+    /// is rewritten.
+    pub fn add_column(&mut self, def: ColumnDef, default: Value) -> DsResult<()> {
+        let default = if default.is_empty() {
+            if !def.nullable {
+                return Err(DsError::Schema(format!(
+                    "NOT NULL column `{}` needs a default",
+                    def.name
+                )));
+            }
+            Value::Empty
+        } else {
+            def.dtype.coerce_for_storage(default).ok_or_else(|| {
+                DsError::Schema(format!("default does not fit column type {}", def.dtype))
+            })?
+        };
+        let idx = self.schema.push_column(def)?;
+        match self.policy {
+            GroupPolicy::RowStore => {
+                // Stock behaviour: widen every tuple in the single group.
+                self.groups[0].cols.push(idx);
+                self.groups[0].defaults.push(default.clone());
+                self.rewrite_group(0, |frag| frag.push(default.clone()))?;
+            }
+            GroupPolicy::ColumnStore | GroupPolicy::Hybrid { .. } => {
+                let mut g = Group::new(vec![idx]);
+                g.defaults = vec![default];
+                self.groups.push(g);
+            }
+        }
+        self.rebuild_col_group();
+        Ok(())
+    }
+
+    /// `ALTER TABLE DROP COLUMN`. If the column is alone in its group the
+    /// whole group is dropped (no page touched); otherwise only that group is
+    /// rewritten.
+    pub fn drop_column(&mut self, name: &str) -> DsResult<()> {
+        let idx = self.schema.index_of(name).ok_or_else(|| DsError::ColumnNotFound(name.into()))?;
+        let (g, off) = self.col_group[idx];
+        // Validate via the schema first (pk/last-column protection).
+        self.schema.remove_column(name)?;
+        if self.groups[g].cols.len() == 1 {
+            self.groups.remove(g);
+        } else {
+            self.groups[g].cols.remove(off);
+            self.groups[g].defaults.remove(off);
+            self.rewrite_group(g, move |frag| {
+                frag.remove(off);
+            })?;
+        }
+        // Shift schema column indices above the removed one.
+        for group in &mut self.groups {
+            for c in &mut group.cols {
+                if *c > idx {
+                    *c -= 1;
+                }
+            }
+        }
+        self.rebuild_col_group();
+        Ok(())
+    }
+
+    /// `ALTER TABLE RENAME COLUMN` — metadata only under every layout.
+    pub fn rename_column(&mut self, from: &str, to: &str) -> DsResult<()> {
+        self.schema.rename_column(from, to)?;
+        Ok(())
+    }
+
+    /// Rewrite every fragment of a group through `transform`, rebuilding its
+    /// page chain. Counts a read of every old page and a write of every new
+    /// page — this is exactly the cost the hybrid layout avoids.
+    fn rewrite_group(
+        &mut self,
+        g: usize,
+        transform: impl Fn(&mut Vec<Value>),
+    ) -> DsResult<()> {
+        let old_pages = std::mem::take(&mut self.groups[g].pages);
+        let old_rowdir = std::mem::take(&mut self.groups[g].rowdir);
+        for pidx in 0..old_pages.len() {
+            self.touch_read(g, pidx as u32);
+        }
+        // Preserve a deterministic order: iterate rows in page order.
+        let mut frags: Vec<(RowKey, Vec<Value>)> = Vec::with_capacity(old_rowdir.len());
+        let mut by_loc: Vec<(&RowKey, &(u32, SlotId))> = old_rowdir.iter().collect();
+        by_loc.sort_by_key(|(_, loc)| **loc);
+        for (key, &(pidx, slot)) in by_loc {
+            let bytes = old_pages[pidx as usize].read(slot)?;
+            let mut frag = decode_fragment(bytes)?;
+            transform(&mut frag);
+            frags.push((*key, frag));
+        }
+        for (key, frag) in frags {
+            self.append_fragment(g, key, &frag)?;
+        }
+        Ok(())
+    }
+
+    /// Re-partition all groups according to `policy` (maintenance /
+    /// ablation): a full read + rewrite of the table.
+    pub fn compact(&mut self, policy: GroupPolicy) -> DsResult<()> {
+        let keys = self.order.to_vec();
+        let mut rows = Vec::with_capacity(keys.len());
+        for &k in &keys {
+            rows.push(self.get_row(k)?);
+        }
+        self.policy = policy;
+        self.groups = policy
+            .partition(self.schema.width())
+            .into_iter()
+            .map(Group::new)
+            .collect();
+        self.rebuild_col_group();
+        for (k, row) in keys.into_iter().zip(rows) {
+            for g in 0..self.groups.len() {
+                let frag: Vec<Value> =
+                    self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+                self.append_fragment(g, k, &frag)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_types::DataType;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("score", DataType::Float),
+        ])
+        .unwrap()
+        .with_pkey(&["id"])
+        .unwrap()
+    }
+
+    fn sample_table(policy: GroupPolicy) -> Table {
+        let mut t = Table::new("students", sample_schema(), policy);
+        for i in 0..10 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::text(format!("student{i}")),
+                Value::Float(80.0 + i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_get_all_policies() {
+        for policy in [
+            GroupPolicy::RowStore,
+            GroupPolicy::ColumnStore,
+            GroupPolicy::Hybrid { max_group_width: 2 },
+        ] {
+            let t = sample_table(policy);
+            assert_eq!(t.row_count(), 10);
+            let key = t.key_at(3).unwrap();
+            let row = t.get_row(key).unwrap();
+            assert_eq!(row[0], Value::Int(3));
+            assert_eq!(row[1], Value::text("student3"));
+            assert_eq!(row[2], Value::Float(83.0));
+        }
+    }
+
+    #[test]
+    fn group_counts_match_policy() {
+        assert_eq!(sample_table(GroupPolicy::RowStore).group_count(), 1);
+        assert_eq!(sample_table(GroupPolicy::ColumnStore).group_count(), 3);
+        assert_eq!(sample_table(GroupPolicy::Hybrid { max_group_width: 2 }).group_count(), 2);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        let err = t.insert(vec![Value::Int(3), Value::text("dup"), Value::Empty]);
+        assert!(matches!(err, Err(DsError::KeyViolation(_))));
+        assert_eq!(t.row_count(), 10);
+    }
+
+    #[test]
+    fn key_lookup_by_pk() {
+        let t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        let k = t.key_lookup(&KeyTuple(vec![Value::Int(7)])).unwrap();
+        assert_eq!(t.get_row(k).unwrap()[1], Value::text("student7"));
+        assert!(t.key_lookup(&KeyTuple(vec![Value::Int(99)])).is_none());
+    }
+
+    #[test]
+    fn update_cell_changes_one_group() {
+        let mut t = sample_table(GroupPolicy::ColumnStore);
+        let key = t.key_at(0).unwrap();
+        t.stats().reset();
+        let old = t.update_cell(key, 2, Value::Float(55.5)).unwrap();
+        assert_eq!(old, Value::Float(80.0));
+        assert_eq!(t.get_row(key).unwrap()[2], Value::Float(55.5));
+        // Only the score group's page was written.
+        assert_eq!(t.stats().page_writes(), 1);
+    }
+
+    #[test]
+    fn update_pk_cell_maintains_index() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        let key = t.key_at(0).unwrap();
+        t.update_cell(key, 0, Value::Int(100)).unwrap();
+        assert!(t.key_lookup(&KeyTuple(vec![Value::Int(0)])).is_none());
+        assert_eq!(t.key_lookup(&KeyTuple(vec![Value::Int(100)])), Some(key));
+        // Collision rejected.
+        let err = t.update_cell(key, 0, Value::Int(5));
+        assert!(matches!(err, Err(DsError::KeyViolation(_))));
+    }
+
+    #[test]
+    fn delete_row_shifts_positions() {
+        let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        let key = t.key_at(4).unwrap();
+        let pos = t.delete_row(key).unwrap();
+        assert_eq!(pos, 4);
+        assert_eq!(t.row_count(), 9);
+        let next = t.key_at(4).unwrap();
+        assert_eq!(t.get_row(next).unwrap()[0], Value::Int(5));
+        assert!(t.get_row(key).is_err());
+        assert!(t.key_lookup(&KeyTuple(vec![Value::Int(4)])).is_none());
+    }
+
+    #[test]
+    fn positional_insert_between_rows() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        t.insert_at(5, vec![Value::Int(50), Value::text("middle"), Value::Empty]).unwrap();
+        let k = t.key_at(5).unwrap();
+        assert_eq!(t.get_row(k).unwrap()[1], Value::text("middle"));
+        assert_eq!(t.row_count(), 11);
+        // The previously-5th row moved to 6.
+        let k6 = t.key_at(6).unwrap();
+        assert_eq!(t.get_row(k6).unwrap()[0], Value::Int(5));
+    }
+
+    #[test]
+    fn scan_window_matches_positions() {
+        let t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        let rows = t.scan_window(3, 4).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1[0], Value::Int(3));
+        assert_eq!(rows[3].1[0], Value::Int(6));
+    }
+
+    #[test]
+    fn add_column_lazy_under_hybrid() {
+        let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        t.stats().reset();
+        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?")).unwrap();
+        // Zero data pages touched: the lazy-default group is empty.
+        assert_eq!(t.stats().page_writes(), 0, "hybrid ADD COLUMN touches no pages");
+        assert_eq!(t.schema().width(), 4);
+        let key = t.key_at(2).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[3], Value::text("?"));
+        // Writing one cell materializes one fragment.
+        t.update_cell(key, 3, Value::text("A+")).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[3], Value::text("A+"));
+        // Other rows still see the default.
+        let other = t.key_at(0).unwrap();
+        assert_eq!(t.get_row(other).unwrap()[3], Value::text("?"));
+    }
+
+    #[test]
+    fn add_column_rewrites_under_rowstore() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        t.stats().reset();
+        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?")).unwrap();
+        assert!(t.stats().page_writes() > 0, "row store must rewrite");
+        let key = t.key_at(2).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[3], Value::text("?"));
+    }
+
+    #[test]
+    fn drop_column_sole_group_is_free() {
+        let mut t = sample_table(GroupPolicy::ColumnStore);
+        t.stats().reset();
+        t.drop_column("score").unwrap();
+        assert_eq!(t.stats().page_writes(), 0, "dropping a whole group is metadata-only");
+        assert_eq!(t.schema().width(), 2);
+        let key = t.key_at(0).unwrap();
+        let row = t.get_row(key).unwrap();
+        assert_eq!(row, vec![Value::Int(0), Value::text("student0")]);
+    }
+
+    #[test]
+    fn drop_column_inside_group_rewrites_one_group() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        t.stats().reset();
+        t.drop_column("name").unwrap();
+        assert!(t.stats().page_writes() > 0);
+        let key = t.key_at(1).unwrap();
+        assert_eq!(t.get_row(key).unwrap(), vec![Value::Int(1), Value::Float(81.0)]);
+        // pk still works after index shifts.
+        assert_eq!(t.key_lookup(&KeyTuple(vec![Value::Int(1)])), Some(key));
+        t.update_cell(key, 1, Value::Float(12.0)).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[1], Value::Float(12.0));
+    }
+
+    #[test]
+    fn rename_column_metadata_only() {
+        let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        t.stats().reset();
+        t.rename_column("score", "points").unwrap();
+        assert_eq!(t.stats().page_writes(), 0);
+        assert!(t.schema().index_of("points").is_some());
+    }
+
+    #[test]
+    fn add_then_drop_column_round_trip() {
+        let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        t.add_column(ColumnDef::new("extra", DataType::Int), Value::Int(0)).unwrap();
+        let key = t.key_at(0).unwrap();
+        t.update_cell(key, 3, Value::Int(42)).unwrap();
+        t.drop_column("extra").unwrap();
+        assert_eq!(t.schema().width(), 3);
+        assert_eq!(t.get_row(key).unwrap().len(), 3);
+        // Surviving columns unaffected.
+        assert_eq!(t.get_row(key).unwrap()[1], Value::text("student0"));
+    }
+
+    #[test]
+    fn projection_reads_fewer_groups() {
+        let mut t = Table::new("wide", {
+            let cols: Vec<ColumnDef> =
+                (0..8).map(|i| ColumnDef::new(format!("c{i}"), DataType::Int)).collect();
+            Schema::new(cols).unwrap()
+        }, GroupPolicy::Hybrid { max_group_width: 2 });
+        for r in 0..20 {
+            t.insert((0..8).map(|c| Value::Int(r * 8 + c)).collect()).unwrap();
+        }
+        t.stats().reset();
+        let full = t.scan().unwrap();
+        let full_reads = t.stats().page_reads();
+        t.stats().reset();
+        let proj = t.scan_project(&[0]).unwrap();
+        let proj_reads = t.stats().page_reads();
+        assert_eq!(full.len(), proj.len());
+        assert_eq!(proj[3].1, vec![Value::Int(24)]);
+        assert!(proj_reads * 2 <= full_reads, "projection must read fewer pages: {proj_reads} vs {full_reads}");
+    }
+
+    #[test]
+    fn compact_repartitions() {
+        let mut t = sample_table(GroupPolicy::RowStore);
+        t.compact(GroupPolicy::ColumnStore).unwrap();
+        assert_eq!(t.group_count(), 3);
+        let key = t.key_at(9).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[1], Value::text("student9"));
+        t.update_cell(key, 1, Value::text("renamed")).unwrap();
+        assert_eq!(t.get_row(key).unwrap()[1], Value::text("renamed"));
+    }
+
+    #[test]
+    fn update_row_replaces_everything() {
+        let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
+        let key = t.key_at(0).unwrap();
+        t.update_row(key, vec![Value::Int(0), Value::text("zed"), Value::Float(1.0)]).unwrap();
+        assert_eq!(
+            t.get_row(key).unwrap(),
+            vec![Value::Int(0), Value::text("zed"), Value::Float(1.0)]
+        );
+    }
+
+    #[test]
+    fn many_rows_span_pages() {
+        let mut t = Table::new("big", sample_schema(), GroupPolicy::RowStore);
+        for i in 0..5000 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::text(format!("row-with-a-longish-name-{i}")),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        assert!(t.total_pages() > 10, "5000 rows must span many pages: {}", t.total_pages());
+        // Spot-check random access.
+        let k = t.key_at(4321).unwrap();
+        assert_eq!(t.get_row(k).unwrap()[0], Value::Int(4321));
+        // Windowed scan near the end.
+        let w = t.scan_window(4990, 20).unwrap();
+        assert_eq!(w.len(), 10);
+        assert_eq!(w[9].1[0], Value::Int(4999));
+    }
+
+    #[test]
+    fn fragment_too_large_rejected() {
+        let mut t = Table::new(
+            "blob",
+            Schema::new(vec![ColumnDef::new("t", DataType::Text)]).unwrap(),
+            GroupPolicy::RowStore,
+        );
+        let huge = "x".repeat(PAGE_SIZE);
+        assert!(t.insert(vec![Value::text(huge)]).is_err());
+    }
+}

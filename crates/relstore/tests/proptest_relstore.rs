@@ -1,0 +1,168 @@
+//! Model-based property tests for the attribute-group table: every grouping
+//! policy must expose identical logical behaviour (rows, order, schema)
+//! under random interleavings of DML and DDL.
+
+use proptest::prelude::*;
+
+use dataspread_relstore::{ColumnDef, GroupPolicy, Schema, Table};
+use dataspread_types::{DataType, Value};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64, String),
+    InsertAt(usize, i64, String),
+    UpdateCell(usize, usize, i64),
+    DeleteAt(usize),
+    AddColumn(String),
+    DropLastAdded,
+    RenameColumn(String),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (any::<i64>(), "[a-z]{0,6}").prop_map(|(v, s)| Op::Insert(v, s)),
+            2 => (any::<usize>(), any::<i64>(), "[a-z]{0,6}")
+                .prop_map(|(p, v, s)| Op::InsertAt(p, v, s)),
+            3 => (any::<usize>(), any::<usize>(), any::<i64>())
+                .prop_map(|(r, c, v)| Op::UpdateCell(r, c, v)),
+            2 => any::<usize>().prop_map(Op::DeleteAt),
+            1 => "[a-z]{1,5}".prop_map(Op::AddColumn),
+            1 => Just(Op::DropLastAdded),
+            1 => "[a-z]{1,5}".prop_map(Op::RenameColumn),
+        ],
+        0..60,
+    )
+}
+
+/// Plain in-memory model: a vec of rows plus column names.
+struct Model {
+    cols: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+fn base_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("a", DataType::Int),
+        ColumnDef::new("b", DataType::Text),
+    ])
+    .unwrap()
+}
+
+fn run(ops: &[Op], policy: GroupPolicy) {
+    let mut t = Table::new("t", base_schema(), policy);
+    let mut m = Model { cols: vec!["a".into(), "b".into()], rows: Vec::new() };
+    let mut added: Vec<String> = Vec::new();
+    let mut name_seq = 0usize;
+
+    for op in ops {
+        match op {
+            Op::Insert(v, s) => {
+                let mut row = vec![Value::Int(*v), Value::text(s.clone())];
+                row.extend(vec![Value::Empty; m.cols.len() - 2]);
+                t.insert(row.clone()).unwrap();
+                m.rows.push(row);
+            }
+            Op::InsertAt(p, v, s) => {
+                let p = if m.rows.is_empty() { 0 } else { p % (m.rows.len() + 1) };
+                let mut row = vec![Value::Int(*v), Value::text(s.clone())];
+                row.extend(vec![Value::Empty; m.cols.len() - 2]);
+                t.insert_at(p, row.clone()).unwrap();
+                m.rows.insert(p, row);
+            }
+            Op::UpdateCell(r, c, v) => {
+                if !m.rows.is_empty() {
+                    let r = r % m.rows.len();
+                    let c = c % m.cols.len();
+                    let val = if c == 1 { Value::text(v.to_string()) } else { Value::Int(*v) };
+                    let key = t.key_at(r).unwrap();
+                    t.update_cell(key, c, val.clone()).unwrap();
+                    // Model applies the same storage coercion (Int column 0,
+                    // Text column 1, Int added columns).
+                    m.rows[r][c] = val;
+                }
+            }
+            Op::DeleteAt(p) => {
+                if !m.rows.is_empty() {
+                    let p = p % m.rows.len();
+                    let key = t.key_at(p).unwrap();
+                    t.delete_row(key).unwrap();
+                    m.rows.remove(p);
+                }
+            }
+            Op::AddColumn(base) => {
+                name_seq += 1;
+                let name = format!("{base}{name_seq}");
+                t.add_column(ColumnDef::new(name.clone(), DataType::Int), Value::Int(0)).unwrap();
+                m.cols.push(name.clone());
+                for row in &mut m.rows {
+                    row.push(Value::Int(0));
+                }
+                added.push(name);
+            }
+            Op::DropLastAdded => {
+                if let Some(name) = added.pop() {
+                    let idx = m.cols.iter().position(|c| c == &name).unwrap();
+                    t.drop_column(&name).unwrap();
+                    m.cols.remove(idx);
+                    for row in &mut m.rows {
+                        row.remove(idx);
+                    }
+                }
+            }
+            Op::RenameColumn(base) => {
+                if let Some(old) = added.last().cloned() {
+                    name_seq += 1;
+                    let new = format!("{base}{name_seq}");
+                    t.rename_column(&old, &new).unwrap();
+                    let idx = m.cols.iter().position(|c| c == &old).unwrap();
+                    m.cols[idx] = new.clone();
+                    *added.last_mut().unwrap() = new;
+                }
+            }
+        }
+        assert_eq!(t.row_count(), m.rows.len(), "row count after {op:?}");
+        assert_eq!(t.schema().width(), m.cols.len(), "width after {op:?}");
+    }
+
+    // Full equivalence sweep.
+    for (i, expect) in m.rows.iter().enumerate() {
+        let key = t.key_at(i).unwrap();
+        let got = t.get_row(key).unwrap();
+        assert_eq!(&got, expect, "row {i}");
+        assert_eq!(t.position_of(key), Some(i));
+    }
+    for (i, name) in m.cols.iter().enumerate() {
+        assert_eq!(t.schema().index_of(name), Some(i), "column {name}");
+    }
+    // Windowed scan agrees with the model window.
+    let mid = m.rows.len() / 2;
+    let win = t.scan_window(mid, 5).unwrap();
+    for (j, (_, row)) in win.iter().enumerate() {
+        assert_eq!(row, &m.rows[mid + j]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rowstore_matches_model(ops in arb_ops()) {
+        run(&ops, GroupPolicy::RowStore);
+    }
+
+    #[test]
+    fn colstore_matches_model(ops in arb_ops()) {
+        run(&ops, GroupPolicy::ColumnStore);
+    }
+
+    #[test]
+    fn hybrid2_matches_model(ops in arb_ops()) {
+        run(&ops, GroupPolicy::Hybrid { max_group_width: 2 });
+    }
+
+    #[test]
+    fn hybrid4_matches_model(ops in arb_ops()) {
+        run(&ops, GroupPolicy::Hybrid { max_group_width: 4 });
+    }
+}

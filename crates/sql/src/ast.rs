@@ -1,0 +1,352 @@
+//! SQL abstract syntax.
+//!
+//! The grammar covers the subset the DataSpread demo exercises — SELECT with
+//! joins/aggregation/ordering, the four DML/DDL statement families, and the
+//! two positional-addressing extensions ([`Expr::RangeValue`] and
+//! [`TableExpr::RangeTable`]) that let queries reach *into the spreadsheet*.
+
+use dataspread_types::{DataType, Value};
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    Insert {
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        filter: Option<Expr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnSpec>,
+        if_not_exists: bool,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    AlterTable {
+        name: String,
+        action: AlterAction,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<SelectStmt>),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlterAction {
+    AddColumn { spec: ColumnSpec, default: Option<Expr> },
+    DropColumn(String),
+    RenameColumn { from: String, to: String },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub dtype: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+}
+
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableExpr>,
+    pub filter: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableExpr {
+    Named {
+        name: String,
+        alias: Option<String>,
+    },
+    /// `RANGETABLE('A1:D100')` — a spreadsheet region as a relation
+    /// (paper §2.2, "Novel Spreadsheet Constructs").
+    RangeTable {
+        range: String,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+    Join {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+        kind: JoinKind,
+        constraint: JoinConstraint,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinConstraint {
+    On(Expr),
+    /// `NATURAL JOIN`: equi-join on all same-named columns.
+    Natural,
+    None,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    /// Scalar or aggregate function call; `COUNT(*)` is represented with an
+    /// empty argument list and `star = true`.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
+    Cast {
+        expr: Box<Expr>,
+        dtype: DataType,
+    },
+    /// `RANGEVALUE('B1')` — a scalar read from the spreadsheet
+    /// (paper §2.2).
+    RangeValue(String),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Is this (sub)tree an aggregate call at the top level?
+    pub fn is_aggregate_call(&self) -> bool {
+        matches!(self, Expr::Function { name, .. } if is_aggregate_name(name))
+    }
+
+    /// Does the tree contain an aggregate call anywhere?
+    pub fn contains_aggregate(&self) -> bool {
+        if self.is_aggregate_call() {
+            return true;
+        }
+        match self {
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.contains_aggregate()
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Case { operand, branches, else_ } => {
+                operand.as_ref().map_or(false, |e| e.contains_aggregate())
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_.as_ref().map_or(false, |e| e.contains_aggregate())
+            }
+            Expr::Function { args, .. } => args.iter().any(|e| e.contains_aggregate()),
+            _ => false,
+        }
+    }
+
+    /// Visit every column reference in the tree.
+    pub fn for_each_column(&self, f: &mut dyn FnMut(&Option<String>, &str)) {
+        match self {
+            Expr::Column { table, name } => f(table, name),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.for_each_column(f)
+            }
+            Expr::Binary { left, right, .. } => {
+                left.for_each_column(f);
+                right.for_each_column(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.for_each_column(f);
+                for e in list {
+                    e.for_each_column(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.for_each_column(f);
+                low.for_each_column(f);
+                high.for_each_column(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.for_each_column(f);
+                pattern.for_each_column(f);
+            }
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(e) = operand {
+                    e.for_each_column(f);
+                }
+                for (w, t) in branches {
+                    w.for_each_column(f);
+                    t.for_each_column(f);
+                }
+                if let Some(e) = else_ {
+                    e.for_each_column(f);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for e in args {
+                    e.for_each_column(f);
+                }
+            }
+            Expr::Literal(_) | Expr::RangeValue(_) => {}
+        }
+    }
+}
+
+/// Aggregate function names recognized by the executor.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_uppercase().as_str(),
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+            star: false,
+        };
+        assert!(agg.is_aggregate_call());
+        assert!(agg.contains_aggregate());
+        let wrapped = Expr::Binary {
+            left: Box::new(agg),
+            op: BinOp::Add,
+            right: Box::new(Expr::lit(1)),
+        };
+        assert!(!wrapped.is_aggregate_call());
+        assert!(wrapped.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn column_visitor() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Column { table: Some("t".into()), name: "a".into() }),
+            op: BinOp::Add,
+            right: Box::new(Expr::col("b")),
+        };
+        let mut seen = Vec::new();
+        e.for_each_column(&mut |t, n| seen.push((t.clone(), n.to_string())));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (Some("t".to_string()), "a".to_string()));
+    }
+}

@@ -1,0 +1,808 @@
+//! Bound expressions and SQL evaluation semantics.
+//!
+//! ASTs are *bound* against a relation (column names → indices, aggregates →
+//! slots, `RANGEVALUE` → resolved literals) once, then evaluated per row.
+//! NULL propagates through arithmetic and comparisons; `AND`/`OR` use
+//! three-valued logic; text comparison is case-sensitive (SQL), unlike the
+//! spreadsheet formula layer.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use dataspread_types::{DataType, DsError, DsResult, Value};
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::resolver::SheetResolver;
+
+/// One column of an intermediate relation.
+#[derive(Clone, Debug)]
+pub struct ColInfo {
+    /// Table alias (lower-cased) this column is visible under, if any.
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColInfo {
+    pub fn new(qualifier: Option<&str>, name: impl Into<String>) -> Self {
+        ColInfo { qualifier: qualifier.map(|q| q.to_ascii_lowercase()), name: name.into() }
+    }
+}
+
+/// Aggregate slots available while binding projection/HAVING/ORDER BY of a
+/// grouped query: canonical AST text → slot index.
+pub struct AggContext {
+    pub slots: HashMap<String, usize>,
+}
+
+/// Canonical key of an aggregate call (structural identity).
+pub fn agg_key(e: &Expr) -> String {
+    format!("{e:?}")
+}
+
+/// A bound, executable expression.
+#[derive(Clone, Debug)]
+pub enum BExpr {
+    Literal(Value),
+    Col(usize),
+    Unary { op: UnOp, expr: Box<BExpr> },
+    Binary { left: Box<BExpr>, op: BinOp, right: Box<BExpr> },
+    IsNull { expr: Box<BExpr>, negated: bool },
+    InList { expr: Box<BExpr>, list: Vec<BExpr>, negated: bool },
+    Between { expr: Box<BExpr>, low: Box<BExpr>, high: Box<BExpr>, negated: bool },
+    Like { expr: Box<BExpr>, pattern: Box<BExpr>, negated: bool },
+    Case { operand: Option<Box<BExpr>>, branches: Vec<(BExpr, BExpr)>, else_: Option<Box<BExpr>> },
+    ScalarFn { name: String, args: Vec<BExpr> },
+    Cast { expr: Box<BExpr>, dtype: DataType },
+    /// Reference to a precomputed aggregate slot.
+    AggRef(usize),
+}
+
+/// Bind `expr` against the columns of a relation. `aggs` supplies aggregate
+/// slots (grouped queries); without it, aggregate calls are an error.
+pub fn bind(
+    expr: &Expr,
+    cols: &[ColInfo],
+    aggs: Option<&AggContext>,
+    resolver: &dyn SheetResolver,
+) -> DsResult<BExpr> {
+    if expr.is_aggregate_call() {
+        if let Some(ctx) = aggs {
+            let key = agg_key(expr);
+            if let Some(&slot) = ctx.slots.get(&key) {
+                return Ok(BExpr::AggRef(slot));
+            }
+        }
+        return Err(DsError::Sql(
+            "aggregate function not allowed in this context".into(),
+        ));
+    }
+    Ok(match expr {
+        Expr::Literal(v) => BExpr::Literal(v.clone()),
+        Expr::Column { table, name } => BExpr::Col(resolve_column(cols, table.as_deref(), name)?),
+        Expr::Unary { op, expr } => BExpr::Unary {
+            op: *op,
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+        },
+        Expr::Binary { left, op, right } => BExpr::Binary {
+            left: Box::new(bind(left, cols, aggs, resolver)?),
+            op: *op,
+            right: Box::new(bind(right, cols, aggs, resolver)?),
+        },
+        Expr::IsNull { expr, negated } => BExpr::IsNull {
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => BExpr::InList {
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+            list: list
+                .iter()
+                .map(|e| bind(e, cols, aggs, resolver))
+                .collect::<DsResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => BExpr::Between {
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+            low: Box::new(bind(low, cols, aggs, resolver)?),
+            high: Box::new(bind(high, cols, aggs, resolver)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => BExpr::Like {
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+            pattern: Box::new(bind(pattern, cols, aggs, resolver)?),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_ } => BExpr::Case {
+            operand: match operand {
+                Some(e) => Some(Box::new(bind(e, cols, aggs, resolver)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((bind(w, cols, aggs, resolver)?, bind(t, cols, aggs, resolver)?))
+                })
+                .collect::<DsResult<_>>()?,
+            else_: match else_ {
+                Some(e) => Some(Box::new(bind(e, cols, aggs, resolver)?)),
+                None => None,
+            },
+        },
+        Expr::Function { name, args, distinct, star } => {
+            if *distinct || *star {
+                return Err(DsError::Sql(format!(
+                    "DISTINCT/* arguments only valid in aggregates, not `{name}`"
+                )));
+            }
+            let uname = name.to_ascii_uppercase();
+            if !is_scalar_fn(&uname) {
+                return Err(DsError::Sql(format!("unknown function `{name}`")));
+            }
+            BExpr::ScalarFn {
+                name: uname,
+                args: args
+                    .iter()
+                    .map(|e| bind(e, cols, aggs, resolver))
+                    .collect::<DsResult<_>>()?,
+            }
+        }
+        Expr::Cast { expr, dtype } => BExpr::Cast {
+            expr: Box::new(bind(expr, cols, aggs, resolver)?),
+            dtype: *dtype,
+        },
+        Expr::RangeValue(r) => BExpr::Literal(resolver.range_value(r)?),
+    })
+}
+
+/// Resolve a (possibly qualified) column name against a relation.
+pub fn resolve_column(cols: &[ColInfo], table: Option<&str>, name: &str) -> DsResult<usize> {
+    let tq = table.map(|t| t.to_ascii_lowercase());
+    let mut found = None;
+    for (i, c) in cols.iter().enumerate() {
+        let name_ok = c.name.eq_ignore_ascii_case(name);
+        let table_ok = match (&tq, &c.qualifier) {
+            (None, _) => true,
+            (Some(q), Some(cq)) => q == cq,
+            (Some(_), None) => false,
+        };
+        if name_ok && table_ok {
+            if found.is_some() {
+                return Err(DsError::Sql(format!("ambiguous column `{name}`")));
+            }
+            found = Some(i);
+        }
+    }
+    found.ok_or_else(|| DsError::ColumnNotFound(name.to_string()))
+}
+
+fn is_scalar_fn(uname: &str) -> bool {
+    matches!(
+        uname,
+        "ABS" | "UPPER" | "LOWER" | "LENGTH" | "SUBSTR" | "SUBSTRING" | "TRIM" | "ROUND"
+            | "FLOOR" | "CEIL" | "CEILING" | "COALESCE" | "NULLIF" | "CONCAT" | "REPLACE"
+            | "MOD" | "POWER" | "POW" | "SQRT" | "SIGN"
+    )
+}
+
+/// Evaluate a bound expression against one row (plus aggregate slots).
+pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
+    Ok(match e {
+        BExpr::Literal(v) => v.clone(),
+        BExpr::Col(i) => row.get(*i).cloned().unwrap_or(Value::Empty),
+        BExpr::AggRef(i) => aggs.get(*i).cloned().unwrap_or(Value::Empty),
+        BExpr::Unary { op, expr } => {
+            let v = eval(expr, row, aggs)?;
+            match op {
+                UnOp::Neg => match numeric(&v)? {
+                    None => Value::Empty,
+                    Some(Num::Int(i)) => Value::Int(
+                        i.checked_neg().ok_or_else(|| DsError::Sql("integer overflow".into()))?,
+                    ),
+                    Some(Num::Float(f)) => Value::Float(-f),
+                },
+                UnOp::Not => match truth(&v)? {
+                    None => Value::Empty,
+                    Some(b) => Value::Bool(!b),
+                },
+            }
+        }
+        BExpr::Binary { left, op, right } => {
+            match op {
+                BinOp::And | BinOp::Or => {
+                    let l = truth(&eval(left, row, aggs)?)?;
+                    // Short-circuit on the dominant value.
+                    match (op, l) {
+                        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                        _ => {}
+                    }
+                    let r = truth(&eval(right, row, aggs)?)?;
+                    match op {
+                        BinOp::And => match (l, r) {
+                            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                            (Some(true), Some(true)) => Value::Bool(true),
+                            _ => Value::Empty,
+                        },
+                        BinOp::Or => match (l, r) {
+                            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                            (Some(false), Some(false)) => Value::Bool(false),
+                            _ => Value::Empty,
+                        },
+                        _ => unreachable!(),
+                    }
+                }
+                BinOp::Concat => {
+                    let l = eval(left, row, aggs)?;
+                    let r = eval(right, row, aggs)?;
+                    if l.is_empty() || r.is_empty() {
+                        Value::Empty
+                    } else {
+                        Value::Text(format!("{}{}", l.display_string(), r.display_string()))
+                    }
+                }
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    let l = eval(left, row, aggs)?;
+                    let r = eval(right, row, aggs)?;
+                    match sql_compare(&l, &r)? {
+                        None => Value::Empty,
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Eq => ord == Ordering::Equal,
+                            BinOp::NotEq => ord != Ordering::Equal,
+                            BinOp::Lt => ord == Ordering::Less,
+                            BinOp::LtEq => ord != Ordering::Greater,
+                            BinOp::Gt => ord == Ordering::Greater,
+                            BinOp::GtEq => ord != Ordering::Less,
+                            _ => unreachable!(),
+                        }),
+                    }
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    let l = eval(left, row, aggs)?;
+                    let r = eval(right, row, aggs)?;
+                    arith(*op, &l, &r)?
+                }
+            }
+        }
+        BExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, aggs)?;
+            Value::Bool(v.is_empty() != *negated)
+        }
+        BExpr::InList { expr, list, negated } => {
+            let v = eval(expr, row, aggs)?;
+            if v.is_empty() {
+                return Ok(Value::Empty);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, row, aggs)?;
+                match sql_compare(&v, &w)? {
+                    Some(Ordering::Equal) => return Ok(Value::Bool(!*negated)),
+                    None => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Value::Empty
+            } else {
+                Value::Bool(*negated)
+            }
+        }
+        BExpr::Between { expr, low, high, negated } => {
+            let v = eval(expr, row, aggs)?;
+            let lo = eval(low, row, aggs)?;
+            let hi = eval(high, row, aggs)?;
+            let ge = sql_compare(&v, &lo)?;
+            let le = sql_compare(&v, &hi)?;
+            match (ge, le) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Value::Bool(inside != *negated)
+                }
+                _ => Value::Empty,
+            }
+        }
+        BExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, row, aggs)?;
+            let p = eval(pattern, row, aggs)?;
+            if v.is_empty() || p.is_empty() {
+                return Ok(Value::Empty);
+            }
+            let matched = like_match(&v.display_string(), &p.display_string());
+            Value::Bool(matched != *negated)
+        }
+        BExpr::Case { operand, branches, else_ } => {
+            match operand {
+                Some(op_expr) => {
+                    let v = eval(op_expr, row, aggs)?;
+                    for (w, t) in branches {
+                        let w = eval(w, row, aggs)?;
+                        if sql_compare(&v, &w)? == Some(Ordering::Equal) {
+                            return eval(t, row, aggs);
+                        }
+                    }
+                }
+                None => {
+                    for (w, t) in branches {
+                        if truth(&eval(w, row, aggs)?)? == Some(true) {
+                            return eval(t, row, aggs);
+                        }
+                    }
+                }
+            }
+            match else_ {
+                Some(e) => eval(e, row, aggs)?,
+                None => Value::Empty,
+            }
+        }
+        BExpr::ScalarFn { name, args } => {
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval(a, row, aggs)).collect::<DsResult<_>>()?;
+            scalar_fn(name, &vals)?
+        }
+        BExpr::Cast { expr, dtype } => {
+            let v = eval(expr, row, aggs)?;
+            if v.is_empty() {
+                Value::Empty
+            } else {
+                dtype
+                    .coerce_for_storage(v.clone())
+                    .ok_or_else(|| DsError::Sql(format!("cannot CAST {v:?} to {dtype}")))?
+            }
+        }
+    })
+}
+
+/// Three-valued truth of a value. Text is not implicitly truthy in SQL.
+pub fn truth(v: &Value) -> DsResult<Option<bool>> {
+    match v {
+        Value::Empty => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Int(i) => Ok(Some(*i != 0)),
+        Value::Float(f) => Ok(Some(*f != 0.0)),
+        other => Err(DsError::Sql(format!("value {other:?} is not a boolean"))),
+    }
+}
+
+enum Num {
+    Int(i64),
+    Float(f64),
+}
+
+fn numeric(v: &Value) -> DsResult<Option<Num>> {
+    match v {
+        Value::Empty => Ok(None),
+        Value::Int(i) => Ok(Some(Num::Int(*i))),
+        Value::Float(f) => Ok(Some(Num::Float(*f))),
+        Value::Bool(b) => Ok(Some(Num::Int(*b as i64))),
+        other => Err(DsError::Sql(format!("value {other:?} is not numeric"))),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> DsResult<Value> {
+    let (a, b) = match (numeric(l)?, numeric(r)?) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Ok(Value::Empty),
+    };
+    Ok(match (a, b) {
+        (Num::Int(x), Num::Int(y)) => match op {
+            BinOp::Add => int_or_err(x.checked_add(y))?,
+            BinOp::Sub => int_or_err(x.checked_sub(y))?,
+            BinOp::Mul => int_or_err(x.checked_mul(y))?,
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(DsError::Sql("division by zero".into()));
+                }
+                if x % y == 0 {
+                    Value::Int(x / y)
+                } else {
+                    Value::Float(x as f64 / y as f64)
+                }
+            }
+            BinOp::Mod => {
+                if y == 0 {
+                    return Err(DsError::Sql("division by zero".into()));
+                }
+                Value::Int(x % y)
+            }
+            _ => unreachable!(),
+        },
+        (a, b) => {
+            let x = match a {
+                Num::Int(i) => i as f64,
+                Num::Float(f) => f,
+            };
+            let y = match b {
+                Num::Int(i) => i as f64,
+                Num::Float(f) => f,
+            };
+            match op {
+                BinOp::Add => Value::Float(x + y),
+                BinOp::Sub => Value::Float(x - y),
+                BinOp::Mul => Value::Float(x * y),
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Err(DsError::Sql("division by zero".into()));
+                    }
+                    Value::Float(x / y)
+                }
+                BinOp::Mod => {
+                    if y == 0.0 {
+                        return Err(DsError::Sql("division by zero".into()));
+                    }
+                    Value::Float(x % y)
+                }
+                _ => unreachable!(),
+            }
+        }
+    })
+}
+
+fn int_or_err(v: Option<i64>) -> DsResult<Value> {
+    v.map(Value::Int).ok_or_else(|| DsError::Sql("integer overflow".into()))
+}
+
+/// SQL comparison: `Ok(None)` when either side is NULL; numeric types
+/// unified; text compared case-sensitively; mixing incomparable types is an
+/// error.
+pub fn sql_compare(l: &Value, r: &Value) -> DsResult<Option<Ordering>> {
+    use Value::*;
+    Ok(match (l, r) {
+        (Empty, _) | (_, Empty) => None,
+        (Int(a), Int(b)) => Some(a.cmp(b)),
+        (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+        (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Float(a), Float(b)) => a.partial_cmp(b),
+        (Text(a), Text(b)) => Some(a.cmp(b)),
+        (Bool(a), Bool(b)) => Some(a.cmp(b)),
+        _ => {
+            return Err(DsError::Sql(format!(
+                "cannot compare {l:?} with {r:?}"
+            )))
+        }
+    })
+}
+
+/// SQL LIKE with `%` and `_`, case-insensitive (SQLite-style, friendlier to
+/// spreadsheet-sourced text).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                if p.is_empty() {
+                    return true;
+                }
+                for skip in 0..=t.len() {
+                    if rec(&t[skip..], p) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(c) => {
+                !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..])
+            }
+        }
+    }
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    rec(&t, &p)
+}
+
+fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
+    fn need(args: &[Value], n: usize, name: &str) -> DsResult<()> {
+        if args.len() != n {
+            return Err(DsError::Sql(format!("{name} takes {n} argument(s), got {}", args.len())));
+        }
+        Ok(())
+    }
+    // NULL-propagating helpers.
+    fn f64_arg(v: &Value) -> DsResult<Option<f64>> {
+        match numeric(v)? {
+            None => Ok(None),
+            Some(Num::Int(i)) => Ok(Some(i as f64)),
+            Some(Num::Float(f)) => Ok(Some(f)),
+        }
+    }
+    fn text_arg(v: &Value) -> Option<String> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.display_string())
+        }
+    }
+    Ok(match name {
+        "ABS" => {
+            need(args, 1, name)?;
+            match numeric(&args[0])? {
+                None => Value::Empty,
+                Some(Num::Int(i)) => Value::Int(i.abs()),
+                Some(Num::Float(f)) => Value::Float(f.abs()),
+            }
+        }
+        "SIGN" => {
+            need(args, 1, name)?;
+            match f64_arg(&args[0])? {
+                None => Value::Empty,
+                Some(f) => Value::Int(if f > 0.0 { 1 } else if f < 0.0 { -1 } else { 0 }),
+            }
+        }
+        "UPPER" => {
+            need(args, 1, name)?;
+            match text_arg(&args[0]) {
+                None => Value::Empty,
+                Some(s) => Value::Text(s.to_uppercase()),
+            }
+        }
+        "LOWER" => {
+            need(args, 1, name)?;
+            match text_arg(&args[0]) {
+                None => Value::Empty,
+                Some(s) => Value::Text(s.to_lowercase()),
+            }
+        }
+        "LENGTH" => {
+            need(args, 1, name)?;
+            match text_arg(&args[0]) {
+                None => Value::Empty,
+                Some(s) => Value::Int(s.chars().count() as i64),
+            }
+        }
+        "TRIM" => {
+            need(args, 1, name)?;
+            match text_arg(&args[0]) {
+                None => Value::Empty,
+                Some(s) => Value::Text(s.trim().to_string()),
+            }
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(DsError::Sql("SUBSTR takes 2 or 3 arguments".into()));
+            }
+            let Some(s) = text_arg(&args[0]) else { return Ok(Value::Empty) };
+            let start = match args[1].coerce_i64() {
+                Ok(v) => v,
+                Err(_) => return Err(DsError::Sql("SUBSTR start must be an integer".into())),
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let start0 = (start.max(1) - 1) as usize;
+            let len = if args.len() == 3 {
+                match args[2].coerce_i64() {
+                    Ok(v) if v >= 0 => v as usize,
+                    _ => return Err(DsError::Sql("SUBSTR length must be a non-negative integer".into())),
+                }
+            } else {
+                chars.len()
+            };
+            let out: String = chars.iter().skip(start0).take(len).collect();
+            Value::Text(out)
+        }
+        "REPLACE" => {
+            need(args, 3, name)?;
+            match (text_arg(&args[0]), text_arg(&args[1]), text_arg(&args[2])) {
+                (Some(s), Some(from), Some(to)) if !from.is_empty() => {
+                    Value::Text(s.replace(&from, &to))
+                }
+                (Some(s), _, _) => Value::Text(s),
+                _ => Value::Empty,
+            }
+        }
+        "ROUND" => {
+            if args.len() != 1 && args.len() != 2 {
+                return Err(DsError::Sql("ROUND takes 1 or 2 arguments".into()));
+            }
+            let Some(x) = f64_arg(&args[0])? else { return Ok(Value::Empty) };
+            let digits = if args.len() == 2 {
+                args[1].coerce_i64().map_err(|_| DsError::Sql("ROUND digits must be integer".into()))?
+            } else {
+                0
+            };
+            let m = 10f64.powi(digits as i32);
+            let r = (x * m).round() / m;
+            if digits <= 0 && r.abs() < i64::MAX as f64 {
+                Value::Int(r as i64)
+            } else {
+                Value::Float(r)
+            }
+        }
+        "FLOOR" => {
+            need(args, 1, name)?;
+            match f64_arg(&args[0])? {
+                None => Value::Empty,
+                Some(f) => Value::Int(f.floor() as i64),
+            }
+        }
+        "CEIL" | "CEILING" => {
+            need(args, 1, name)?;
+            match f64_arg(&args[0])? {
+                None => Value::Empty,
+                Some(f) => Value::Int(f.ceil() as i64),
+            }
+        }
+        "SQRT" => {
+            need(args, 1, name)?;
+            match f64_arg(&args[0])? {
+                None => Value::Empty,
+                Some(f) if f < 0.0 => return Err(DsError::Sql("SQRT of negative".into())),
+                Some(f) => Value::Float(f.sqrt()),
+            }
+        }
+        "POWER" | "POW" => {
+            need(args, 2, name)?;
+            match (f64_arg(&args[0])?, f64_arg(&args[1])?) {
+                (Some(a), Some(b)) => Value::Float(a.powf(b)),
+                _ => Value::Empty,
+            }
+        }
+        "MOD" => {
+            need(args, 2, name)?;
+            arith(BinOp::Mod, &args[0], &args[1])?
+        }
+        "COALESCE" => {
+            args.iter().find(|v| !v.is_empty()).cloned().unwrap_or(Value::Empty)
+        }
+        "NULLIF" => {
+            need(args, 2, name)?;
+            if sql_compare(&args[0], &args[1])? == Some(Ordering::Equal) {
+                Value::Empty
+            } else {
+                args[0].clone()
+            }
+        }
+        "CONCAT" => {
+            let mut s = String::new();
+            for v in args {
+                s.push_str(&v.display_string());
+            }
+            Value::Text(s)
+        }
+        other => return Err(DsError::Sql(format!("unknown function `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::NoSheet;
+
+    fn cols() -> Vec<ColInfo> {
+        vec![ColInfo::new(Some("t"), "a"), ColInfo::new(Some("t"), "b")]
+    }
+
+    fn ev(expr: &Expr, row: &[Value]) -> DsResult<Value> {
+        let b = bind(expr, &cols(), None, &NoSheet)?;
+        eval(&b, row, &[])
+    }
+
+    fn p(sql_expr: &str) -> Expr {
+        // Parse via a throwaway SELECT.
+        match crate::parser::parse_statement(&format!("SELECT {sql_expr}")).unwrap() {
+            crate::ast::Statement::Select(s) => match s.projection.into_iter().next().unwrap() {
+                crate::ast::SelectItem::Expr { expr, .. } => expr,
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn arithmetic_int_float() {
+        assert_eq!(ev(&p("1 + 2 * 3"), &[]).unwrap(), Value::Int(7));
+        assert_eq!(ev(&p("7 / 2"), &[]).unwrap(), Value::Float(3.5));
+        assert_eq!(ev(&p("8 / 2"), &[]).unwrap(), Value::Int(4));
+        assert_eq!(ev(&p("7 % 3"), &[]).unwrap(), Value::Int(1));
+        assert_eq!(ev(&p("1.5 + 1"), &[]).unwrap(), Value::Float(2.5));
+        assert!(ev(&p("1 / 0"), &[]).is_err());
+    }
+
+    #[test]
+    fn null_propagates() {
+        assert_eq!(ev(&p("NULL + 1"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("NULL = NULL"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("NULL IS NULL"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("1 IS NOT NULL"), &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(ev(&p("NULL AND FALSE"), &[]).unwrap(), Value::Bool(false));
+        assert_eq!(ev(&p("NULL AND TRUE"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("NULL OR TRUE"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("NULL OR FALSE"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("NOT NULL"), &[]).unwrap(), Value::Empty);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev(&p("2 > 1"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("2 = 2.0"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("'abc' < 'abd'"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("'A' = 'a'"), &[]).unwrap(), Value::Bool(false), "case-sensitive");
+        assert!(ev(&p("'a' > 1"), &[]).is_err(), "mixed types error");
+    }
+
+    #[test]
+    fn column_resolution() {
+        let row = vec![Value::Int(10), Value::text("x")];
+        assert_eq!(ev(&p("a + 1"), &row).unwrap(), Value::Int(11));
+        assert_eq!(ev(&p("t.a * 2"), &row).unwrap(), Value::Int(20));
+        assert!(ev(&p("missing"), &row).is_err());
+        assert!(ev(&p("u.a"), &row).is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let cols = vec![ColInfo::new(Some("t"), "x"), ColInfo::new(Some("u"), "x")];
+        assert!(bind(&p("x"), &cols, None, &NoSheet).is_err());
+        assert!(bind(&p("t.x"), &cols, None, &NoSheet).is_ok());
+    }
+
+    #[test]
+    fn in_between_like() {
+        assert_eq!(ev(&p("2 IN (1, 2, 3)"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("5 NOT IN (1, 2)"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("2 IN (1, NULL)"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("2 BETWEEN 1 AND 3"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("0 NOT BETWEEN 1 AND 3"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("'hello' LIKE 'h%'"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("'hello' LIKE 'H_LLO'"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(ev(&p("'hello' NOT LIKE '%z%'"), &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("a%c", "a%c"));
+        assert!(!like_match("ac", "a_c"));
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            ev(&p("CASE WHEN 1 > 2 THEN 'x' ELSE 'y' END"), &[]).unwrap(),
+            Value::text("y")
+        );
+        assert_eq!(
+            ev(&p("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END"), &[]).unwrap(),
+            Value::text("two")
+        );
+        assert_eq!(ev(&p("CASE 9 WHEN 1 THEN 'one' END"), &[]).unwrap(), Value::Empty);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(ev(&p("ABS(-3)"), &[]).unwrap(), Value::Int(3));
+        assert_eq!(ev(&p("UPPER('abc')"), &[]).unwrap(), Value::text("ABC"));
+        assert_eq!(ev(&p("LENGTH('héllo')"), &[]).unwrap(), Value::Int(5));
+        assert_eq!(ev(&p("SUBSTR('hello', 2, 3)"), &[]).unwrap(), Value::text("ell"));
+        assert_eq!(ev(&p("ROUND(2.567, 2)"), &[]).unwrap(), Value::Float(2.57));
+        assert_eq!(ev(&p("ROUND(2.5)"), &[]).unwrap(), Value::Int(3));
+        assert_eq!(ev(&p("COALESCE(NULL, NULL, 7)"), &[]).unwrap(), Value::Int(7));
+        assert_eq!(ev(&p("NULLIF(3, 3)"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("CONCAT('a', 1, 'b')"), &[]).unwrap(), Value::text("a1b"));
+        assert_eq!(ev(&p("CAST('12' AS INT)"), &[]).unwrap(), Value::Int(12));
+        assert!(ev(&p("NOSUCHFN(1)"), &[]).is_err());
+    }
+
+    #[test]
+    fn concat_operator_null() {
+        assert_eq!(ev(&p("'a' || 'b'"), &[]).unwrap(), Value::text("ab"));
+        assert_eq!(ev(&p("'a' || NULL"), &[]).unwrap(), Value::Empty);
+        assert_eq!(ev(&p("1 || 2"), &[]).unwrap(), Value::text("12"));
+    }
+
+    #[test]
+    fn aggregates_rejected_without_context() {
+        assert!(bind(&p("SUM(a)"), &cols(), None, &NoSheet).is_err());
+    }
+
+    #[test]
+    fn rangevalue_needs_resolver() {
+        assert!(bind(&p("RANGEVALUE(B1)"), &cols(), None, &NoSheet).is_err());
+    }
+}

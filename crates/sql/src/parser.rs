@@ -1,0 +1,1045 @@
+//! Recursive-descent SQL parser.
+
+use dataspread_types::{DataType, DsError, DsResult, Value};
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+
+/// Words that terminate an implicit alias position.
+const RESERVED: &[&str] = &[
+    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "ON", "JOIN", "INNER", "LEFT",
+    "RIGHT", "OUTER", "CROSS", "NATURAL", "UNION", "SET", "VALUES", "AS", "FROM", "SELECT",
+    "AND", "OR", "NOT", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC",
+];
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> DsResult<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat_token(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(sql: &str) -> DsResult<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_token(&Token::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat_token(&Token::Semicolon) {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> DsResult<Self> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    // ---- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn expect_eof(&self) -> DsResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(DsError::Parse(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token) -> DsResult<()> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(DsError::Parse(format!("expected {:?}, found {:?}", t, self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DsResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DsError::Parse(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    /// An identifier (unquoted or quoted).
+    fn ident(&mut self) -> DsResult<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            other => Err(DsError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// An identifier usable as an implicit alias (not a reserved word).
+    fn try_alias(&mut self) -> Option<String> {
+        if self.eat_kw("AS") {
+            return self.ident().ok();
+        }
+        match self.peek() {
+            Token::Ident(s) if !RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) => {
+                let s = s.clone();
+                self.next();
+                Some(s)
+            }
+            Token::QuotedIdent(s) => {
+                let s = s.clone();
+                self.next();
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn statement(&mut self) -> DsResult<Statement> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("CREATE") {
+            return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            return self.drop_table();
+        }
+        if self.eat_kw("ALTER") {
+            return self.alter_table();
+        }
+        Err(DsError::Parse(format!("expected a statement, found {:?}", self.peek())))
+    }
+
+    fn select(&mut self) -> DsResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        if !distinct {
+            self.eat_kw("ALL");
+        }
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.select_item()?);
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") { Some(self.table_expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.expr()?);
+            if self.eat_kw("OFFSET") {
+                offset = Some(self.expr()?);
+            }
+        } else if self.eat_kw("OFFSET") {
+            offset = Some(self.expr()?);
+        }
+        Ok(SelectStmt { distinct, projection, from, filter, group_by, having, order_by, limit, offset })
+    }
+
+    fn select_item(&mut self) -> DsResult<SelectItem> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let (Token::Ident(t), Token::Dot) = (self.peek().clone(), self.peek2().clone()) {
+            if matches!(self.tokens.get(self.pos + 2), Some(Token::Star)) {
+                self.next();
+                self.next();
+                self.next();
+                return Ok(SelectItem::QualifiedWildcard(t));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.try_alias();
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ---- FROM clause -------------------------------------------------------------
+
+    fn table_expr(&mut self) -> DsResult<TableExpr> {
+        let mut left = self.table_primary()?;
+        loop {
+            let natural = self.peek_kw("NATURAL");
+            let mut look = self.pos + if natural { 1 } else { 0 };
+            let kind = match &self.tokens[look.min(self.tokens.len() - 1)] {
+                t if t.is_kw("JOIN") => Some(JoinKind::Inner),
+                t if t.is_kw("INNER") => {
+                    look += 1;
+                    Some(JoinKind::Inner)
+                }
+                t if t.is_kw("LEFT") => {
+                    look += 1;
+                    if self.tokens.get(look).map_or(false, |t| t.is_kw("OUTER")) {
+                        look += 1;
+                    }
+                    Some(JoinKind::Left)
+                }
+                t if t.is_kw("CROSS") => {
+                    look += 1;
+                    Some(JoinKind::Cross)
+                }
+                _ => None,
+            };
+            let Some(kind) = kind else { break };
+            if !self.tokens.get(look).map_or(false, |t| t.is_kw("JOIN")) {
+                break;
+            }
+            self.pos = look + 1; // consume through JOIN
+            let right = self.table_primary()?;
+            let constraint = if natural {
+                JoinConstraint::Natural
+            } else if self.eat_kw("ON") {
+                JoinConstraint::On(self.expr()?)
+            } else if kind == JoinKind::Cross {
+                JoinConstraint::None
+            } else {
+                return Err(DsError::Parse("JOIN requires ON (or use NATURAL/CROSS)".into()));
+            };
+            left = TableExpr::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                constraint,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> DsResult<TableExpr> {
+        if self.peek_kw("RANGETABLE") {
+            self.next();
+            self.expect_token(&Token::LParen)?;
+            let range = self.range_text()?;
+            self.expect_token(&Token::RParen)?;
+            let alias = self.try_alias();
+            return Ok(TableExpr::RangeTable { range, alias });
+        }
+        if self.eat_token(&Token::LParen) {
+            if self.peek_kw("SELECT") {
+                let query = self.select()?;
+                self.expect_token(&Token::RParen)?;
+                let alias = self.try_alias().ok_or_else(|| {
+                    DsError::Parse("a subquery in FROM needs an alias".into())
+                })?;
+                return Ok(TableExpr::Subquery { query: Box::new(query), alias });
+            }
+            let inner = self.table_expr()?;
+            self.expect_token(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.ident()?;
+        let alias = self.try_alias();
+        Ok(TableExpr::Named { name, alias })
+    }
+
+    /// The argument of RANGEVALUE/RANGETABLE: a string literal, or raw
+    /// A1-notation tokens (`B1`, `A1:D100`).
+    fn range_text(&mut self) -> DsResult<String> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.next();
+                Ok(s)
+            }
+            Token::Ident(a) => {
+                self.next();
+                if self.eat_token(&Token::Colon) {
+                    let b = match self.next() {
+                        Token::Ident(b) => b,
+                        other => {
+                            return Err(DsError::Parse(format!(
+                                "expected range end, found {other:?}"
+                            )))
+                        }
+                    };
+                    Ok(format!("{a}:{b}"))
+                } else {
+                    Ok(a)
+                }
+            }
+            other => Err(DsError::Parse(format!("expected a range, found {other:?}"))),
+        }
+    }
+
+    // ---- DML / DDL -------------------------------------------------------------------
+
+    fn insert(&mut self) -> DsResult<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = None;
+        if self.eat_token(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            columns = Some(cols);
+        }
+        let source = if self.eat_kw("VALUES") {
+            let mut tuples = Vec::new();
+            loop {
+                self.expect_token(&Token::LParen)?;
+                let mut vals = Vec::new();
+                loop {
+                    vals.push(self.expr()?);
+                    if !self.eat_token(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+                tuples.push(vals);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(tuples)
+        } else if self.peek_kw("SELECT") {
+            InsertSource::Select(Box::new(self.select()?))
+        } else {
+            return Err(DsError::Parse("expected VALUES or SELECT after INSERT".into()));
+        };
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    fn update(&mut self) -> DsResult<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_token(&Token::Eq)?;
+            let e = self.expr()?;
+            sets.push((col, e));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, filter })
+    }
+
+    fn delete(&mut self) -> DsResult<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn create_table(&mut self) -> DsResult<Statement> {
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_token(&Token::LParen)?;
+        let mut columns: Vec<ColumnSpec> = Vec::new();
+        loop {
+            if self.peek_kw("PRIMARY") {
+                self.next();
+                self.expect_kw("KEY")?;
+                self.expect_token(&Token::LParen)?;
+                loop {
+                    let c = self.ident()?;
+                    match columns.iter_mut().find(|s| s.name.eq_ignore_ascii_case(&c)) {
+                        Some(spec) => spec.primary_key = true,
+                        None => {
+                            return Err(DsError::Parse(format!(
+                                "PRIMARY KEY references unknown column `{c}`"
+                            )))
+                        }
+                    }
+                    if !self.eat_token(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+            } else {
+                columns.push(self.column_spec()?);
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns, if_not_exists })
+    }
+
+    fn column_spec(&mut self) -> DsResult<ColumnSpec> {
+        let name = self.ident()?;
+        let type_name = self.ident()?;
+        let dtype = DataType::parse_sql(&type_name)
+            .ok_or_else(|| DsError::Parse(format!("unknown type `{type_name}`")))?;
+        let mut spec = ColumnSpec { name, dtype, not_null: false, primary_key: false };
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                spec.not_null = true;
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                spec.primary_key = true;
+            } else {
+                break;
+            }
+        }
+        Ok(spec)
+    }
+
+    fn drop_table(&mut self) -> DsResult<Statement> {
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        Ok(Statement::DropTable { name, if_exists })
+    }
+
+    fn alter_table(&mut self) -> DsResult<Statement> {
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        let action = if self.eat_kw("ADD") {
+            self.eat_kw("COLUMN");
+            let spec = self.column_spec()?;
+            let default = if self.eat_kw("DEFAULT") { Some(self.expr()?) } else { None };
+            AlterAction::AddColumn { spec, default }
+        } else if self.eat_kw("DROP") {
+            self.eat_kw("COLUMN");
+            AlterAction::DropColumn(self.ident()?)
+        } else if self.eat_kw("RENAME") {
+            self.eat_kw("COLUMN");
+            let from = self.ident()?;
+            self.expect_kw("TO")?;
+            let to = self.ident()?;
+            AlterAction::RenameColumn { from, to }
+        } else {
+            return Err(DsError::Parse(format!(
+                "expected ADD/DROP/RENAME after ALTER TABLE, found {:?}",
+                self.peek()
+            )));
+        };
+        Ok(Statement::AlterTable { name, action })
+    }
+
+    // ---- expressions ---------------------------------------------------------------
+
+    pub(crate) fn expr(&mut self) -> DsResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DsResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DsResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DsResult<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> DsResult<Expr> {
+        let left = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = if self.peek_kw("NOT")
+            && (self.peek2().is_kw("IN") || self.peek2().is_kw("BETWEEN") || self.peek2().is_kw("LIKE"))
+        {
+            self.next();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let high = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.add_expr()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if negated {
+            return Err(DsError::Parse("dangling NOT".into()));
+        }
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::NotEq => BinOp::NotEq,
+            Token::Lt => BinOp::Lt,
+            Token::LtEq => BinOp::LtEq,
+            Token::Gt => BinOp::Gt,
+            Token::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.next();
+        let right = self.add_expr()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn add_expr(&mut self) -> DsResult<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                Token::Concat => BinOp::Concat,
+                _ => break,
+            };
+            self.next();
+            let right = self.mul_expr()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> DsResult<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary_expr()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> DsResult<Expr> {
+        if self.eat_token(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.unary_expr();
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> DsResult<Expr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.next();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Token::Float(v) => {
+                self.next();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Token::Str(s) => {
+                self.next();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Token::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::QuotedIdent(name) => {
+                self.next();
+                if self.eat_token(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { table: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            Token::Ident(word) => {
+                // Keyword-literals first.
+                if word.eq_ignore_ascii_case("TRUE") {
+                    self.next();
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if word.eq_ignore_ascii_case("FALSE") {
+                    self.next();
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if word.eq_ignore_ascii_case("NULL") {
+                    self.next();
+                    return Ok(Expr::Literal(Value::Empty));
+                }
+                if word.eq_ignore_ascii_case("CASE") {
+                    return self.case_expr();
+                }
+                if word.eq_ignore_ascii_case("CAST") {
+                    self.next();
+                    self.expect_token(&Token::LParen)?;
+                    let e = self.expr()?;
+                    self.expect_kw("AS")?;
+                    let tname = self.ident()?;
+                    let dtype = DataType::parse_sql(&tname)
+                        .ok_or_else(|| DsError::Parse(format!("unknown type `{tname}`")))?;
+                    self.expect_token(&Token::RParen)?;
+                    return Ok(Expr::Cast { expr: Box::new(e), dtype });
+                }
+                if word.eq_ignore_ascii_case("RANGEVALUE") {
+                    self.next();
+                    self.expect_token(&Token::LParen)?;
+                    let r = self.range_text()?;
+                    self.expect_token(&Token::RParen)?;
+                    return Ok(Expr::RangeValue(r));
+                }
+                // Function call?
+                if matches!(self.peek2(), Token::LParen) {
+                    self.next();
+                    self.next(); // consume '('
+                    let mut distinct = false;
+                    let mut star = false;
+                    let mut args = Vec::new();
+                    if self.eat_token(&Token::RParen) {
+                        // zero-arg function
+                    } else if self.eat_token(&Token::Star) {
+                        star = true;
+                        self.expect_token(&Token::RParen)?;
+                    } else {
+                        distinct = self.eat_kw("DISTINCT");
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_token(&Token::RParen)?;
+                    }
+                    return Ok(Expr::Function { name: word, args, distinct, star });
+                }
+                // Column (possibly qualified).
+                self.next();
+                if self.eat_token(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { table: Some(word), name: col })
+                } else {
+                    Ok(Expr::Column { table: None, name: word })
+                }
+            }
+            other => Err(DsError::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> DsResult<Expr> {
+        self.expect_kw("CASE")?;
+        let operand = if !self.peek_kw("WHEN") { Some(Box::new(self.expr()?)) } else { None };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let w = self.expr()?;
+            self.expect_kw("THEN")?;
+            let t = self.expr()?;
+            branches.push((w, t));
+        }
+        if branches.is_empty() {
+            return Err(DsError::Parse("CASE needs at least one WHEN".into()));
+        }
+        let else_ = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, branches, else_ })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 10 OFFSET 2");
+        assert_eq!(s.projection.len(), 2);
+        assert!(matches!(
+            &s.projection[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert!(s.filter.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].asc);
+        assert_eq!(s.limit, Some(Expr::lit(10)));
+        assert_eq!(s.offset, Some(Expr::lit(2)));
+    }
+
+    #[test]
+    fn wildcards() {
+        let s = sel("SELECT *, t.* FROM t");
+        assert_eq!(s.projection[0], SelectItem::Wildcard);
+        assert_eq!(s.projection[1], SelectItem::QualifiedWildcard("t".into()));
+    }
+
+    #[test]
+    fn implicit_alias_not_keyword() {
+        let s = sel("SELECT a x FROM t y WHERE x = 1");
+        assert!(matches!(&s.projection[0], SelectItem::Expr { alias: Some(a), .. } if a == "x"));
+        assert!(
+            matches!(&s.from, Some(TableExpr::Named { alias: Some(a), .. }) if a == "y")
+        );
+    }
+
+    #[test]
+    fn join_varieties() {
+        let s = sel("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
+        let Some(TableExpr::Join { kind, left, .. }) = &s.from else { panic!() };
+        assert_eq!(*kind, JoinKind::Left);
+        assert!(matches!(**left, TableExpr::Join { kind: JoinKind::Inner, .. }));
+
+        let s = sel("SELECT * FROM a NATURAL JOIN b");
+        assert!(matches!(
+            &s.from,
+            Some(TableExpr::Join { constraint: JoinConstraint::Natural, .. })
+        ));
+
+        let s = sel("SELECT * FROM a CROSS JOIN b");
+        assert!(matches!(
+            &s.from,
+            Some(TableExpr::Join { kind: JoinKind::Cross, constraint: JoinConstraint::None, .. })
+        ));
+    }
+
+    #[test]
+    fn join_requires_on() {
+        assert!(parse_statement("SELECT * FROM a JOIN b").is_err());
+    }
+
+    #[test]
+    fn rangetable_and_rangevalue() {
+        let s = sel("SELECT * FROM actors NATURAL JOIN RANGETABLE(A1:D100) r WHERE id = RANGEVALUE(B1)");
+        let Some(TableExpr::Join { right, .. }) = &s.from else { panic!() };
+        assert!(matches!(
+            &**right,
+            TableExpr::RangeTable { range, alias: Some(a) } if range == "A1:D100" && a == "r"
+        ));
+        let mut found = false;
+        if let Some(f) = &s.filter {
+            let mut stack = vec![f];
+            while let Some(e) = stack.pop() {
+                if let Expr::RangeValue(r) = e {
+                    assert_eq!(r, "B1");
+                    found = true;
+                }
+                if let Expr::Binary { left, right, .. } = e {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn rangetable_string_arg() {
+        let s = sel("SELECT * FROM RANGETABLE('Sheet2!A1:B5')");
+        assert!(matches!(
+            &s.from,
+            Some(TableExpr::RangeTable { range, .. }) if range == "Sheet2!A1:B5"
+        ));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let s = sel("SELECT dept, AVG(score) FROM t GROUP BY dept HAVING COUNT(*) > 2");
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.as_ref().unwrap().contains_aggregate());
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = sel("SELECT COUNT(*), COUNT(DISTINCT x) FROM t");
+        let SelectItem::Expr { expr: Expr::Function { star, .. }, .. } = &s.projection[0] else {
+            panic!()
+        };
+        assert!(*star);
+        let SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } = &s.projection[1]
+        else {
+            panic!()
+        };
+        assert!(*distinct);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = sel("SELECT 1 + 2 * 3");
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+        // (1 + (2 * 3))
+        let Expr::Binary { op: BinOp::Add, right, .. } = expr else { panic!("{expr:?}") };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn logic_precedence() {
+        let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        // OR(a=1, AND(b=2, c=3))
+        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = &s.filter else { panic!() };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn in_between_like_is_null() {
+        let s = sel(
+            "SELECT * FROM t WHERE a IN (1,2) AND b NOT BETWEEN 1 AND 5 AND c LIKE 'x%' AND d IS NOT NULL",
+        );
+        let mut kinds = Vec::new();
+        let mut stack = vec![s.filter.as_ref().unwrap()];
+        while let Some(e) = stack.pop() {
+            match e {
+                Expr::Binary { op: BinOp::And, left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Expr::InList { negated, .. } => kinds.push(format!("in{negated}")),
+                Expr::Between { negated, .. } => kinds.push(format!("between{negated}")),
+                Expr::Like { negated, .. } => kinds.push(format!("like{negated}")),
+                Expr::IsNull { negated, .. } => kinds.push(format!("isnull{negated}")),
+                _ => {}
+            }
+        }
+        kinds.sort();
+        assert_eq!(kinds, vec!["betweentrue", "infalse", "isnulltrue", "likefalse"]);
+    }
+
+    #[test]
+    fn case_forms() {
+        let s = sel("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
+        let SelectItem::Expr { expr: Expr::Case { operand, branches, else_ }, .. } =
+            &s.projection[0]
+        else {
+            panic!()
+        };
+        assert!(operand.is_none());
+        assert_eq!(branches.len(), 1);
+        assert!(else_.is_some());
+
+        let s = sel("SELECT CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
+        let SelectItem::Expr { expr: Expr::Case { operand, branches, .. }, .. } = &s.projection[0]
+        else {
+            panic!()
+        };
+        assert!(operand.is_some());
+        assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn insert_forms() {
+        let st = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let Statement::Insert { columns: Some(cols), source: InsertSource::Values(v), .. } = st
+        else {
+            panic!()
+        };
+        assert_eq!(cols, vec!["a", "b"]);
+        assert_eq!(v.len(), 2);
+
+        let st = parse_statement("INSERT INTO t SELECT * FROM s").unwrap();
+        assert!(matches!(
+            st,
+            Statement::Insert { source: InsertSource::Select(_), columns: None, .. }
+        ));
+    }
+
+    #[test]
+    fn update_delete() {
+        let st = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        let Statement::Update { sets, filter, .. } = st else { panic!() };
+        assert_eq!(sets.len(), 2);
+        assert!(filter.is_some());
+
+        let st = parse_statement("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(st, Statement::Delete { filter: Some(_), .. }));
+    }
+
+    #[test]
+    fn create_table_forms() {
+        let st = parse_statement(
+            "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY, name TEXT NOT NULL, score REAL)",
+        )
+        .unwrap();
+        let Statement::CreateTable { columns, if_not_exists, .. } = st else { panic!() };
+        assert!(if_not_exists);
+        assert_eq!(columns.len(), 3);
+        assert!(columns[0].primary_key);
+        assert!(columns[1].not_null);
+
+        let st = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))").unwrap();
+        let Statement::CreateTable { columns, .. } = st else { panic!() };
+        assert!(columns[0].primary_key && columns[1].primary_key);
+    }
+
+    #[test]
+    fn alter_table_forms() {
+        let st = parse_statement("ALTER TABLE t ADD COLUMN x INT DEFAULT 0").unwrap();
+        assert!(matches!(
+            st,
+            Statement::AlterTable { action: AlterAction::AddColumn { default: Some(_), .. }, .. }
+        ));
+        let st = parse_statement("ALTER TABLE t DROP COLUMN x").unwrap();
+        assert!(matches!(st, Statement::AlterTable { action: AlterAction::DropColumn(_), .. }));
+        let st = parse_statement("ALTER TABLE t RENAME COLUMN x TO y").unwrap();
+        assert!(matches!(
+            st,
+            Statement::AlterTable { action: AlterAction::RenameColumn { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn multi_statements() {
+        let v = parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+            .unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_statement("SELEC * FROM t").is_err());
+        assert!(parse_statement("SELECT * FROM").is_err());
+        assert!(parse_statement("SELECT * FROM t extra garbage here").is_err());
+        assert!(parse_statement("").is_err());
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let s = sel("SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 1");
+        assert!(matches!(&s.from, Some(TableExpr::Subquery { alias, .. }) if alias == "sub"));
+    }
+}

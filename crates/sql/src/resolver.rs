@@ -1,0 +1,97 @@
+//! The bridge from SQL back into the spreadsheet.
+//!
+//! The paper's `RANGEVALUE`/`RANGETABLE` constructs let queries read scalars
+//! and regions *from the sheet*. The query processor stays decoupled from the
+//! front-end by resolving them through this trait; the `dataspread` core
+//! crate implements it over the live workbook.
+
+use dataspread_types::{DsError, DsResult, Value};
+
+/// Resolves positional references inside SQL.
+pub trait SheetResolver {
+    /// The scalar at an A1 address (e.g. `B1`, `Sheet2!B1`).
+    fn range_value(&self, a1: &str) -> DsResult<Value>;
+
+    /// A region as a relation: column names + rows. How headers are inferred
+    /// is the implementer's business (the workbook uses its import rules).
+    fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)>;
+}
+
+/// Resolver for contexts with no sheet attached (plain database use):
+/// positional references are errors.
+pub struct NoSheet;
+
+impl SheetResolver for NoSheet {
+    fn range_value(&self, a1: &str) -> DsResult<Value> {
+        Err(DsError::Sql(format!(
+            "RANGEVALUE({a1}) requires a spreadsheet context"
+        )))
+    }
+
+    fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        Err(DsError::Sql(format!(
+            "RANGETABLE({a1}) requires a spreadsheet context"
+        )))
+    }
+}
+
+/// A fixed in-memory resolver, handy for tests and examples.
+#[derive(Default)]
+pub struct StaticSheet {
+    pub values: std::collections::HashMap<String, Value>,
+    pub tables: std::collections::HashMap<String, (Vec<String>, Vec<Vec<Value>>)>,
+}
+
+impl StaticSheet {
+    pub fn with_value(mut self, a1: &str, v: impl Into<Value>) -> Self {
+        self.values.insert(a1.to_ascii_uppercase(), v.into());
+        self
+    }
+
+    pub fn with_table(mut self, a1: &str, cols: Vec<&str>, rows: Vec<Vec<Value>>) -> Self {
+        self.tables.insert(
+            a1.to_ascii_uppercase(),
+            (cols.into_iter().map(String::from).collect(), rows),
+        );
+        self
+    }
+}
+
+impl SheetResolver for StaticSheet {
+    fn range_value(&self, a1: &str) -> DsResult<Value> {
+        self.values
+            .get(&a1.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| DsError::Sql(format!("no value at {a1}")))
+    }
+
+    fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        self.tables
+            .get(&a1.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| DsError::Sql(format!("no table at {a1}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nosheet_errors() {
+        assert!(NoSheet.range_value("A1").is_err());
+        assert!(NoSheet.range_table("A1:B2").is_err());
+    }
+
+    #[test]
+    fn static_sheet_round_trip() {
+        let s = StaticSheet::default()
+            .with_value("B1", 42)
+            .with_table("A1:B2", vec!["x", "y"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert_eq!(s.range_value("b1").unwrap(), Value::Int(42));
+        let (cols, rows) = s.range_table("a1:b2").unwrap();
+        assert_eq!(cols, vec!["x", "y"]);
+        assert_eq!(rows.len(), 1);
+        assert!(s.range_value("Z9").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! SQL lexer.
+//!
+//! Hand-written, byte-oriented, with SQL string literals (`'it''s'`),
+//! case-preserving identifiers (keyword recognition happens in the parser),
+//! double-quoted identifiers, and both integer and float numeric literals.
+
+use dataspread_types::{DsError, DsResult};
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword (case preserved).
+    Ident(String),
+    /// Double-quoted identifier.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` unescaped).
+    Str(String),
+    // punctuation / operators
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Dot,
+    Semicolon,
+    Colon,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+    Eof,
+}
+
+impl Token {
+    /// Keyword test (case-insensitive) against an unquoted identifier.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+pub fn tokenize(input: &str) -> DsResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                out.push(Token::Concat);
+                i += 2;
+            }
+            b'\'' => {
+                // String literal with '' escape.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DsError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy the whole UTF-8 char.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| DsError::Parse("invalid utf8 in string".into()))?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DsError::Parse("unterminated quoted identifier".into()));
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    let ch_len = utf8_len(bytes[i]);
+                    s.push_str(
+                        std::str::from_utf8(&bytes[i..i + ch_len])
+                            .map_err(|_| DsError::Parse("invalid utf8 in identifier".into()))?,
+                    );
+                    i += ch_len;
+                }
+                out.push(Token::QuotedIdent(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| DsError::Parse(format!("bad numeric literal `{text}`")))?;
+                    out.push(Token::Float(f));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => {
+                            let f: f64 = text.parse().map_err(|_| {
+                                DsError::Parse(format!("bad numeric literal `{text}`"))
+                            })?;
+                            out.push(Token::Float(f));
+                        }
+                    }
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(
+                    std::str::from_utf8(&bytes[start..i]).unwrap().to_string(),
+                ));
+            }
+            other => {
+                return Err(DsError::Parse(format!(
+                    "unexpected character `{}` at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE x >= 1.5").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("a".into()));
+        assert_eq!(t[2], Token::Comma);
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let t = tokenize("\"My Column\"").unwrap();
+        assert_eq!(t[0], Token::QuotedIdent("My Column".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("<> != <= >= || a.b").unwrap();
+        assert_eq!(t[0], Token::NotEq);
+        assert_eq!(t[1], Token::NotEq);
+        assert_eq!(t[2], Token::LtEq);
+        assert_eq!(t[3], Token::GtEq);
+        assert_eq!(t[4], Token::Concat);
+        assert_eq!(t[6], Token::Dot);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
+        assert!(t.contains(&Token::Int(1)));
+        assert!(t.contains(&Token::Int(2)));
+        assert!(!t.iter().any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("42 4.25 1e3 9223372036854775807").unwrap();
+        assert_eq!(t[0], Token::Int(42));
+        assert_eq!(t[1], Token::Float(4.25));
+        assert_eq!(t[2], Token::Float(1000.0));
+        assert_eq!(t[3], Token::Int(i64::MAX));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = tokenize("'héllo—wörld'").unwrap();
+        assert_eq!(t[0], Token::Str("héllo—wörld".into()));
+    }
+
+    #[test]
+    fn kw_check_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        assert!(t[0].is_kw("select"));
+        assert!(!t[0].is_kw("FROM"));
+    }
+}

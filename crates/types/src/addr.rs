@@ -1,0 +1,550 @@
+//! Sheet positions and formula references in A1 notation.
+//!
+//! Positional addressing is central to DataSpread: the paper argues that making
+//! the database aware of *where* data sits on the interface ("a position gets
+//! implicitly assigned to the displayed data") is what enables two-way sync and
+//! constructs like `RANGEVALUE(A1)` / `RANGETABLE(A1:D100)`. Everything in this
+//! module is zero-based internally; A1 notation is one-based at the surface.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::DsError;
+
+/// Maximum row index (zero-based) a sheet may address. Matches the 2^20 rows of
+/// modern spreadsheet UIs; guards against overflow in shift arithmetic.
+pub const MAX_ROW: u32 = (1 << 30) - 1;
+/// Maximum column index (zero-based).
+pub const MAX_COL: u32 = (1 << 20) - 1;
+
+/// Convert a zero-based column index to spreadsheet letters (0 → `A`, 25 → `Z`,
+/// 26 → `AA`).
+pub fn col_to_letters(mut col: u32) -> String {
+    let mut buf = [0u8; 8];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'A' + (col % 26) as u8;
+        if col < 26 {
+            break;
+        }
+        col = col / 26 - 1;
+    }
+    // Safety not needed: bytes are ASCII by construction.
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+/// Convert spreadsheet column letters to a zero-based index (`A` → 0, `AA` → 26).
+/// Case-insensitive. Returns `None` for empty or non-alphabetic input, or on
+/// overflow past [`MAX_COL`].
+pub fn letters_to_col(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut col: u64 = 0;
+    for b in s.bytes() {
+        let d = match b {
+            b'A'..=b'Z' => (b - b'A') as u64,
+            b'a'..=b'z' => (b - b'a') as u64,
+            _ => return None,
+        };
+        col = col * 26 + d + 1;
+        if col > MAX_COL as u64 + 1 {
+            return None;
+        }
+    }
+    Some((col - 1) as u32)
+}
+
+/// A concrete cell position on a sheet: zero-based `(row, col)`.
+///
+/// Ordering is row-major (all of row 0, then row 1, …), matching the order in
+/// which a window is painted and in which `RANGETABLE` linearizes a region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct CellAddr {
+    pub row: u32,
+    pub col: u32,
+}
+
+impl CellAddr {
+    pub const fn new(row: u32, col: u32) -> Self {
+        CellAddr { row, col }
+    }
+
+    /// Parse strict A1 notation (`B7`, `AA12`). Rejects `$` flags — those
+    /// belong to [`CellRef`].
+    pub fn parse_a1(s: &str) -> Result<Self, DsError> {
+        let split = s
+            .bytes()
+            .position(|b| b.is_ascii_digit())
+            .ok_or_else(|| DsError::Parse(format!("invalid cell address `{s}`: no row digits")))?;
+        if split == 0 {
+            return Err(DsError::Parse(format!(
+                "invalid cell address `{s}`: no column letters"
+            )));
+        }
+        let (letters, digits) = s.split_at(split);
+        let col = letters_to_col(letters)
+            .ok_or_else(|| DsError::Parse(format!("invalid column letters in `{s}`")))?;
+        let row1: u64 = digits
+            .parse()
+            .map_err(|_| DsError::Parse(format!("invalid row number in `{s}`")))?;
+        if row1 == 0 || row1 > MAX_ROW as u64 + 1 {
+            return Err(DsError::Parse(format!("row out of range in `{s}`")));
+        }
+        Ok(CellAddr::new((row1 - 1) as u32, col))
+    }
+
+    /// Format as A1 notation.
+    pub fn to_a1(self) -> String {
+        format!("{}{}", col_to_letters(self.col), self.row + 1)
+    }
+
+    /// Offset by a signed delta, clamping at the sheet edges. Returns `None`
+    /// if the result would fall off the sheet (negative or past the maxima) —
+    /// the caller turns that into `#REF!`.
+    pub fn offset(self, d_row: i64, d_col: i64) -> Option<Self> {
+        let r = self.row as i64 + d_row;
+        let c = self.col as i64 + d_col;
+        if r < 0 || c < 0 || r > MAX_ROW as i64 || c > MAX_COL as i64 {
+            None
+        } else {
+            Some(CellAddr::new(r as u32, c as u32))
+        }
+    }
+}
+
+impl fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", col_to_letters(self.col), self.row + 1)
+    }
+}
+
+impl FromStr for CellAddr {
+    type Err = DsError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CellAddr::parse_a1(s)
+    }
+}
+
+/// A rectangular region on a sheet, stored normalized (`start` is the top-left
+/// corner, `end` the bottom-right, both inclusive).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Range {
+    pub start: CellAddr,
+    pub end: CellAddr,
+}
+
+impl Range {
+    /// Build a range from any two corners; normalizes so `start <= end`
+    /// component-wise.
+    pub fn new(a: CellAddr, b: CellAddr) -> Self {
+        Range {
+            start: CellAddr::new(a.row.min(b.row), a.col.min(b.col)),
+            end: CellAddr::new(a.row.max(b.row), a.col.max(b.col)),
+        }
+    }
+
+    /// A 1×1 range covering a single cell.
+    pub fn cell(a: CellAddr) -> Self {
+        Range { start: a, end: a }
+    }
+
+    /// Build from zero-based row/col bounds (inclusive).
+    pub fn from_bounds(row0: u32, col0: u32, row1: u32, col1: u32) -> Self {
+        Range::new(CellAddr::new(row0, col0), CellAddr::new(row1, col1))
+    }
+
+    /// Parse `A1:D100` or a bare `A1` (1×1 range).
+    pub fn parse_a1(s: &str) -> Result<Self, DsError> {
+        match s.split_once(':') {
+            Some((a, b)) => Ok(Range::new(CellAddr::parse_a1(a)?, CellAddr::parse_a1(b)?)),
+            None => Ok(Range::cell(CellAddr::parse_a1(s)?)),
+        }
+    }
+
+    pub fn to_a1(self) -> String {
+        if self.start == self.end {
+            self.start.to_a1()
+        } else {
+            format!("{}:{}", self.start.to_a1(), self.end.to_a1())
+        }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.end.col - self.start.col + 1
+    }
+
+    pub fn height(&self) -> u32 {
+        self.end.row - self.start.row + 1
+    }
+
+    pub fn cell_count(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    pub fn contains(&self, a: CellAddr) -> bool {
+        a.row >= self.start.row && a.row <= self.end.row && a.col >= self.start.col && a.col <= self.end.col
+    }
+
+    pub fn contains_range(&self, r: &Range) -> bool {
+        self.contains(r.start) && self.contains(r.end)
+    }
+
+    pub fn intersects(&self, other: &Range) -> bool {
+        self.start.row <= other.end.row
+            && other.start.row <= self.end.row
+            && self.start.col <= other.end.col
+            && other.start.col <= self.end.col
+    }
+
+    /// The overlapping region, if any.
+    pub fn intersection(&self, other: &Range) -> Option<Range> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Range::from_bounds(
+            self.start.row.max(other.start.row),
+            self.start.col.max(other.start.col),
+            self.end.row.min(other.end.row),
+            self.end.col.min(other.end.col),
+        ))
+    }
+
+    /// Smallest range covering both.
+    pub fn union(&self, other: &Range) -> Range {
+        Range::from_bounds(
+            self.start.row.min(other.start.row),
+            self.start.col.min(other.start.col),
+            self.end.row.max(other.end.row),
+            self.end.col.max(other.end.col),
+        )
+    }
+
+    /// Row-major iterator over every cell in the range.
+    pub fn iter_cells(&self) -> impl Iterator<Item = CellAddr> + '_ {
+        let (r0, r1) = (self.start.row, self.end.row);
+        let (c0, c1) = (self.start.col, self.end.col);
+        (r0..=r1).flat_map(move |r| (c0..=c1).map(move |c| CellAddr::new(r, c)))
+    }
+
+    /// Translate the whole range; `None` if any corner falls off the sheet.
+    pub fn offset(&self, d_row: i64, d_col: i64) -> Option<Range> {
+        Some(Range {
+            start: self.start.offset(d_row, d_col)?,
+            end: self.end.offset(d_row, d_col)?,
+        })
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_a1())
+    }
+}
+
+impl FromStr for Range {
+    type Err = DsError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Range::parse_a1(s)
+    }
+}
+
+/// Optional sheet qualifier on a reference (`Sheet2!B3`). `Current` means the
+/// reference is resolved against the sheet the formula lives on.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SheetRef {
+    #[default]
+    Current,
+    Named(String),
+}
+
+impl SheetRef {
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            SheetRef::Current => None,
+            SheetRef::Named(n) => Some(n),
+        }
+    }
+}
+
+/// A cell reference as written in a formula: position + absolute flags +
+/// optional sheet. `$A$1` pins both axes; copy/paste shifts only relative axes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CellRef {
+    pub sheet: SheetRef,
+    pub addr: CellAddr,
+    pub abs_row: bool,
+    pub abs_col: bool,
+}
+
+impl CellRef {
+    pub fn relative(addr: CellAddr) -> Self {
+        CellRef { sheet: SheetRef::Current, addr, abs_row: false, abs_col: false }
+    }
+
+    pub fn absolute(addr: CellAddr) -> Self {
+        CellRef { sheet: SheetRef::Current, addr, abs_row: true, abs_col: true }
+    }
+
+    /// Shift for copy/paste by `(d_row, d_col)`: absolute axes stay put,
+    /// relative axes move. `None` means the shifted reference fell off the
+    /// sheet (→ `#REF!`).
+    pub fn shifted_for_copy(&self, d_row: i64, d_col: i64) -> Option<CellRef> {
+        let dr = if self.abs_row { 0 } else { d_row };
+        let dc = if self.abs_col { 0 } else { d_col };
+        Some(CellRef { addr: self.addr.offset(dr, dc)?, ..self.clone() })
+    }
+
+    /// Render with `$` flags and sheet qualifier.
+    pub fn to_formula_string(&self) -> String {
+        let mut s = String::new();
+        if let Some(n) = self.sheet.name() {
+            s.push_str(n);
+            s.push('!');
+        }
+        if self.abs_col {
+            s.push('$');
+        }
+        s.push_str(&col_to_letters(self.addr.col));
+        if self.abs_row {
+            s.push('$');
+        }
+        s.push_str(&(self.addr.row + 1).to_string());
+        s
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_formula_string())
+    }
+}
+
+/// A range reference as written in a formula (`Sheet1!$A$1:B10`). The two
+/// corners carry independent absolute flags, like real spreadsheets.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RangeRef {
+    pub sheet: SheetRef,
+    pub start: CellRef,
+    pub end: CellRef,
+}
+
+impl RangeRef {
+    pub fn new(sheet: SheetRef, start: CellRef, end: CellRef) -> Self {
+        RangeRef { sheet, start, end }
+    }
+
+    /// The concrete (normalized) region this reference denotes.
+    pub fn range(&self) -> Range {
+        Range::new(self.start.addr, self.end.addr)
+    }
+
+    pub fn shifted_for_copy(&self, d_row: i64, d_col: i64) -> Option<RangeRef> {
+        Some(RangeRef {
+            sheet: self.sheet.clone(),
+            start: self.start.shifted_for_copy(d_row, d_col)?,
+            end: self.end.shifted_for_copy(d_row, d_col)?,
+        })
+    }
+
+    pub fn to_formula_string(&self) -> String {
+        let mut s = String::new();
+        if let Some(n) = self.sheet.name() {
+            s.push_str(n);
+            s.push('!');
+        }
+        fn corner(s: &mut String, c: &CellRef) {
+            if c.abs_col {
+                s.push('$');
+            }
+            s.push_str(&col_to_letters(c.addr.col));
+            if c.abs_row {
+                s.push('$');
+            }
+            s.push_str(&(c.addr.row + 1).to_string());
+        }
+        corner(&mut s, &self.start);
+        s.push(':');
+        corner(&mut s, &self.end);
+        s
+    }
+}
+
+impl fmt::Display for RangeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_formula_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_letters_round_trip_small() {
+        assert_eq!(col_to_letters(0), "A");
+        assert_eq!(col_to_letters(25), "Z");
+        assert_eq!(col_to_letters(26), "AA");
+        assert_eq!(col_to_letters(27), "AB");
+        assert_eq!(col_to_letters(51), "AZ");
+        assert_eq!(col_to_letters(52), "BA");
+        assert_eq!(col_to_letters(701), "ZZ");
+        assert_eq!(col_to_letters(702), "AAA");
+    }
+
+    #[test]
+    fn letters_to_col_inverse() {
+        for c in [0u32, 1, 25, 26, 27, 700, 701, 702, 703, 18277, 18278] {
+            assert_eq!(letters_to_col(&col_to_letters(c)), Some(c), "col {c}");
+        }
+    }
+
+    #[test]
+    fn letters_to_col_case_insensitive() {
+        assert_eq!(letters_to_col("aa"), Some(26));
+        assert_eq!(letters_to_col("Ab"), Some(27));
+    }
+
+    #[test]
+    fn letters_to_col_rejects_garbage() {
+        assert_eq!(letters_to_col(""), None);
+        assert_eq!(letters_to_col("A1"), None);
+        assert_eq!(letters_to_col("é"), None);
+    }
+
+    #[test]
+    fn parse_a1_basic() {
+        assert_eq!(CellAddr::parse_a1("A1").unwrap(), CellAddr::new(0, 0));
+        assert_eq!(CellAddr::parse_a1("B7").unwrap(), CellAddr::new(6, 1));
+        assert_eq!(CellAddr::parse_a1("AA12").unwrap(), CellAddr::new(11, 26));
+    }
+
+    #[test]
+    fn parse_a1_rejects_bad_input() {
+        assert!(CellAddr::parse_a1("").is_err());
+        assert!(CellAddr::parse_a1("A0").is_err());
+        assert!(CellAddr::parse_a1("1A").is_err());
+        assert!(CellAddr::parse_a1("AB").is_err());
+        assert!(CellAddr::parse_a1("$A$1").is_err());
+    }
+
+    #[test]
+    fn a1_display_round_trip() {
+        for (r, c) in [(0, 0), (6, 1), (11, 26), (999, 701)] {
+            let a = CellAddr::new(r, c);
+            assert_eq!(CellAddr::parse_a1(&a.to_a1()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn addr_ordering_is_row_major() {
+        let a = CellAddr::new(0, 5);
+        let b = CellAddr::new(1, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn offset_clips_at_edges() {
+        let a = CellAddr::new(0, 0);
+        assert_eq!(a.offset(-1, 0), None);
+        assert_eq!(a.offset(0, -1), None);
+        assert_eq!(a.offset(3, 2), Some(CellAddr::new(3, 2)));
+    }
+
+    #[test]
+    fn range_normalizes_corners() {
+        let r = Range::new(CellAddr::new(5, 5), CellAddr::new(2, 7));
+        assert_eq!(r.start, CellAddr::new(2, 5));
+        assert_eq!(r.end, CellAddr::new(5, 7));
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.cell_count(), 12);
+    }
+
+    #[test]
+    fn range_parse_and_display() {
+        let r = Range::parse_a1("A1:D100").unwrap();
+        assert_eq!(r.start, CellAddr::new(0, 0));
+        assert_eq!(r.end, CellAddr::new(99, 3));
+        assert_eq!(r.to_a1(), "A1:D100");
+        assert_eq!(Range::parse_a1("B2").unwrap().to_a1(), "B2");
+    }
+
+    #[test]
+    fn range_containment_and_intersection() {
+        let r = Range::parse_a1("B2:E10").unwrap();
+        assert!(r.contains(CellAddr::parse_a1("B2").unwrap()));
+        assert!(r.contains(CellAddr::parse_a1("E10").unwrap()));
+        assert!(!r.contains(CellAddr::parse_a1("A1").unwrap()));
+        let s = Range::parse_a1("D5:G20").unwrap();
+        assert!(r.intersects(&s));
+        assert_eq!(r.intersection(&s).unwrap().to_a1(), "D5:E10");
+        let t = Range::parse_a1("F11:G20").unwrap();
+        assert!(!r.intersects(&t));
+        assert_eq!(r.intersection(&t), None);
+    }
+
+    #[test]
+    fn range_union_covers_both() {
+        let r = Range::parse_a1("B2:C3").unwrap();
+        let s = Range::parse_a1("E5:F6").unwrap();
+        let u = r.union(&s);
+        assert!(u.contains_range(&r) && u.contains_range(&s));
+        assert_eq!(u.to_a1(), "B2:F6");
+    }
+
+    #[test]
+    fn iter_cells_row_major_count() {
+        let r = Range::parse_a1("A1:C2").unwrap();
+        let cells: Vec<_> = r.iter_cells().collect();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0], CellAddr::new(0, 0));
+        assert_eq!(cells[1], CellAddr::new(0, 1));
+        assert_eq!(cells[3], CellAddr::new(1, 0));
+    }
+
+    #[test]
+    fn cellref_copy_shift_respects_absolutes() {
+        let rel = CellRef::relative(CellAddr::new(1, 1));
+        let shifted = rel.shifted_for_copy(2, 3).unwrap();
+        assert_eq!(shifted.addr, CellAddr::new(3, 4));
+
+        let mut half = CellRef::relative(CellAddr::new(1, 1));
+        half.abs_row = true;
+        let shifted = half.shifted_for_copy(2, 3).unwrap();
+        assert_eq!(shifted.addr, CellAddr::new(1, 4));
+
+        let abs = CellRef::absolute(CellAddr::new(1, 1));
+        assert_eq!(abs.shifted_for_copy(5, 5).unwrap().addr, CellAddr::new(1, 1));
+    }
+
+    #[test]
+    fn cellref_off_sheet_is_none() {
+        let rel = CellRef::relative(CellAddr::new(0, 0));
+        assert!(rel.shifted_for_copy(-1, 0).is_none());
+    }
+
+    #[test]
+    fn cellref_display_flags() {
+        let mut r = CellRef::relative(CellAddr::new(0, 0));
+        assert_eq!(r.to_formula_string(), "A1");
+        r.abs_col = true;
+        assert_eq!(r.to_formula_string(), "$A1");
+        r.abs_row = true;
+        assert_eq!(r.to_formula_string(), "$A$1");
+        r.sheet = SheetRef::Named("Data".into());
+        assert_eq!(r.to_formula_string(), "Data!$A$1");
+    }
+
+    #[test]
+    fn rangeref_display_and_range() {
+        let rr = RangeRef::new(
+            SheetRef::Current,
+            CellRef::relative(CellAddr::new(0, 0)),
+            CellRef::absolute(CellAddr::new(9, 3)),
+        );
+        assert_eq!(rr.to_formula_string(), "A1:$D$10");
+        assert_eq!(rr.range().to_a1(), "A1:D10");
+    }
+}

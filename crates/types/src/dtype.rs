@@ -1,0 +1,207 @@
+//! The column-type lattice used by automatic schema inference.
+//!
+//! Paper §2.2 ("Data typing"): *"Spreadsheets dynamically type the data stored
+//! as cells. To make this work with databases, we propose the idea of
+//! automatically assigning data types within the databases based on the
+//! tuples."* [`DataType::infer_column`] implements exactly that: observe the
+//! values of a prospective column and pick the narrowest type that admits all
+//! of them, widening along `Int → Float → Text` (with `Bool` joining anything
+//! non-boolean at `Text`).
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Relational column types. `Any` is the top of the lattice, used for columns
+/// whose cells were all empty (no evidence either way).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    /// No evidence: every observed value was NULL/empty. Accepts anything.
+    Any,
+}
+
+impl DataType {
+    /// The type of a single value; `None` for empty/error values, which carry
+    /// no type evidence.
+    pub fn of(v: &Value) -> Option<DataType> {
+        match v {
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Empty | Value::Error(_) => None,
+        }
+    }
+
+    /// Least upper bound of two types: `Int ∨ Float = Float`, anything else
+    /// mixed collapses to `Text` (the spreadsheet-faithful fallback — a column
+    /// with `3` and `"abc"` exports as text).
+    pub fn unify(a: DataType, b: DataType) -> DataType {
+        use DataType::*;
+        match (a, b) {
+            (Any, x) | (x, Any) => x,
+            (x, y) if x == y => x,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Text,
+        }
+    }
+
+    /// Infer the type of a column from its values, ignoring empties/errors.
+    pub fn infer_column<'a>(values: impl IntoIterator<Item = &'a Value>) -> DataType {
+        values
+            .into_iter()
+            .filter_map(DataType::of)
+            .fold(DataType::Any, DataType::unify)
+    }
+
+    /// Does `v` conform to this column type? NULL is accepted everywhere
+    /// (nullability is tracked separately by the schema); `Int` values are
+    /// accepted by `Float` columns (widening on write).
+    pub fn admits(self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Empty) => true,
+            (DataType::Any, _) => !v.is_error(),
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Float, Value::Int(_) | Value::Float(_)) => true,
+            (DataType::Text, Value::Text(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce a value for storage in a column of this type, widening where
+    /// [`DataType::admits`] allows and converting anything to text for `Text`
+    /// columns (the forgiving import path). Returns `None` when no sensible
+    /// conversion exists (e.g. `"abc"` into an `Int` column).
+    pub fn coerce_for_storage(self, v: Value) -> Option<Value> {
+        match (self, &v) {
+            (_, Value::Empty) => Some(Value::Empty),
+            (_, Value::Error(_)) => None,
+            (DataType::Any, _) => Some(v),
+            (DataType::Bool, Value::Bool(_)) => Some(v),
+            (DataType::Bool, _) => v.coerce_bool().ok().map(Value::Bool),
+            (DataType::Int, Value::Int(_)) => Some(v),
+            (DataType::Int, _) => v.coerce_i64().ok().map(Value::Int),
+            (DataType::Float, Value::Int(i)) => Some(Value::Float(*i as f64)),
+            (DataType::Float, Value::Float(_)) => Some(v),
+            (DataType::Float, _) => v.coerce_f64().ok().map(Value::Float),
+            (DataType::Text, Value::Text(_)) => Some(v),
+            (DataType::Text, _) => Some(Value::Text(v.display_string())),
+        }
+    }
+
+    /// SQL spelling, for `CREATE TABLE` round-trips and `DESCRIBE` output.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "INTEGER",
+            DataType::Float => "REAL",
+            DataType::Text => "TEXT",
+            DataType::Any => "ANY",
+        }
+    }
+
+    /// Parse a SQL type name (a few standard aliases accepted).
+    pub fn parse_sql(s: &str) -> Option<DataType> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => DataType::Bool,
+            "INTEGER" | "INT" | "BIGINT" | "SMALLINT" => DataType::Int,
+            "REAL" | "FLOAT" | "DOUBLE" | "NUMERIC" | "DECIMAL" => DataType::Float,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => DataType::Text,
+            "ANY" => DataType::Any,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_maps_value_variants() {
+        assert_eq!(DataType::of(&Value::Int(1)), Some(DataType::Int));
+        assert_eq!(DataType::of(&Value::Float(1.5)), Some(DataType::Float));
+        assert_eq!(DataType::of(&Value::Bool(true)), Some(DataType::Bool));
+        assert_eq!(DataType::of(&Value::text("x")), Some(DataType::Text));
+        assert_eq!(DataType::of(&Value::Empty), None);
+    }
+
+    #[test]
+    fn unify_int_float_widens() {
+        assert_eq!(DataType::unify(DataType::Int, DataType::Float), DataType::Float);
+        assert_eq!(DataType::unify(DataType::Float, DataType::Int), DataType::Float);
+    }
+
+    #[test]
+    fn unify_mixed_collapses_to_text() {
+        assert_eq!(DataType::unify(DataType::Int, DataType::Text), DataType::Text);
+        assert_eq!(DataType::unify(DataType::Bool, DataType::Int), DataType::Text);
+    }
+
+    #[test]
+    fn infer_column_ignores_empties() {
+        let vals = [Value::Empty, Value::Int(1), Value::Int(2), Value::Empty];
+        assert_eq!(DataType::infer_column(vals.iter()), DataType::Int);
+    }
+
+    #[test]
+    fn infer_column_all_empty_is_any() {
+        let vals = [Value::Empty, Value::Empty];
+        assert_eq!(DataType::infer_column(vals.iter()), DataType::Any);
+    }
+
+    #[test]
+    fn infer_column_mixed_numeric() {
+        let vals = [Value::Int(1), Value::Float(2.5)];
+        assert_eq!(DataType::infer_column(vals.iter()), DataType::Float);
+    }
+
+    #[test]
+    fn admits_widening_and_null() {
+        assert!(DataType::Float.admits(&Value::Int(3)));
+        assert!(!DataType::Int.admits(&Value::Float(3.5)));
+        assert!(DataType::Int.admits(&Value::Empty));
+        assert!(!DataType::Int.admits(&Value::text("3")));
+    }
+
+    #[test]
+    fn coerce_for_storage_widens_and_textifies() {
+        assert_eq!(
+            DataType::Float.coerce_for_storage(Value::Int(3)),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(
+            DataType::Text.coerce_for_storage(Value::Int(3)),
+            Some(Value::text("3"))
+        );
+        assert_eq!(
+            DataType::Int.coerce_for_storage(Value::text("12")),
+            Some(Value::Int(12))
+        );
+        assert_eq!(DataType::Int.coerce_for_storage(Value::text("abc")), None);
+        assert_eq!(
+            DataType::Bool.coerce_for_storage(Value::text("TRUE")),
+            Some(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn sql_names_round_trip() {
+        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text, DataType::Any] {
+            assert_eq!(DataType::parse_sql(t.sql_name()), Some(t));
+        }
+        assert_eq!(DataType::parse_sql("VARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::parse_sql("BLOB"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! The workspace-wide error type.
+//!
+//! Each layer of the system (storage, SQL, formula, engine, front-end) reports
+//! through the same enum so errors can cross crate boundaries without
+//! re-wrapping. In-cell errors ([`crate::CellError`]) are distinct: those are
+//! *values* a user sees in a cell; `DsError` is for API misuse and internal
+//! failures.
+
+use std::fmt;
+
+use crate::value::CellError;
+
+pub type DsResult<T> = Result<T, DsError>;
+
+/// Errors surfaced by DataSpread APIs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DsError {
+    /// Lexing/parsing failures (A1 addresses, formulae, SQL).
+    Parse(String),
+    /// Schema violations: duplicate/unknown column, type mismatch, bad DDL.
+    Schema(String),
+    /// Storage-layer failures (page codec, missing row keys, capacity).
+    Storage(String),
+    /// SQL binding/execution failures (unknown table/column, arity, …).
+    Sql(String),
+    /// Compute-engine failures (scheduler misuse; cycles surface as `#CYCLE!`
+    /// cell values, not as this error).
+    Engine(String),
+    /// Front-end/interface-manager failures (unknown sheet, bad window,
+    /// overlapping contexts, edits to read-only result regions).
+    Interface(String),
+    /// Primary-key violation on insert/update.
+    KeyViolation(String),
+    /// Named table does not exist.
+    TableNotFound(String),
+    /// Named column does not exist in the referenced table.
+    ColumnNotFound(String),
+    /// A computation produced an in-cell error in a context that demanded a
+    /// clean value (e.g. `RANGEVALUE` pointing at `#REF!`).
+    CellValue(CellError),
+}
+
+impl DsError {
+    /// The in-cell error a failed `DBSQL`/`DBTABLE` command should display.
+    pub fn as_cell_error(&self) -> CellError {
+        match self {
+            DsError::CellValue(e) => *e,
+            DsError::Parse(_) => CellError::Name,
+            _ => CellError::Db,
+        }
+    }
+}
+
+impl fmt::Display for DsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsError::Parse(m) => write!(f, "parse error: {m}"),
+            DsError::Schema(m) => write!(f, "schema error: {m}"),
+            DsError::Storage(m) => write!(f, "storage error: {m}"),
+            DsError::Sql(m) => write!(f, "sql error: {m}"),
+            DsError::Engine(m) => write!(f, "engine error: {m}"),
+            DsError::Interface(m) => write!(f, "interface error: {m}"),
+            DsError::KeyViolation(m) => write!(f, "primary key violation: {m}"),
+            DsError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            DsError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            DsError::CellValue(e) => write!(f, "cell error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+impl From<CellError> for DsError {
+    fn from(e: CellError) -> Self {
+        DsError::CellValue(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DsError::TableNotFound("actors".into());
+        assert!(e.to_string().contains("actors"));
+        let e = DsError::Parse("unexpected `)`".into());
+        assert!(e.to_string().contains("unexpected"));
+    }
+
+    #[test]
+    fn cell_error_mapping() {
+        assert_eq!(DsError::Sql("x".into()).as_cell_error(), CellError::Db);
+        assert_eq!(DsError::Parse("x".into()).as_cell_error(), CellError::Name);
+        assert_eq!(
+            DsError::CellValue(CellError::Ref).as_cell_error(),
+            CellError::Ref
+        );
+    }
+}

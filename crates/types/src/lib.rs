@@ -1,0 +1,31 @@
+//! Shared vocabulary for the DataSpread workspace.
+//!
+//! This crate defines the types that every other DataSpread crate speaks:
+//!
+//! * [`CellAddr`] / [`Range`] — positions on a sheet, with full A1-notation
+//!   parsing and formatting (`B7`, `AA12`, `A1:D100`).
+//! * [`CellRef`] / [`RangeRef`] — *references* as they appear inside formulae,
+//!   i.e. positions plus absolute/relative flags (`$A$1`) and an optional sheet
+//!   qualifier (`Sheet2!B3`).
+//! * [`Value`] — the dynamically-typed scalar stored in a cell or a relational
+//!   attribute, with spreadsheet coercion and comparison semantics.
+//! * [`CellError`] — in-cell error codes (`#DIV/0!`, `#REF!`, `#CYCLE!`, …).
+//! * [`DataType`] — the small type lattice used for automatic schema inference
+//!   when a sheet region is exported to the database (paper §2.2, "Data typing").
+//! * [`DsError`] — the workspace-wide error type.
+//!
+//! The paper this workspace reproduces is *DataSpread: Unifying Databases and
+//! Spreadsheets* (Bendre et al., PVLDB 8(12), 2015). See `DESIGN.md` at the
+//! repository root for the complete system inventory.
+
+pub mod addr;
+pub mod dtype;
+pub mod error;
+pub mod value;
+
+pub use addr::{
+    col_to_letters, letters_to_col, CellAddr, CellRef, Range, RangeRef, SheetRef,
+};
+pub use dtype::DataType;
+pub use error::{DsError, DsResult};
+pub use value::{CellError, Value};

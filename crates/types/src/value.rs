@@ -1,0 +1,463 @@
+//! The dynamically-typed scalar shared by the sheet and the database.
+//!
+//! Spreadsheets type values *per cell*; relational attributes are typed *per
+//! column*. DataSpread bridges the two by making [`Value`] the single currency:
+//! the formula engine evaluates to `Value`s, the relational storage manager
+//! stores `Value`s (validated against the column's [`crate::DataType`]), and
+//! schema inference derives column types from observed `Value`s.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// In-cell error codes, displayed like their spreadsheet counterparts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CellError {
+    /// Division by zero (`#DIV/0!`).
+    Div0,
+    /// Invalid or deleted reference (`#REF!`).
+    Ref,
+    /// Wrong operand type for an operation (`#VALUE!`).
+    Value,
+    /// Unknown function or name (`#NAME?`).
+    Name,
+    /// Circular dependency (`#CYCLE!`). Real spreadsheets pop a dialog; a
+    /// headless kernel surfaces it as an error value instead.
+    Cycle,
+    /// Lookup produced no result (`#N/A`).
+    Na,
+    /// Numeric result outside the representable domain (`#NUM!`).
+    Num,
+    /// A `DBSQL`/`DBTABLE` command failed in the database layer (`#DB!`).
+    /// DataSpread-specific: the spreadsheet surface for back-end failures.
+    Db,
+}
+
+impl CellError {
+    pub fn code(self) -> &'static str {
+        match self {
+            CellError::Div0 => "#DIV/0!",
+            CellError::Ref => "#REF!",
+            CellError::Value => "#VALUE!",
+            CellError::Name => "#NAME?",
+            CellError::Cycle => "#CYCLE!",
+            CellError::Na => "#N/A",
+            CellError::Num => "#NUM!",
+            CellError::Db => "#DB!",
+        }
+    }
+
+    /// Parse a displayed error code back into the enum (used by clipboard
+    /// round-trips and tests).
+    pub fn parse(s: &str) -> Option<CellError> {
+        Some(match s {
+            "#DIV/0!" => CellError::Div0,
+            "#REF!" => CellError::Ref,
+            "#VALUE!" => CellError::Value,
+            "#NAME?" => CellError::Name,
+            "#CYCLE!" => CellError::Cycle,
+            "#N/A" => CellError::Na,
+            "#NUM!" => CellError::Num,
+            "#DB!" => CellError::Db,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A dynamically-typed scalar.
+///
+/// `Int` and `Float` are kept distinct so schema inference can produce
+/// `INTEGER` columns; arithmetic coerces between them with spreadsheet
+/// semantics (integer division producing a fraction yields a `Float`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum Value {
+    /// An empty cell / SQL NULL. The two are unified: exporting an empty cell
+    /// stores NULL, importing NULL shows an empty cell.
+    #[default]
+    Empty,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Error(CellError),
+}
+
+impl Value {
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Value::Empty)
+    }
+
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error(_))
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    pub fn as_error(&self) -> Option<CellError> {
+        match self {
+            Value::Error(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion with spreadsheet semantics: numbers pass through,
+    /// booleans become 0/1, empty becomes 0, numeric-looking text parses,
+    /// anything else is `#VALUE!`.
+    pub fn coerce_f64(&self) -> Result<f64, CellError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            Value::Empty => Ok(0.0),
+            Value::Text(s) => s.trim().parse::<f64>().map_err(|_| CellError::Value),
+            Value::Error(e) => Err(*e),
+        }
+    }
+
+    /// Integer coercion: floats must be integral (Excel truncates in some
+    /// contexts; we require exactness where an integer is demanded, e.g.
+    /// `LIMIT` and repeat counts, and truncate explicitly elsewhere).
+    pub fn coerce_i64(&self) -> Result<i64, CellError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
+            Value::Float(_) => Err(CellError::Value),
+            Value::Bool(b) => Ok(*b as i64),
+            Value::Empty => Ok(0),
+            Value::Text(s) => s.trim().parse::<i64>().map_err(|_| CellError::Value),
+            Value::Error(e) => Err(*e),
+        }
+    }
+
+    /// Boolean coercion: FALSE/0/empty are false; TRUE/non-zero are true;
+    /// the strings "TRUE"/"FALSE" (any case) parse; other text is `#VALUE!`.
+    pub fn coerce_bool(&self) -> Result<bool, CellError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Int(i) => Ok(*i != 0),
+            Value::Float(f) => Ok(*f != 0.0),
+            Value::Empty => Ok(false),
+            Value::Text(s) => match s.trim().to_ascii_uppercase().as_str() {
+                "TRUE" => Ok(true),
+                "FALSE" => Ok(false),
+                _ => Err(CellError::Value),
+            },
+            Value::Error(e) => Err(*e),
+        }
+    }
+
+    /// Text coercion: how the value concatenates with `&` and renders in a
+    /// cell. Empty renders as the empty string.
+    pub fn coerce_text(&self) -> Result<String, CellError> {
+        match self {
+            Value::Error(e) => Err(*e),
+            other => Ok(other.display_string()),
+        }
+    }
+
+    /// The string shown in a cell (errors render their code).
+    pub fn display_string(&self) -> String {
+        match self {
+            Value::Empty => String::new(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Text(s) => s.clone(),
+            Value::Error(e) => e.code().to_string(),
+        }
+    }
+
+    /// Parse user keyboard input the way a spreadsheet does: numbers and
+    /// booleans are recognized, everything else is text. (Formulae — strings
+    /// starting with `=` — are the caller's business.)
+    pub fn from_input(s: &str) -> Value {
+        let t = s.trim();
+        if t.is_empty() {
+            return Value::Empty;
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        match t.to_ascii_uppercase().as_str() {
+            "TRUE" => return Value::Bool(true),
+            "FALSE" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Some(e) = CellError::parse(t) {
+            return Value::Error(e);
+        }
+        Value::Text(s.to_string())
+    }
+
+    /// Spreadsheet comparison semantics: numbers < text < booleans; numbers
+    /// compare numerically (Int/Float unified), text case-insensitively,
+    /// FALSE < TRUE. `Empty` coerces to the other operand's type zero
+    /// (0 / "" / FALSE). Errors do not compare (`None`).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Int(_) | Float(_) => 0,
+                Text(_) => 1,
+                Bool(_) => 2,
+                Empty => 3,
+                Error(_) => 4,
+            }
+        }
+        if self.is_error() || other.is_error() {
+            return None;
+        }
+        match (self, other) {
+            (Empty, Empty) => Some(Ordering::Equal),
+            (Empty, b) => Value::zero_like(b).compare(b),
+            (a, Empty) => a.compare(&Value::zero_like(a)),
+            (a, b) if rank(a) == rank(b) => match (a, b) {
+                (Text(x), Text(y)) => {
+                    Some(x.to_lowercase().cmp(&y.to_lowercase()))
+                }
+                (Bool(x), Bool(y)) => Some(x.cmp(y)),
+                _ => {
+                    let x = a.coerce_f64().ok()?;
+                    let y = b.coerce_f64().ok()?;
+                    x.partial_cmp(&y)
+                }
+            },
+            (a, b) => Some(rank(a).cmp(&rank(b))),
+        }
+    }
+
+    /// SQL-flavoured equality for keys and DISTINCT: type-strict except that
+    /// Int and Float compare numerically. NULL (`Empty`) equals NULL here —
+    /// the grouping semantics, not the predicate semantics.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (a, b) => a == b,
+        }
+    }
+
+    fn zero_like(template: &Value) -> Value {
+        match template {
+            Value::Text(_) => Value::Text(String::new()),
+            Value::Bool(_) => Value::Bool(false),
+            _ => Value::Int(0),
+        }
+    }
+
+    /// Total ordering used for ORDER BY and sort-based operators: NULL first,
+    /// then the [`Value::compare`] order, errors last.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Empty => 0,
+                Value::Error(_) => 2,
+                _ => 1,
+            }
+        }
+        match (class(self), class(other)) {
+            (0, 0) => Ordering::Equal,
+            (2, 2) => Ordering::Equal,
+            (a, b) if a != b => a.cmp(&b),
+            _ => self.compare(other).unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+/// Render a float the way a cell would: integral values drop the `.0`, and we
+/// use the shortest round-trip representation otherwise.
+fn format_float(f: f64) -> String {
+    if f.is_nan() {
+        return "#NUM!".to_string();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "#NUM!" } else { "#NUM!" }.to_string();
+    }
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{}", f as i64)
+    } else {
+        format!("{f}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<CellError> for Value {
+    fn from(v: CellError) -> Self {
+        Value::Error(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for e in [
+            CellError::Div0,
+            CellError::Ref,
+            CellError::Value,
+            CellError::Name,
+            CellError::Cycle,
+            CellError::Na,
+            CellError::Num,
+            CellError::Db,
+        ] {
+            assert_eq!(CellError::parse(e.code()), Some(e));
+        }
+        assert_eq!(CellError::parse("#BOGUS!"), None);
+    }
+
+    #[test]
+    fn coerce_f64_spreadsheet_semantics() {
+        assert_eq!(Value::Int(3).coerce_f64(), Ok(3.0));
+        assert_eq!(Value::Float(2.5).coerce_f64(), Ok(2.5));
+        assert_eq!(Value::Bool(true).coerce_f64(), Ok(1.0));
+        assert_eq!(Value::Empty.coerce_f64(), Ok(0.0));
+        assert_eq!(Value::text(" 42 ").coerce_f64(), Ok(42.0));
+        assert_eq!(Value::text("abc").coerce_f64(), Err(CellError::Value));
+        assert_eq!(Value::Error(CellError::Ref).coerce_f64(), Err(CellError::Ref));
+    }
+
+    #[test]
+    fn coerce_i64_requires_integral_floats() {
+        assert_eq!(Value::Float(4.0).coerce_i64(), Ok(4));
+        assert_eq!(Value::Float(4.5).coerce_i64(), Err(CellError::Value));
+        assert_eq!(Value::text("7").coerce_i64(), Ok(7));
+    }
+
+    #[test]
+    fn coerce_bool_parses_true_false_text() {
+        assert_eq!(Value::text("true").coerce_bool(), Ok(true));
+        assert_eq!(Value::text("FALSE").coerce_bool(), Ok(false));
+        assert_eq!(Value::Int(0).coerce_bool(), Ok(false));
+        assert_eq!(Value::Int(-2).coerce_bool(), Ok(true));
+        assert_eq!(Value::text("yes").coerce_bool(), Err(CellError::Value));
+    }
+
+    #[test]
+    fn display_matches_spreadsheet_rendering() {
+        assert_eq!(Value::Empty.display_string(), "");
+        assert_eq!(Value::Bool(true).display_string(), "TRUE");
+        assert_eq!(Value::Int(-5).display_string(), "-5");
+        assert_eq!(Value::Float(3.0).display_string(), "3");
+        assert_eq!(Value::Float(3.25).display_string(), "3.25");
+        assert_eq!(Value::Error(CellError::Div0).display_string(), "#DIV/0!");
+    }
+
+    #[test]
+    fn from_input_recognizes_literals() {
+        assert_eq!(Value::from_input("42"), Value::Int(42));
+        assert_eq!(Value::from_input("3.5"), Value::Float(3.5));
+        assert_eq!(Value::from_input("TRUE"), Value::Bool(true));
+        assert_eq!(Value::from_input("hello"), Value::text("hello"));
+        assert_eq!(Value::from_input(""), Value::Empty);
+        assert_eq!(Value::from_input("  "), Value::Empty);
+        assert_eq!(Value::from_input("#REF!"), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn compare_numbers_before_text_before_bools() {
+        let n = Value::Int(999_999);
+        let t = Value::text("a");
+        let b = Value::Bool(false);
+        assert_eq!(n.compare(&t), Some(Ordering::Less));
+        assert_eq!(t.compare(&b), Some(Ordering::Less));
+        assert_eq!(n.compare(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn compare_text_case_insensitive() {
+        assert_eq!(Value::text("Apple").compare(&Value::text("apple")), Some(Ordering::Equal));
+        assert_eq!(Value::text("apple").compare(&Value::text("Banana")), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn compare_int_float_unified() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn compare_empty_coerces() {
+        assert_eq!(Value::Empty.compare(&Value::Int(0)), Some(Ordering::Equal));
+        assert_eq!(Value::Empty.compare(&Value::text("")), Some(Ordering::Equal));
+        assert_eq!(Value::Empty.compare(&Value::Bool(false)), Some(Ordering::Equal));
+        assert_eq!(Value::Empty.compare(&Value::Int(-1)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn errors_do_not_compare() {
+        assert_eq!(Value::Error(CellError::Na).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn sql_eq_unifies_numeric_types_only() {
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(1).sql_eq(&Value::text("1")));
+        assert!(Value::Empty.sql_eq(&Value::Empty));
+    }
+
+    #[test]
+    fn total_cmp_orders_null_first_errors_last() {
+        let mut vals = vec![
+            Value::text("b"),
+            Value::Error(CellError::Na),
+            Value::Int(1),
+            Value::Empty,
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_empty());
+        assert!(vals[3].is_error());
+    }
+}
