@@ -1,0 +1,64 @@
+//! Experiment C3: positional insert / windowed fetch, counted B-tree vs. the
+//! dense rownum baseline.
+//!
+//! Run with `cargo bench -p dataspread --bench positional`. The harness is
+//! the workspace's own wall-clock kit (no registry access in CI —
+//! substitution #4 in `DESIGN.md`); numbers are ns/iter, and the summary
+//! prints the dense/counted ratio so the asymptotic gap is visible at a
+//! glance.
+
+use std::time::Duration;
+
+use dataspread::posindex::{CountedBtree, DenseIndex, PositionalIndex, RowKey};
+use dataspread_testkit::{bench, black_box, Rng};
+
+const TARGET: Duration = Duration::from_millis(150);
+const WINDOW: usize = 64;
+
+fn loaded<I: PositionalIndex>(mut empty: I, n: usize) -> I {
+    for k in 0..n as RowKey {
+        empty.push(k).unwrap();
+    }
+    empty
+}
+
+fn bench_insert_remove<I: PositionalIndex>(name: &str, make: impl Fn() -> I, n: usize) -> f64 {
+    // Insert at a pseudo-random position then remove it again, so the index
+    // size stays n across iterations and we measure steady-state edits.
+    let mut idx = loaded(make(), n);
+    let mut rng = Rng::new(0xC3);
+    let mut next_key: RowKey = n as RowKey;
+    let m = bench(&format!("{name}/positional_insert/{n}"), TARGET, || {
+        let pos = rng.index(n + 1);
+        idx.insert_at(pos, next_key).unwrap();
+        idx.remove_at(pos).unwrap();
+        next_key += 1;
+    });
+    m.per_iter_ns()
+}
+
+fn bench_window<I: PositionalIndex>(name: &str, make: impl Fn() -> I, n: usize) -> f64 {
+    let idx = loaded(make(), n);
+    let mut rng = Rng::new(0xC3_C3);
+    let m = bench(&format!("{name}/window_fetch_{WINDOW}/{n}"), TARGET, || {
+        let pos = rng.index(n - WINDOW);
+        black_box(idx.range(pos, WINDOW));
+    });
+    m.per_iter_ns()
+}
+
+fn main() {
+    println!("C3: positional operations, CountedBtree vs DenseIndex");
+    for n in [1_000usize, 10_000, 100_000] {
+        let counted = bench_insert_remove("counted_btree", CountedBtree::new, n);
+        let dense = bench_insert_remove("dense_rownum", DenseIndex::new, n);
+        println!("  -> insert@{n}: dense/counted = {:.1}x", dense / counted);
+
+        let counted_w = bench_window("counted_btree", CountedBtree::new, n);
+        let dense_w = bench_window("dense_rownum", DenseIndex::new, n);
+        println!(
+            "  -> window@{n}: counted/dense = {:.1}x",
+            counted_w / dense_w
+        );
+    }
+}

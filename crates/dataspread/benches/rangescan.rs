@@ -1,0 +1,63 @@
+//! Experiment C5: range scans over the three interface-storage layouts
+//! (tiled / proximity-block / naive per-cell).
+//!
+//! Run with `cargo bench -p dataspread --bench rangescan`. Besides wall
+//! time, each arm reports the block-touch counters the stores keep — the
+//! paper's "disk blocks" accounting.
+
+use std::time::Duration;
+
+use dataspread::gridstore::block::BlockConfig;
+use dataspread::gridstore::{BlockGrid, CellStore, NaiveGrid, TileConfig, TiledGrid};
+use dataspread::types::{CellAddr, Range};
+use dataspread_testkit::{bench, black_box, Rng};
+
+const TARGET: Duration = Duration::from_millis(150);
+/// Sheet extent: SIDE × SIDE cells, ~60% dense (spreadsheets are sparse).
+const SIDE: u32 = 512;
+const WINDOW: u32 = 40;
+
+fn populate<S: CellStore<i64>>(store: &mut S, rng: &mut Rng) -> usize {
+    let mut n = 0;
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            if rng.below(10) < 6 {
+                store.set(CellAddr::new(r, c), (r * SIDE + c) as i64);
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn bench_store<S: CellStore<i64>>(name: &str, mut store: S) {
+    let mut rng = Rng::new(0xC5);
+    let cells = populate(&mut store, &mut rng);
+    store.stats().reset();
+    let mut scan_rng = Rng::new(0xC5_C5);
+    bench(
+        &format!("{name}/window_scan_{WINDOW}x{WINDOW}"),
+        TARGET,
+        || {
+            let r0 = scan_rng.u32_in(0, SIDE - WINDOW);
+            let c0 = scan_rng.u32_in(0, SIDE - WINDOW);
+            let range = Range::from_bounds(r0, c0, r0 + WINDOW - 1, c0 + WINDOW - 1);
+            let mut sum = 0i64;
+            store.for_each_in_range(range, &mut |_, v| sum += *v);
+            black_box(sum);
+        },
+    );
+    let reads = store.stats().blocks_read();
+    let scanned = store.stats().cells_scanned();
+    println!(
+        "  {name}: {cells} cells in {} blocks; blocks_read={reads} cells_scanned={scanned}",
+        store.block_count()
+    );
+}
+
+fn main() {
+    println!("C5: {WINDOW}x{WINDOW} window scans over a {SIDE}x{SIDE} sheet");
+    bench_store("tiled", TiledGrid::new(TileConfig::default()));
+    bench_store("block", BlockGrid::new(BlockConfig::default()));
+    bench_store("naive", NaiveGrid::new());
+}

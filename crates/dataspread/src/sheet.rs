@@ -1,0 +1,282 @@
+//! A sheet: schemaless interface data plus stable row identity.
+//!
+//! Paper §3 (Interface Manager / Interface Storage): the sheet holds the
+//! *interface data* — cells addressed by position, no schema — in a pluggable
+//! [`CellStore`], and maintains a positional mapping from display rows to
+//! stable row keys so edits with "locational context" can be translated into
+//! keyed operations (and back).
+
+use dataspread_gridstore::block::BlockConfig;
+use dataspread_gridstore::{BlockGrid, CellStore, NaiveGrid, TileConfig, TiledGrid};
+use dataspread_posindex::{RowKey, RowMapping};
+use dataspread_types::{CellAddr, DsError, DsResult, Range, Value};
+
+/// Which interface-storage layout backs a sheet (experiment `C5` arms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Fixed-extent tiles — the production default.
+    #[default]
+    Tiled,
+    /// Proximity blocks indexed by an R-tree (paper-faithful).
+    Block,
+    /// One hash entry per cell (baseline).
+    Naive,
+}
+
+impl StoreKind {
+    fn build(self) -> Box<dyn CellStore<Value>> {
+        match self {
+            StoreKind::Tiled => Box::new(TiledGrid::new(TileConfig::default())),
+            StoreKind::Block => Box::new(BlockGrid::new(BlockConfig::default())),
+            StoreKind::Naive => Box::new(NaiveGrid::new()),
+        }
+    }
+}
+
+/// One sheet of a workbook.
+pub struct Sheet {
+    name: String,
+    kind: StoreKind,
+    cells: Box<dyn CellStore<Value>>,
+    /// Display row → stable row key. Rows are registered lazily as they are
+    /// touched; keys survive structural inserts/deletes above them.
+    rows: RowMapping,
+    next_row_key: RowKey,
+}
+
+impl std::fmt::Debug for Sheet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sheet")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("cells", &self.cells.cell_count())
+            .field("rows", &self.rows.row_count())
+            .finish()
+    }
+}
+
+impl Sheet {
+    pub fn new(name: impl Into<String>, kind: StoreKind) -> Self {
+        Sheet {
+            name: name.into(),
+            kind,
+            cells: kind.build(),
+            rows: RowMapping::new(),
+            next_row_key: 1,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn store_kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Direct access to the backing store (stats, block counts).
+    pub fn store(&self) -> &dyn CellStore<Value> {
+        self.cells.as_ref()
+    }
+
+    // ---- cells -----------------------------------------------------------
+
+    /// The value displayed at `addr` (empty cells read as [`Value::Empty`]).
+    pub fn value(&self, addr: CellAddr) -> Value {
+        self.cells.get(addr).cloned().unwrap_or(Value::Empty)
+    }
+
+    /// Write one cell. Writing `Empty` clears the cell (the stores hold only
+    /// non-empty cells). Returns the previous value.
+    pub fn set_value(&mut self, addr: CellAddr, v: Value) -> Value {
+        let old = if v.is_empty() {
+            self.cells.remove(addr)
+        } else {
+            self.cells.set(addr, v)
+        };
+        old.unwrap_or(Value::Empty)
+    }
+
+    /// Type keyboard input into a cell, with spreadsheet literal recognition.
+    pub fn set_input(&mut self, addr: CellAddr, input: &str) -> Value {
+        self.set_value(addr, Value::from_input(input))
+    }
+
+    /// Fill a rectangular region from a row-major matrix starting at `at`.
+    pub fn set_region(&mut self, at: CellAddr, rows: &[Vec<Value>]) {
+        for (dr, row) in rows.iter().enumerate() {
+            for (dc, v) in row.iter().enumerate() {
+                self.set_value(
+                    CellAddr::new(at.row + dr as u32, at.col + dc as u32),
+                    v.clone(),
+                );
+            }
+        }
+    }
+
+    /// Dense row-major matrix of a region (empty cells as `Empty`).
+    pub fn region(&self, range: Range) -> Vec<Vec<Value>> {
+        let mut out = vec![vec![Value::Empty; range.width() as usize]; range.height() as usize];
+        self.cells.for_each_in_range(range, &mut |a, v| {
+            out[(a.row - range.start.row) as usize][(a.col - range.start.col) as usize] = v.clone();
+        });
+        out
+    }
+
+    pub fn cell_count(&self) -> usize {
+        self.cells.cell_count()
+    }
+
+    pub fn used_bounds(&self) -> Option<Range> {
+        self.cells.used_bounds()
+    }
+
+    // ---- stable row identity --------------------------------------------
+
+    /// Number of rows currently registered in the row mapping.
+    pub fn registered_rows(&self) -> usize {
+        self.rows.row_count()
+    }
+
+    fn ensure_rows(&mut self, count: usize) {
+        while self.rows.row_count() < count {
+            let key = self.next_row_key;
+            self.next_row_key += 1;
+            self.rows.append(key).expect("fresh keys are unique");
+        }
+    }
+
+    /// Stable key of display row `row`, registering it (and any rows above)
+    /// on first touch.
+    pub fn row_key(&mut self, row: u32) -> RowKey {
+        self.ensure_rows(row as usize + 1);
+        self.rows
+            .key_for_row(row as usize)
+            .expect("row just ensured")
+    }
+
+    /// Current display position of a stable row key (back-end → front-end
+    /// translation), if the row still exists.
+    pub fn row_of_key(&self, key: RowKey) -> Option<u32> {
+        self.rows.row_for_key(key).map(|r| r as u32)
+    }
+
+    /// Stable keys for the display window `[first, first+height)`.
+    pub fn row_keys_in_window(&mut self, first: u32, height: u32) -> Vec<RowKey> {
+        self.ensure_rows(first as usize + height as usize);
+        self.rows.keys_in_window(first as usize, height as usize)
+    }
+
+    // ---- structural edits -------------------------------------------------
+
+    /// Insert `count` blank rows at `at`: cells shift down, stable keys of
+    /// existing rows are preserved, fresh keys appear for the new rows.
+    pub fn insert_rows(&mut self, at: u32, count: u32) -> DsResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.cells.insert_rows(at, count);
+        self.ensure_rows(at as usize);
+        for i in 0..count {
+            let key = self.next_row_key;
+            self.next_row_key += 1;
+            // `ensure_rows(at)` guarantees the position is in bounds, so every
+            // inserted display row gets a fresh key.
+            self.rows.insert_row((at + i) as usize, key)?;
+        }
+        Ok(())
+    }
+
+    /// Delete `count` rows at `at`: their cells vanish, rows below shift up,
+    /// their stable keys are retired.
+    pub fn delete_rows(&mut self, at: u32, count: u32) -> DsResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.cells.delete_rows(at, count);
+        for _ in 0..count {
+            if (at as usize) < self.rows.row_count() {
+                self.rows.remove_row(at as usize)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn insert_cols(&mut self, at: u32, count: u32) {
+        self.cells.insert_cols(at, count);
+    }
+
+    pub fn delete_cols(&mut self, at: u32, count: u32) {
+        self.cells.delete_cols(at, count);
+    }
+
+    /// Parse-and-validate helper used by the workbook's A1 entry points.
+    pub(crate) fn parse_range(a1: &str) -> DsResult<Range> {
+        Range::parse_a1(a1)
+            .map_err(|_| DsError::Interface(format!("invalid range reference `{a1}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn cell_round_trip_all_stores() {
+        for kind in [StoreKind::Tiled, StoreKind::Block, StoreKind::Naive] {
+            let mut s = Sheet::new("S", kind);
+            assert_eq!(s.value(a("B2")), Value::Empty);
+            s.set_input(a("B2"), "42");
+            assert_eq!(s.value(a("B2")), Value::Int(42));
+            s.set_value(a("B2"), Value::Empty);
+            assert_eq!(s.cell_count(), 0, "{kind:?} clears on Empty write");
+        }
+    }
+
+    #[test]
+    fn region_round_trip() {
+        let mut s = Sheet::new("S", StoreKind::Tiled);
+        s.set_region(
+            a("B2"),
+            &[
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(3), Value::Empty],
+            ],
+        );
+        let m = s.region(Range::parse_a1("B2:C3").unwrap());
+        assert_eq!(m[0], vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(m[1], vec![Value::Int(3), Value::Empty]);
+    }
+
+    #[test]
+    fn row_keys_survive_structural_edits() {
+        let mut s = Sheet::new("S", StoreKind::Tiled);
+        s.set_input(a("A1"), "top");
+        s.set_input(a("A5"), "bottom");
+        let k1 = s.row_key(0);
+        let k5 = s.row_key(4);
+        s.insert_rows(2, 3).unwrap();
+        assert_eq!(s.row_of_key(k1), Some(0), "row above the edit is untouched");
+        assert_eq!(s.row_of_key(k5), Some(7), "row below shifted by 3");
+        assert_eq!(s.value(a("A8")), Value::text("bottom"));
+        s.delete_rows(0, 1).unwrap();
+        assert_eq!(s.row_of_key(k1), None, "deleted row key retired");
+        assert_eq!(s.row_of_key(k5), Some(6));
+    }
+
+    #[test]
+    fn window_keys_are_stable_and_distinct() {
+        let mut s = Sheet::new("S", StoreKind::Block);
+        let w1 = s.row_keys_in_window(10, 5);
+        let w2 = s.row_keys_in_window(10, 5);
+        assert_eq!(w1, w2);
+        let mut sorted = w1.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+}

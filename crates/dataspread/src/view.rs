@@ -1,0 +1,182 @@
+//! Table views: the interface manager's display mapping for a table region.
+//!
+//! Paper §3: the interface manager "maintains a mapping between a tuple's key
+//! attribute and its corresponding location". A [`TableView`] is that mapping
+//! for one displayed table: display row → stable [`RowKey`], generic over the
+//! positional index so the counted B-tree and the dense rownum baseline can
+//! be compared on the *same* operations (experiment `C3`).
+
+use dataspread_posindex::{CountedBtree, DenseIndex, PositionalIndex, RowKey};
+use dataspread_relstore::Table;
+use dataspread_types::{DsError, DsResult, Value};
+
+/// Display-order mapping over a table, parameterized by index structure.
+#[derive(Debug)]
+pub struct TableView<I: PositionalIndex = CountedBtree> {
+    index: I,
+}
+
+impl TableView<CountedBtree> {
+    /// View a table in its current presentation order, O(log n) positional
+    /// operations (the DataSpread path).
+    pub fn counted(table: &Table) -> DsResult<Self> {
+        let keys = table.keys_in_window(0, table.row_count());
+        Ok(TableView {
+            index: CountedBtree::from_keys(keys)?,
+        })
+    }
+}
+
+impl TableView<DenseIndex> {
+    /// View backed by the dense rownum baseline: O(1) lookup but O(n)
+    /// positional insert/delete (the stock-RDBMS arm).
+    pub fn dense(table: &Table) -> DsResult<Self> {
+        let keys = table.keys_in_window(0, table.row_count());
+        Ok(TableView {
+            index: DenseIndex::from_keys(keys)?,
+        })
+    }
+}
+
+impl<I: PositionalIndex> TableView<I> {
+    /// Wrap an existing index (benches build these directly).
+    pub fn from_index(index: I) -> Self {
+        TableView { index }
+    }
+
+    /// Number of displayed rows.
+    pub fn row_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Stable key of the row displayed at `pos`.
+    pub fn key_at(&self, pos: usize) -> Option<RowKey> {
+        self.index.key_at(pos)
+    }
+
+    /// Display position of a stable key (back-end update → grid row).
+    pub fn position_of(&self, key: RowKey) -> Option<usize> {
+        self.index.position_of(key)
+    }
+
+    /// Insert `row` into `table` so it is displayed at `pos`; rows below
+    /// shift down. The tuple is appended at the storage level — its display
+    /// position lives only in this view's index.
+    pub fn insert_row_at(
+        &mut self,
+        table: &mut Table,
+        pos: usize,
+        row: Vec<Value>,
+    ) -> DsResult<RowKey> {
+        if pos > self.index.len() {
+            return Err(DsError::Interface(format!(
+                "insert position {pos} out of bounds (view has {} rows)",
+                self.index.len()
+            )));
+        }
+        let key = table.insert(row)?;
+        self.index.insert_at(pos, key)?;
+        Ok(key)
+    }
+
+    /// Delete the row displayed at `pos` from both the view and the table.
+    pub fn delete_row_at(&mut self, table: &mut Table, pos: usize) -> DsResult<RowKey> {
+        let key = self.index.remove_at(pos)?;
+        table.delete_row(key)?;
+        Ok(key)
+    }
+
+    /// The displayed window `[pos, pos + count)`, materialized in display
+    /// order — O(log n + count) descents through the positional index.
+    pub fn window(
+        &self,
+        table: &Table,
+        pos: usize,
+        count: usize,
+    ) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
+        let keys = self.index.range(pos, count);
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            out.push((k, table.get_row(k)?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_relstore::{Catalog, ColumnDef, Schema};
+    use dataspread_types::DataType;
+
+    fn table_with(n: i64) -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let t = c.get_mut("t").unwrap();
+        for i in 0..n {
+            t.insert(vec![Value::Int(i), Value::text(format!("r{i}"))])
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn counted_and_dense_views_agree() {
+        let mut c = table_with(20);
+        let mut counted = TableView::counted(c.get("t").unwrap()).unwrap();
+        // A second catalog so each view owns its table's mutations.
+        let mut c2 = table_with(20);
+        let mut dense = TableView::dense(c2.get("t").unwrap()).unwrap();
+
+        let mid = vec![Value::Int(99), Value::text("middle")];
+        counted
+            .insert_row_at(c.get_mut("t").unwrap(), 10, mid.clone())
+            .unwrap();
+        dense
+            .insert_row_at(c2.get_mut("t").unwrap(), 10, mid)
+            .unwrap();
+
+        let w1 = counted.window(c.get("t").unwrap(), 8, 5).unwrap();
+        let w2 = dense.window(c2.get("t").unwrap(), 8, 5).unwrap();
+        let v1: Vec<&Vec<Value>> = w1.iter().map(|(_, r)| r).collect();
+        let v2: Vec<&Vec<Value>> = w2.iter().map(|(_, r)| r).collect();
+        assert_eq!(v1, v2);
+        assert_eq!(v1[2][0], Value::Int(99), "inserted row displayed at 10");
+    }
+
+    #[test]
+    fn delete_shifts_window() {
+        let mut c = table_with(10);
+        let mut view = TableView::counted(c.get("t").unwrap()).unwrap();
+        view.delete_row_at(c.get_mut("t").unwrap(), 0).unwrap();
+        assert_eq!(view.row_count(), 9);
+        let w = view.window(c.get("t").unwrap(), 0, 2).unwrap();
+        assert_eq!(w[0].1[0], Value::Int(1));
+        assert_eq!(c.get("t").unwrap().row_count(), 9, "table row deleted too");
+    }
+
+    #[test]
+    fn out_of_bounds_insert_rejected() {
+        let mut c = table_with(3);
+        let mut view = TableView::counted(c.get("t").unwrap()).unwrap();
+        let err = view.insert_row_at(
+            c.get_mut("t").unwrap(),
+            7,
+            vec![Value::Int(9), Value::text("x")],
+        );
+        assert!(err.is_err());
+        assert_eq!(
+            c.get("t").unwrap().row_count(),
+            3,
+            "no phantom tuple on failure"
+        );
+    }
+}

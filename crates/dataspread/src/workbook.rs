@@ -1,0 +1,492 @@
+//! The workbook: the engine object that unifies all five layers.
+//!
+//! A [`Workbook`] owns a set of [`Sheet`]s (interface data, `gridstore`) and a
+//! relational [`Catalog`] (`relstore`), executes SQL against both
+//! (`dataspread_sql` + [`crate::engine`]), and resolves the positional
+//! constructs `RANGEVALUE`/`RANGETABLE` from the live grid — the wiring the
+//! paper calls the *interface manager*.
+
+use std::collections::HashMap;
+
+use dataspread_relstore::{Catalog, ColumnDef, RowKey, Schema};
+use dataspread_sql::parser::{parse_statement, parse_statements};
+use dataspread_sql::resolver::SheetResolver;
+use dataspread_types::{col_to_letters, CellAddr, DataType, DsError, DsResult, Range, Value};
+
+use crate::engine::{self, QueryResult};
+use crate::sheet::{Sheet, StoreKind};
+
+/// Handle to a sheet inside a workbook.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SheetId(pub usize);
+
+/// The top-level engine object.
+#[derive(Debug)]
+pub struct Workbook {
+    sheets: Vec<Sheet>,
+    /// Lower-cased sheet name → index.
+    by_name: HashMap<String, usize>,
+    catalog: Catalog,
+    current: usize,
+    default_store: StoreKind,
+}
+
+impl Default for Workbook {
+    fn default() -> Self {
+        Workbook::new()
+    }
+}
+
+impl Workbook {
+    /// A workbook with one sheet (`Sheet1`) using the default tiled store.
+    pub fn new() -> Self {
+        Workbook::with_store(StoreKind::Tiled)
+    }
+
+    /// A workbook whose sheets use the given interface-storage layout.
+    pub fn with_store(kind: StoreKind) -> Self {
+        let mut wb = Workbook {
+            sheets: Vec::new(),
+            by_name: HashMap::new(),
+            catalog: Catalog::new(),
+            current: 0,
+            default_store: kind,
+        };
+        wb.add_sheet("Sheet1")
+            .expect("fresh workbook accepts a sheet");
+        wb
+    }
+
+    // ---- sheets ----------------------------------------------------------
+
+    pub fn add_sheet(&mut self, name: &str) -> DsResult<SheetId> {
+        if name.is_empty() {
+            return Err(DsError::Interface("empty sheet name".into()));
+        }
+        let key = name.to_ascii_lowercase();
+        if self.by_name.contains_key(&key) {
+            return Err(DsError::Interface(format!("sheet `{name}` already exists")));
+        }
+        self.sheets.push(Sheet::new(name, self.default_store));
+        let id = self.sheets.len() - 1;
+        self.by_name.insert(key, id);
+        Ok(SheetId(id))
+    }
+
+    pub fn sheet_id(&self, name: &str) -> DsResult<SheetId> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .map(|&i| SheetId(i))
+            .ok_or_else(|| DsError::Interface(format!("no sheet named `{name}`")))
+    }
+
+    pub fn sheet(&self, id: SheetId) -> &Sheet {
+        &self.sheets[id.0]
+    }
+
+    pub fn sheet_mut(&mut self, id: SheetId) -> &mut Sheet {
+        &mut self.sheets[id.0]
+    }
+
+    pub fn sheet_count(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// The sheet unqualified positional references resolve against.
+    pub fn current_sheet(&self) -> SheetId {
+        SheetId(self.current)
+    }
+
+    pub fn set_current_sheet(&mut self, id: SheetId) {
+        assert!(id.0 < self.sheets.len(), "stale SheetId");
+        self.current = id.0;
+    }
+
+    // ---- relational side -------------------------------------------------
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    // ---- SQL ------------------------------------------------------------
+
+    /// Parse and execute one SQL statement against the workbook: tables come
+    /// from the catalog, `RANGEVALUE`/`RANGETABLE` read the live sheets.
+    pub fn execute(&mut self, sql: &str) -> DsResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        let ctx = SheetCtx {
+            sheets: &self.sheets,
+            by_name: &self.by_name,
+            current: self.current,
+        };
+        engine::execute(&mut self.catalog, &ctx, stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the result of each statement.
+    pub fn execute_script(&mut self, sql: &str) -> DsResult<Vec<QueryResult>> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            let ctx = SheetCtx {
+                sheets: &self.sheets,
+                by_name: &self.by_name,
+                current: self.current,
+            };
+            out.push(engine::execute(&mut self.catalog, &ctx, stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute and demand a row set (convenience for queries).
+    pub fn query(&mut self, sql: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        match self.execute(sql)? {
+            QueryResult::Rows { columns, rows } => Ok((columns, rows)),
+            other => Err(DsError::Sql(format!(
+                "statement returned {other:?}, not rows"
+            ))),
+        }
+    }
+
+    // ---- positional references ------------------------------------------
+
+    /// The scalar at an A1 reference (`B2` or `Data!B2`) — the engine-side
+    /// implementation of `RANGEVALUE`.
+    pub fn range_value(&self, a1: &str) -> DsResult<Value> {
+        let ctx = SheetCtx {
+            sheets: &self.sheets,
+            by_name: &self.by_name,
+            current: self.current,
+        };
+        ctx.range_value(a1)
+    }
+
+    /// A region as a relation (`A1:C10` or `Data!A1:C10`) — the engine-side
+    /// implementation of `RANGETABLE`. Header row is used for column names
+    /// when every cell of the first row is non-blank text; otherwise columns
+    /// are named by their sheet letters.
+    pub fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let ctx = SheetCtx {
+            sheets: &self.sheets,
+            by_name: &self.by_name,
+            current: self.current,
+        };
+        ctx.range_table(a1)
+    }
+
+    // ---- import / export -------------------------------------------------
+
+    /// Import a sheet region into a new catalog table (paper §2.2,
+    /// "exporting spreadsheet data to the database"): column names from the
+    /// header row (or sheet letters), column types inferred from the data,
+    /// error cells sanitized to NULL. Display order of the imported rows is
+    /// the region's row order, maintained by the table's positional index.
+    pub fn import_region(
+        &mut self,
+        sheet: SheetId,
+        range: Range,
+        table: &str,
+        headers: bool,
+    ) -> DsResult<usize> {
+        let matrix = self.sheets[sheet.0].region(range);
+        let (names, data) = if headers {
+            if matrix.is_empty() {
+                return Err(DsError::Interface(
+                    "header import of an empty region".into(),
+                ));
+            }
+            let names = header_names(&matrix[0], range.start.col)?;
+            (names, &matrix[1..])
+        } else {
+            let names: Vec<String> = (0..range.width())
+                .map(|c| col_to_letters(range.start.col + c).to_ascii_lowercase())
+                .collect();
+            (names, &matrix[..])
+        };
+        // Infer each column's type from the data actually present.
+        let mut cols = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            let dtype = DataType::infer_column(data.iter().map(|r| &r[i]));
+            cols.push(ColumnDef::new(name.clone(), dtype));
+        }
+        let schema = Schema::new(cols)?;
+        self.catalog.create_table(table, schema)?;
+        let t = self.catalog.get_mut(table)?;
+        let mut n = 0;
+        for row in data {
+            let clean: Vec<Value> = row
+                .iter()
+                .map(|v| {
+                    if v.is_error() {
+                        Value::Empty
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            t.insert(clean)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Write a table's contents (optionally with a header row) into a sheet
+    /// region starting at `at` — the display direction of the two-way sync.
+    pub fn export_table(
+        &mut self,
+        table: &str,
+        sheet: SheetId,
+        at: CellAddr,
+        headers: bool,
+    ) -> DsResult<Range> {
+        let t = self.catalog.get(table)?;
+        let width = t.schema().width() as u32;
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(t.row_count() + 1);
+        if headers {
+            rows.push(
+                t.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| Value::text(c.name.clone()))
+                    .collect(),
+            );
+        }
+        for (_, row) in t.scan()? {
+            rows.push(row);
+        }
+        let height = rows.len().max(1) as u32;
+        self.sheets[sheet.0].set_region(at, &rows);
+        Ok(Range::from_bounds(
+            at.row,
+            at.col,
+            at.row + height - 1,
+            at.col + width.max(1) - 1,
+        ))
+    }
+
+    // ---- positional DML (the paper's signature operations) ----------------
+
+    /// Insert a tuple so it is *displayed* at position `pos` — O(log n) via
+    /// the table's counted B-tree, vs. the O(n) renumbering a stock rownum
+    /// column forces.
+    pub fn insert_tuple_at(
+        &mut self,
+        table: &str,
+        pos: usize,
+        row: Vec<Value>,
+    ) -> DsResult<RowKey> {
+        self.catalog.get_mut(table)?.insert_at(pos, row)
+    }
+
+    /// Fetch the window of rows displayed at `[pos, pos + count)` — the query
+    /// the front-end issues as the user scrolls.
+    pub fn fetch_window(
+        &mut self,
+        table: &str,
+        pos: usize,
+        count: usize,
+    ) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
+        self.catalog.get(table)?.scan_window(pos, count)
+    }
+}
+
+/// Sanitize a header row into distinct, non-empty column names.
+fn header_names(row: &[Value], first_col: u32) -> DsResult<Vec<String>> {
+    let mut names: Vec<String> = Vec::with_capacity(row.len());
+    for (i, v) in row.iter().enumerate() {
+        let base = match v {
+            Value::Text(s) if !s.trim().is_empty() => s.trim().to_string(),
+            _ => col_to_letters(first_col + i as u32).to_ascii_lowercase(),
+        };
+        let mut name = base.clone();
+        let mut suffix = 2;
+        while names.iter().any(|n| n.eq_ignore_ascii_case(&name)) {
+            name = format!("{base}_{suffix}");
+            suffix += 1;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Borrowed view of the workbook's sheets implementing the SQL layer's
+/// [`SheetResolver`] — how `RANGEVALUE`/`RANGETABLE` reach the live grid
+/// while the executor holds the catalog mutably.
+pub(crate) struct SheetCtx<'a> {
+    sheets: &'a [Sheet],
+    by_name: &'a HashMap<String, usize>,
+    current: usize,
+}
+
+impl<'a> SheetCtx<'a> {
+    /// Split `Sheet2!B3` into (sheet, rest); bare references use the current
+    /// sheet.
+    fn locate<'s>(&self, a1: &'s str) -> DsResult<(&'a Sheet, &'s str)> {
+        match a1.split_once('!') {
+            Some((sheet, rest)) => {
+                let idx = self
+                    .by_name
+                    .get(&sheet.trim().to_ascii_lowercase())
+                    .ok_or_else(|| DsError::Interface(format!("no sheet named `{sheet}`")))?;
+                Ok((&self.sheets[*idx], rest))
+            }
+            None => Ok((&self.sheets[self.current], a1)),
+        }
+    }
+}
+
+impl SheetResolver for SheetCtx<'_> {
+    fn range_value(&self, a1: &str) -> DsResult<Value> {
+        let (sheet, rest) = self.locate(a1)?;
+        let addr = CellAddr::parse_a1(rest.trim())
+            .map_err(|_| DsError::Sql(format!("invalid RANGEVALUE reference `{a1}`")))?;
+        let v = sheet.value(addr);
+        if let Some(e) = v.as_error() {
+            // A query must not silently compute on an error cell.
+            return Err(DsError::CellValue(e));
+        }
+        Ok(v)
+    }
+
+    fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let (sheet, rest) = self.locate(a1)?;
+        let range = Sheet::parse_range(rest.trim())
+            .map_err(|_| DsError::Sql(format!("invalid RANGETABLE reference `{a1}`")))?;
+        let matrix = sheet.region(range);
+        // Header row if every first-row cell is non-blank text.
+        let use_header = !matrix.is_empty()
+            && matrix[0]
+                .iter()
+                .all(|v| matches!(v, Value::Text(s) if !s.trim().is_empty()));
+        let (names, data) = if use_header {
+            (header_names(&matrix[0], range.start.col)?, &matrix[1..])
+        } else {
+            let names: Vec<String> = (0..range.width())
+                .map(|c| col_to_letters(range.start.col + c).to_ascii_lowercase())
+                .collect();
+            (names, &matrix[..])
+        };
+        Ok((names, data.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn sheets_are_named_case_insensitively() {
+        let mut wb = Workbook::new();
+        let id = wb.add_sheet("Data").unwrap();
+        assert_eq!(wb.sheet_id("data").unwrap(), id);
+        assert!(wb.add_sheet("DATA").is_err());
+        assert!(wb.sheet_id("nope").is_err());
+    }
+
+    #[test]
+    fn range_value_reads_live_cells() {
+        let mut wb = Workbook::new();
+        let s1 = wb.current_sheet();
+        wb.sheet_mut(s1).set_input(a("B2"), "42");
+        assert_eq!(wb.range_value("B2").unwrap(), Value::Int(42));
+        assert_eq!(wb.range_value("Sheet1!B2").unwrap(), Value::Int(42));
+        assert_eq!(wb.range_value("Z99").unwrap(), Value::Empty);
+        assert!(wb.range_value("Nope!A1").is_err());
+        assert!(wb.range_value("not-a-ref").is_err());
+    }
+
+    #[test]
+    fn range_value_refuses_error_cells() {
+        let mut wb = Workbook::new();
+        let s1 = wb.current_sheet();
+        wb.sheet_mut(s1).set_input(a("A1"), "#REF!");
+        assert!(wb.range_value("A1").is_err());
+    }
+
+    #[test]
+    fn range_table_header_inference() {
+        let mut wb = Workbook::new();
+        let s1 = wb.current_sheet();
+        wb.sheet_mut(s1).set_region(
+            a("A1"),
+            &[
+                vec![Value::text("id"), Value::text("name")],
+                vec![Value::Int(1), Value::text("ada")],
+            ],
+        );
+        let (cols, rows) = wb.range_table("A1:B2").unwrap();
+        assert_eq!(cols, vec!["id", "name"]);
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::text("ada")]]);
+        // No header: letters.
+        let (cols, rows) = wb.range_table("A2:B2").unwrap();
+        assert_eq!(cols, vec!["a", "b"]);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn import_infers_schema_and_order() {
+        let mut wb = Workbook::new();
+        let s1 = wb.current_sheet();
+        wb.sheet_mut(s1).set_region(
+            a("A1"),
+            &[
+                vec![Value::text("id"), Value::text("score")],
+                vec![Value::Int(1), Value::Float(3.5)],
+                vec![Value::Int(2), Value::Int(4)],
+            ],
+        );
+        let n = wb
+            .import_region(s1, Range::parse_a1("A1:B3").unwrap(), "scores", true)
+            .unwrap();
+        assert_eq!(n, 2);
+        let t = wb.catalog().get("scores").unwrap();
+        assert_eq!(t.schema().column(0).dtype, DataType::Int);
+        assert_eq!(
+            t.schema().column(1).dtype,
+            DataType::Float,
+            "Int ∨ Float = Float"
+        );
+        let rows = t.scan().unwrap();
+        assert_eq!(rows[0].1[0], Value::Int(1));
+        assert_eq!(rows[1].1[1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn export_writes_grid() {
+        let mut wb = Workbook::new();
+        let s1 = wb.current_sheet();
+        wb.sheet_mut(s1).set_region(
+            a("A1"),
+            &[
+                vec![Value::text("x")],
+                vec![Value::Int(7)],
+                vec![Value::Int(8)],
+            ],
+        );
+        wb.import_region(s1, Range::parse_a1("A1:A3").unwrap(), "t", true)
+            .unwrap();
+        let out = wb.add_sheet("Out").unwrap();
+        let covered = wb.export_table("t", out, a("C1"), true).unwrap();
+        assert_eq!(covered, Range::parse_a1("C1:C3").unwrap());
+        assert_eq!(wb.sheet(out).value(a("C1")), Value::text("x"));
+        assert_eq!(wb.sheet(out).value(a("C2")), Value::Int(7));
+        assert_eq!(wb.sheet(out).value(a("C3")), Value::Int(8));
+    }
+
+    #[test]
+    fn header_names_dedup_and_fallback() {
+        let names = header_names(&[Value::text("x"), Value::text("X"), Value::Empty], 0).unwrap();
+        assert_eq!(
+            names,
+            vec!["x", "X_2", "c"],
+            "case preserved, dedup case-insensitive"
+        );
+    }
+}

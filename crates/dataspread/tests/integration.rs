@@ -1,0 +1,209 @@
+//! The full vertical path, end to end (acceptance test for the engine):
+//!
+//! 1. a sheet region is imported into a catalog table (interface → relational),
+//! 2. SQL runs against that table with a `RANGEVALUE` reference resolved from
+//!    the *live* grid (`sql` → engine → `relstore` + `gridstore`),
+//! 3. a tuple is positionally inserted mid-window (O(log n) through the
+//!    counted B-tree, `posindex`),
+//! 4. the windowed fetch reflects the insert — under both the counted B-tree
+//!    and the dense rownum baseline (the paper's C3 arms).
+
+use dataspread::{QueryResult, StoreKind, TableView, Workbook};
+use dataspread_types::{CellAddr, Range, Value};
+
+fn a(s: &str) -> CellAddr {
+    CellAddr::parse_a1(s).unwrap()
+}
+
+fn r(s: &str) -> Range {
+    Range::parse_a1(s).unwrap()
+}
+
+/// Lay out a small grade book on the sheet and import it.
+fn build_workbook(kind: StoreKind) -> Workbook {
+    let mut wb = Workbook::with_store(kind);
+    let s = wb.current_sheet();
+    let mut region: Vec<Vec<Value>> = vec![vec![
+        Value::text("id"),
+        Value::text("name"),
+        Value::text("score"),
+    ]];
+    for i in 0..50i64 {
+        region.push(vec![
+            Value::Int(i),
+            Value::text(format!("student{i:02}")),
+            Value::Int(50 + i),
+        ]);
+    }
+    wb.sheet_mut(s).set_region(a("A1"), &region);
+    let n = wb.import_region(s, r("A1:C51"), "students", true).unwrap();
+    assert_eq!(n, 50);
+    wb
+}
+
+#[test]
+fn import_sql_positional_insert_window_vertical_path() {
+    let mut wb = build_workbook(StoreKind::Tiled);
+    let s = wb.current_sheet();
+
+    // -- 2. SQL over the imported table, parameterized by a live cell. ------
+    wb.sheet_mut(s).set_input(a("E1"), "95");
+    let (cols, rows) = wb
+        .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
+        .unwrap();
+    assert_eq!(cols, vec!["name"]);
+    assert_eq!(rows.len(), 4, "scores 96..99");
+    assert_eq!(rows[0][0], Value::text("student49"));
+
+    // Editing the cell re-parameterizes the same SQL — the sheet is live.
+    wb.sheet_mut(s).set_input(a("E1"), "97");
+    let (_, rows) = wb
+        .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+
+    // SQL INSERT through the executor lands in the same table.
+    let res = wb
+        .execute("INSERT INTO students VALUES (100, 'via sql', 0)")
+        .unwrap();
+    assert_eq!(res, QueryResult::Affected(1));
+    let (_, rows) = wb.query("SELECT COUNT(*) FROM students").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(51)]]);
+    wb.execute("DELETE FROM students WHERE id = 100").unwrap();
+
+    // -- 3. Positional insert mid-window, routed through the counted B-tree.
+    let before = wb.fetch_window("students", 18, 5).unwrap();
+    assert_eq!(
+        before[2].1[0],
+        Value::Int(20),
+        "row 20 displayed at position 20"
+    );
+    wb.insert_tuple_at(
+        "students",
+        20,
+        vec![Value::Int(777), Value::text("wedge"), Value::Int(1)],
+    )
+    .unwrap();
+
+    // -- 4. The window reflects the insert; rows below shifted down by one.
+    let after = wb.fetch_window("students", 18, 5).unwrap();
+    let ids: Vec<&Value> = after.iter().map(|(_, row)| &row[0]).collect();
+    assert_eq!(
+        ids,
+        vec![
+            &Value::Int(18),
+            &Value::Int(19),
+            &Value::Int(777),
+            &Value::Int(20),
+            &Value::Int(21)
+        ]
+    );
+    // Positions after the window shifted too.
+    let tail = wb.fetch_window("students", 50, 10).unwrap();
+    assert_eq!(tail.len(), 1, "51 rows total now");
+    assert_eq!(tail[0].1[0], Value::Int(49));
+}
+
+/// The same positional operations behave identically over the counted B-tree
+/// and the dense rownum baseline (experiment C3's correctness precondition).
+#[test]
+fn window_after_positional_insert_matches_under_both_indexes() {
+    let mut wb_counted = build_workbook(StoreKind::Tiled);
+    let mut wb_dense = build_workbook(StoreKind::Block);
+
+    let mut counted = TableView::counted(wb_counted.catalog().get("students").unwrap()).unwrap();
+    let mut dense = TableView::dense(wb_dense.catalog().get("students").unwrap()).unwrap();
+
+    let wedge = vec![Value::Int(900), Value::text("wedge"), Value::Int(0)];
+    counted
+        .insert_row_at(
+            wb_counted.catalog_mut().get_mut("students").unwrap(),
+            25,
+            wedge.clone(),
+        )
+        .unwrap();
+    dense
+        .insert_row_at(
+            wb_dense.catalog_mut().get_mut("students").unwrap(),
+            25,
+            wedge,
+        )
+        .unwrap();
+
+    for (pos, count) in [(0, 5), (23, 6), (48, 10)] {
+        let w1 = counted
+            .window(wb_counted.catalog().get("students").unwrap(), pos, count)
+            .unwrap();
+        let w2 = dense
+            .window(wb_dense.catalog().get("students").unwrap(), pos, count)
+            .unwrap();
+        let v1: Vec<&Vec<Value>> = w1.iter().map(|(_, row)| row).collect();
+        let v2: Vec<&Vec<Value>> = w2.iter().map(|(_, row)| row).collect();
+        assert_eq!(
+            v1, v2,
+            "window ({pos}, {count}) diverged between index arms"
+        );
+    }
+    assert_eq!(
+        counted
+            .window(wb_counted.catalog().get("students").unwrap(), 25, 1)
+            .unwrap()[0]
+            .1[0],
+        Value::Int(900)
+    );
+    assert_eq!(counted.position_of(dense.key_at(25).unwrap()), Some(25));
+}
+
+/// RANGETABLE turns a live region into a relation and joins it with a table,
+/// under every interface-storage layout.
+#[test]
+fn rangetable_join_under_every_store() {
+    for kind in [StoreKind::Tiled, StoreKind::Block, StoreKind::Naive] {
+        let mut wb = build_workbook(kind);
+        let s = wb.current_sheet();
+        // A bonus sheet region keyed by student id.
+        wb.sheet_mut(s).set_region(
+            a("E1"),
+            &[
+                vec![Value::text("id"), Value::text("bonus")],
+                vec![Value::Int(3), Value::Int(5)],
+                vec![Value::Int(7), Value::Int(9)],
+            ],
+        );
+        let (_, rows) = wb
+            .query(
+                "SELECT name, score + bonus FROM students NATURAL JOIN RANGETABLE(E1:F3)
+                 ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::text("student03"), Value::Int(58)],
+                vec![Value::text("student07"), Value::Int(66)],
+            ],
+            "store {kind:?}"
+        );
+    }
+}
+
+/// Round trip: import → SQL UPDATE → export back to a sheet.
+#[test]
+fn import_update_export_round_trip() {
+    let mut wb = build_workbook(StoreKind::Tiled);
+    wb.execute("UPDATE students SET score = score * 2 WHERE id < 2")
+        .unwrap();
+    let out = wb.add_sheet("Report").unwrap();
+    wb.export_table("students", out, a("A1"), true).unwrap();
+    assert_eq!(wb.sheet(out).value(a("C1")), Value::text("score"));
+    assert_eq!(
+        wb.sheet(out).value(a("C2")),
+        Value::Int(100),
+        "50 * 2 exported"
+    );
+    assert_eq!(
+        wb.sheet(out).value(a("C4")),
+        Value::Int(52),
+        "untouched row exported"
+    );
+}

@@ -28,7 +28,10 @@ pub struct BlockConfig {
 
 impl Default for BlockConfig {
     fn default() -> Self {
-        BlockConfig { capacity: 256, proximity: 8 }
+        BlockConfig {
+            capacity: 256,
+            proximity: 8,
+        }
     }
 }
 
@@ -95,18 +98,24 @@ impl<T> BlockGrid<T> {
     }
 
     fn block(&self, id: u32) -> &Block<T> {
-        self.blocks[id as usize].as_ref().expect("dangling block id")
+        self.blocks[id as usize]
+            .as_ref()
+            .expect("dangling block id")
     }
 
     fn block_mut(&mut self, id: u32) -> &mut Block<T> {
-        self.blocks[id as usize].as_mut().expect("dangling block id")
+        self.blocks[id as usize]
+            .as_mut()
+            .expect("dangling block id")
     }
 
     /// The block currently holding `addr`, if any.
     fn find_block_of(&self, addr: CellAddr) -> Option<u32> {
         let candidates = self.rtree.point_search(addr.row, addr.col);
         self.stats.add_read(candidates.len() as u64);
-        candidates.into_iter().find(|&id| self.block(id).cells.contains_key(&addr))
+        candidates
+            .into_iter()
+            .find(|&id| self.block(id).cells.contains_key(&addr))
     }
 
     /// Split an over-capacity block along its longer axis at the median cell.
@@ -125,7 +134,10 @@ impl<T> BlockGrid<T> {
         left.recompute_bounds();
         let left_bounds = left.bounds;
 
-        let mut right = Block { bounds: Rect::point(0, 0), cells: second.into_iter().collect() };
+        let mut right = Block {
+            bounds: Rect::point(0, 0),
+            cells: second.into_iter().collect(),
+        };
         right.recompute_bounds();
         let right_bounds = right.bounds;
         let right_id = self.alloc_block(right);
@@ -186,7 +198,7 @@ impl<T> CellStore<T> for BlockGrid<T> {
                 continue;
             }
             let grow = b.bounds.enlargement(&cell_rect);
-            if best.map_or(true, |(_, g)| grow < g) {
+            if best.is_none_or(|(_, g)| grow < g) {
                 best = Some((id, grow));
             }
         }
@@ -210,7 +222,10 @@ impl<T> CellStore<T> for BlockGrid<T> {
             None => {
                 let mut cells = HashMap::new();
                 cells.insert(addr, value);
-                let id = self.alloc_block(Block { bounds: cell_rect, cells });
+                let id = self.alloc_block(Block {
+                    bounds: cell_rect,
+                    cells,
+                });
                 self.rtree.insert(cell_rect, id);
                 None
             }
@@ -299,7 +314,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> BlockGrid<i64> {
-        BlockGrid::new(BlockConfig { capacity: 8, proximity: 4 })
+        BlockGrid::new(BlockConfig {
+            capacity: 8,
+            proximity: 4,
+        })
     }
 
     #[test]
@@ -372,7 +390,11 @@ mod tests {
         let got = g.cells_in_range(Range::from_bounds(0, 0, 10, 10));
         assert_eq!(got.len(), 8);
         // Only the near block(s) were opened.
-        assert!(g.stats().cells_scanned() <= 8, "scanned {}", g.stats().cells_scanned());
+        assert!(
+            g.stats().cells_scanned() <= 8,
+            "scanned {}",
+            g.stats().cells_scanned()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod tiled;
 
 pub use block::BlockGrid;
 pub use naive::NaiveGrid;
-pub use rtree::{Rect, RTree};
+pub use rtree::{RTree, Rect};
 pub use tiled::{TileConfig, TiledGrid};
 
 use std::cell::Cell;
@@ -143,7 +143,12 @@ pub trait CellStore<T> {
 
 /// Shift helper shared by the rebuild-style structural edits: maps an address
 /// through a row insert/delete, `None` when the cell falls in a deleted band.
-pub(crate) fn shift_addr_rows(addr: CellAddr, at: u32, count: u32, insert: bool) -> Option<CellAddr> {
+pub(crate) fn shift_addr_rows(
+    addr: CellAddr,
+    at: u32,
+    count: u32,
+    insert: bool,
+) -> Option<CellAddr> {
     if insert {
         if addr.row >= at {
             Some(CellAddr::new(addr.row + count, addr.col))
@@ -161,7 +166,12 @@ pub(crate) fn shift_addr_rows(addr: CellAddr, at: u32, count: u32, insert: bool)
     }
 }
 
-pub(crate) fn shift_addr_cols(addr: CellAddr, at: u32, count: u32, insert: bool) -> Option<CellAddr> {
+pub(crate) fn shift_addr_cols(
+    addr: CellAddr,
+    at: u32,
+    count: u32,
+    insert: bool,
+) -> Option<CellAddr> {
     if insert {
         if addr.col >= at {
             Some(CellAddr::new(addr.row, addr.col + count))

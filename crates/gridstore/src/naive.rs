@@ -20,7 +20,10 @@ pub struct NaiveGrid<T> {
 
 impl<T> NaiveGrid<T> {
     pub fn new() -> Self {
-        NaiveGrid { cells: HashMap::new(), stats: StoreStats::default() }
+        NaiveGrid {
+            cells: HashMap::new(),
+            stats: StoreStats::default(),
+        }
     }
 
     fn rebuild(&mut self, f: impl Fn(CellAddr) -> Option<CellAddr>) {

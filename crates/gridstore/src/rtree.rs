@@ -24,11 +24,21 @@ impl Rect {
     }
 
     pub fn point(r: u32, c: u32) -> Self {
-        Rect { r0: r, c0: c, r1: r, c1: c }
+        Rect {
+            r0: r,
+            c0: c,
+            r1: r,
+            c1: c,
+        }
     }
 
     pub fn from_range(r: Range) -> Self {
-        Rect { r0: r.start.row, c0: r.start.col, r1: r.end.row, c1: r.end.col }
+        Rect {
+            r0: r.start.row,
+            c0: r.start.col,
+            r1: r.end.row,
+            c1: r.end.col,
+        }
     }
 
     pub fn to_range(self) -> Range {
@@ -99,7 +109,9 @@ impl<P: Copy + PartialEq> RTree<P> {
     pub fn new(max_entries: usize) -> Self {
         assert!(max_entries >= 4);
         RTree {
-            arena: vec![RNode { kind: RNodeKind::Leaf(Vec::new()) }],
+            arena: vec![RNode {
+                kind: RNodeKind::Leaf(Vec::new()),
+            }],
             free: Vec::new(),
             root: 0,
             len: 0,
@@ -127,7 +139,9 @@ impl<P: Copy + PartialEq> RTree<P> {
     }
 
     fn release(&mut self, id: NodeId) {
-        self.arena[id] = RNode { kind: RNodeKind::Free };
+        self.arena[id] = RNode {
+            kind: RNodeKind::Free,
+        };
         self.free.push(id);
     }
 
@@ -239,7 +253,9 @@ impl<P: Copy + PartialEq> RTree<P> {
             RNodeKind::Leaf(e) => *e = a,
             _ => unreachable!(),
         }
-        let sib = self.alloc(RNode { kind: RNodeKind::Leaf(b) });
+        let sib = self.alloc(RNode {
+            kind: RNodeKind::Leaf(b),
+        });
         (self.node_bounds(sib), sib)
     }
 
@@ -253,7 +269,9 @@ impl<P: Copy + PartialEq> RTree<P> {
             RNodeKind::Internal(e) => *e = a,
             _ => unreachable!(),
         }
-        let sib = self.alloc(RNode { kind: RNodeKind::Internal(b) });
+        let sib = self.alloc(RNode {
+            kind: RNodeKind::Internal(b),
+        });
         (self.node_bounds(sib), sib)
     }
 
@@ -433,9 +451,12 @@ impl<P: Copy + PartialEq> RTree<P> {
     }
 }
 
+/// The two halves a node splits into.
+type SplitHalves<X> = (Vec<(Rect, X)>, Vec<(Rect, X)>);
+
 /// Guttman quadratic split: pick the two seeds wasting the most area
 /// together, then greedily assign the rest by least enlargement.
-fn quadratic_split<X>(mut entries: Vec<(Rect, X)>, min_entries: usize) -> (Vec<(Rect, X)>, Vec<(Rect, X)>) {
+fn quadratic_split<X>(mut entries: Vec<(Rect, X)>, min_entries: usize) -> SplitHalves<X> {
     debug_assert!(entries.len() >= 2);
     // Seed selection.
     let (mut s1, mut s2, mut worst) = (0usize, 1usize, 0i64);

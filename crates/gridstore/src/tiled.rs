@@ -24,7 +24,10 @@ impl Default for TileConfig {
     fn default() -> Self {
         // 32×32 = 1024 slots ≈ a few KB per tile for typical payloads,
         // matching the disk-block framing of the paper.
-        TileConfig { tile_rows: 32, tile_cols: 32 }
+        TileConfig {
+            tile_rows: 32,
+            tile_cols: 32,
+        }
     }
 }
 
@@ -60,7 +63,12 @@ impl<T> Default for TiledGrid<T> {
 impl<T> TiledGrid<T> {
     pub fn new(cfg: TileConfig) -> Self {
         assert!(cfg.tile_rows > 0 && cfg.tile_cols > 0);
-        TiledGrid { cfg, tiles: HashMap::new(), cells: 0, stats: StoreStats::default() }
+        TiledGrid {
+            cfg,
+            tiles: HashMap::new(),
+            cells: 0,
+            stats: StoreStats::default(),
+        }
     }
 
     pub fn config(&self) -> TileConfig {
@@ -79,12 +87,21 @@ impl<T> TiledGrid<T> {
         (r * self.cfg.tile_cols + c) as usize
     }
 
-    fn rebuild(&mut self, f: impl Fn(CellAddr) -> Option<CellAddr>, from: Option<u32>, axis_rows: bool) {
+    fn rebuild(
+        &mut self,
+        f: impl Fn(CellAddr) -> Option<CellAddr>,
+        from: Option<u32>,
+        axis_rows: bool,
+    ) {
         // Only tiles that can contain affected cells need rebuilding; tiles
         // strictly before the edit point are untouched (the block-level
         // advantage over the naive store).
         let boundary_tile = from.map(|at| {
-            if axis_rows { at / self.cfg.tile_rows } else { at / self.cfg.tile_cols }
+            if axis_rows {
+                at / self.cfg.tile_rows
+            } else {
+                at / self.cfg.tile_cols
+            }
         });
         let affected: Vec<(u32, u32)> = self
             .tiles
@@ -174,7 +191,9 @@ impl<T> CellStore<T> for TiledGrid<T> {
         let (tr1, tc1) = self.tile_coord(range.end);
         for tr in tr0..=tr1 {
             for tc in tc0..=tc1 {
-                let Some(tile) = self.tiles.get(&(tr, tc)) else { continue };
+                let Some(tile) = self.tiles.get(&(tr, tc)) else {
+                    continue;
+                };
                 self.stats.add_read(1);
                 let base_row = tr * self.cfg.tile_rows;
                 let base_col = tc * self.cfg.tile_cols;
@@ -248,7 +267,10 @@ mod tests {
     use super::*;
 
     fn small() -> TiledGrid<i64> {
-        TiledGrid::new(TileConfig { tile_rows: 4, tile_cols: 4 })
+        TiledGrid::new(TileConfig {
+            tile_rows: 4,
+            tile_cols: 4,
+        })
     }
 
     #[test]

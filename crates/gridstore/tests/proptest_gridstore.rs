@@ -1,13 +1,15 @@
 //! Model-based property tests: all three cell stores must agree with a plain
 //! `HashMap` model under arbitrary edit sequences, including structural
 //! row/column edits and range queries.
+//!
+//! Driven by `dataspread_testkit` (deterministic seeds) instead of an
+//! external property-testing crate — see substitution #4 in `DESIGN.md`.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use dataspread_gridstore::block::BlockConfig;
 use dataspread_gridstore::{BlockGrid, CellStore, NaiveGrid, TileConfig, TiledGrid};
+use dataspread_testkit::{cases, Rng};
 use dataspread_types::{CellAddr, Range};
 
 #[derive(Clone, Debug)]
@@ -21,20 +23,24 @@ enum Op {
     QueryRange(u32, u32, u32, u32),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (0u32..64, 0u32..64, any::<i64>()).prop_map(|(r, c, v)| Op::Set(r, c, v)),
-            2 => (0u32..64, 0u32..64).prop_map(|(r, c)| Op::Remove(r, c)),
-            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::InsertRows(at, n)),
-            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::DeleteRows(at, n)),
-            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::InsertCols(at, n)),
-            1 => (0u32..40, 1u32..4).prop_map(|(at, n)| Op::DeleteCols(at, n)),
-            2 => (0u32..64, 0u32..64, 0u32..64, 0u32..64)
-                .prop_map(|(a, b, c, d)| Op::QueryRange(a, b, c, d)),
-        ],
-        0..80,
-    )
+fn arb_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.index(80);
+    (0..len)
+        .map(|_| match rng.weighted(&[4, 2, 1, 1, 1, 1, 2]) {
+            0 => Op::Set(rng.u32_in(0, 64), rng.u32_in(0, 64), rng.i64()),
+            1 => Op::Remove(rng.u32_in(0, 64), rng.u32_in(0, 64)),
+            2 => Op::InsertRows(rng.u32_in(0, 40), rng.u32_in(1, 4)),
+            3 => Op::DeleteRows(rng.u32_in(0, 40), rng.u32_in(1, 4)),
+            4 => Op::InsertCols(rng.u32_in(0, 40), rng.u32_in(1, 4)),
+            5 => Op::DeleteCols(rng.u32_in(0, 40), rng.u32_in(1, 4)),
+            _ => Op::QueryRange(
+                rng.u32_in(0, 64),
+                rng.u32_in(0, 64),
+                rng.u32_in(0, 64),
+                rng.u32_in(0, 64),
+            ),
+        })
+        .collect()
 }
 
 struct Model {
@@ -43,7 +49,9 @@ struct Model {
 
 impl Model {
     fn new() -> Self {
-        Model { cells: HashMap::new() }
+        Model {
+            cells: HashMap::new(),
+        }
     }
 
     fn apply_shift(&mut self, f: impl Fn(CellAddr) -> Option<CellAddr>) {
@@ -127,7 +135,11 @@ fn run_store<S: CellStore<i64>>(mut store: S, ops: &[Op]) {
                 assert_eq!(got, expect, "range query {q} mismatch");
             }
         }
-        assert_eq!(store.cell_count(), model.cells.len(), "cell count after {op:?}");
+        assert_eq!(
+            store.cell_count(),
+            model.cells.len(),
+            "cell count after {op:?}"
+        );
     }
     // Final full sweep.
     if let Some(bounds) = store.used_bounds() {
@@ -138,32 +150,61 @@ fn run_store<S: CellStore<i64>>(mut store: S, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn naive_matches_model(ops in arb_ops()) {
+#[test]
+fn naive_matches_model() {
+    cases(48, 0x621201, |rng| {
+        let ops = arb_ops(rng);
         run_store(NaiveGrid::new(), &ops);
-    }
+    });
+}
 
-    #[test]
-    fn tiled_matches_model(ops in arb_ops()) {
-        run_store(TiledGrid::new(TileConfig { tile_rows: 8, tile_cols: 8 }), &ops);
-    }
+#[test]
+fn tiled_matches_model() {
+    cases(48, 0x621202, |rng| {
+        let ops = arb_ops(rng);
+        run_store(
+            TiledGrid::new(TileConfig {
+                tile_rows: 8,
+                tile_cols: 8,
+            }),
+            &ops,
+        );
+    });
+}
 
-    #[test]
-    fn tiled_default_matches_model(ops in arb_ops()) {
+#[test]
+fn tiled_default_matches_model() {
+    cases(48, 0x621203, |rng| {
+        let ops = arb_ops(rng);
         run_store(TiledGrid::default(), &ops);
-    }
+    });
+}
 
-    #[test]
-    fn block_matches_model(ops in arb_ops()) {
-        run_store(BlockGrid::new(BlockConfig { capacity: 16, proximity: 4 }), &ops);
-    }
+#[test]
+fn block_matches_model() {
+    cases(48, 0x621204, |rng| {
+        let ops = arb_ops(rng);
+        run_store(
+            BlockGrid::new(BlockConfig {
+                capacity: 16,
+                proximity: 4,
+            }),
+            &ops,
+        );
+    });
+}
 
-    #[test]
-    fn block_small_capacity_matches_model(ops in arb_ops()) {
-        // Capacity 2 forces constant splitting — stress for the R-tree churn.
-        run_store(BlockGrid::new(BlockConfig { capacity: 2, proximity: 2 }), &ops);
-    }
+#[test]
+fn block_small_capacity_matches_model() {
+    // Capacity 2 forces constant splitting — stress for the R-tree churn.
+    cases(48, 0x621205, |rng| {
+        let ops = arb_ops(rng);
+        run_store(
+            BlockGrid::new(BlockConfig {
+                capacity: 2,
+                proximity: 2,
+            }),
+            &ops,
+        );
+    });
 }

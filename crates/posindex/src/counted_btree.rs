@@ -76,7 +76,13 @@ impl CountedBtree {
         assert!(fanout >= 4, "fanout must be at least 4");
         let root = 0;
         CountedBtree {
-            arena: vec![Node { parent: None, kind: NodeKind::Leaf { keys: Vec::new(), next: None } }],
+            arena: vec![Node {
+                parent: None,
+                kind: NodeKind::Leaf {
+                    keys: Vec::new(),
+                    next: None,
+                },
+            }],
             free: Vec::new(),
             root,
             len: 0,
@@ -119,7 +125,7 @@ impl CountedBtree {
             let moved = chunks[n_chunks - 2].split_off(donor_len - deficit);
             let last = &mut chunks[n_chunks - 1];
             let mut new_last = moved;
-            new_last.extend(last.drain(..));
+            new_last.append(last);
             *last = new_last;
         }
 
@@ -134,7 +140,13 @@ impl CountedBtree {
                     return Err(DsError::Storage(format!("duplicate row key {k}")));
                 }
             }
-            tree.arena.push(Node { parent: None, kind: NodeKind::Leaf { keys: chunk, next: None } });
+            tree.arena.push(Node {
+                parent: None,
+                kind: NodeKind::Leaf {
+                    keys: chunk,
+                    next: None,
+                },
+            });
             if let Some(p) = prev {
                 match &mut tree.arena[p].kind {
                     NodeKind::Leaf { next, .. } => *next = Some(id),
@@ -157,7 +169,7 @@ impl CountedBtree {
                 let moved = groups[g - 2].split_off(donor_len - deficit);
                 let last = &mut groups[g - 1];
                 let mut new_last = moved;
-                new_last.extend(last.drain(..));
+                new_last.append(last);
                 *last = new_last;
             }
             for group in groups {
@@ -168,7 +180,10 @@ impl CountedBtree {
                 for &c in &children {
                     tree.arena[c].parent = Some(id);
                 }
-                tree.arena.push(Node { parent: None, kind: NodeKind::Internal { children, counts } });
+                tree.arena.push(Node {
+                    parent: None,
+                    kind: NodeKind::Internal { children, counts },
+                });
                 next_level.push((id, total));
             }
             level = next_level;
@@ -211,7 +226,10 @@ impl CountedBtree {
     }
 
     fn release(&mut self, id: NodeId) {
-        self.arena[id] = Node { parent: None, kind: NodeKind::Free };
+        self.arena[id] = Node {
+            parent: None,
+            kind: NodeKind::Free,
+        };
         self.free.push(id);
     }
 
@@ -306,7 +324,10 @@ impl CountedBtree {
         let right_count = right_keys.len();
         let right_id = self.alloc(Node {
             parent: None,
-            kind: NodeKind::Leaf { keys: right_keys, next: old_next },
+            kind: NodeKind::Leaf {
+                keys: right_keys,
+                next: old_next,
+            },
         });
         match &mut self.arena[left_id].kind {
             NodeKind::Leaf { next, .. } => *next = Some(right_id),
@@ -339,7 +360,10 @@ impl CountedBtree {
         let kids = right_children.clone();
         let right_id = self.alloc(Node {
             parent: None,
-            kind: NodeKind::Internal { children: right_children, counts: right_counts },
+            kind: NodeKind::Internal {
+                children: right_children,
+                counts: right_counts,
+            },
         });
         for c in kids {
             self.arena[c].parent = Some(right_id);
@@ -349,7 +373,13 @@ impl CountedBtree {
 
     /// Hook `right_id` in as the sibling immediately after `left_id`,
     /// creating a new root if `left_id` was the root. Splits cascade upward.
-    fn attach_right(&mut self, left_id: NodeId, right_id: NodeId, left_count: usize, right_count: usize) {
+    fn attach_right(
+        &mut self,
+        left_id: NodeId,
+        right_id: NodeId,
+        left_count: usize,
+        right_count: usize,
+    ) {
         match self.arena[left_id].parent {
             None => {
                 let new_root = self.alloc(Node {
@@ -403,7 +433,11 @@ impl CountedBtree {
         let idx = self.child_index(parent_id, node_id);
         let (left_sib, right_sib) = match &self.arena[parent_id].kind {
             NodeKind::Internal { children, .. } => (
-                if idx > 0 { Some(children[idx - 1]) } else { None },
+                if idx > 0 {
+                    Some(children[idx - 1])
+                } else {
+                    None
+                },
                 children.get(idx + 1).copied(),
             ),
             _ => unreachable!(),
@@ -455,9 +489,10 @@ impl CountedBtree {
             moved_count = 1;
         } else {
             let (child, count) = match &mut self.arena[left_id].kind {
-                NodeKind::Internal { children, counts } => {
-                    (children.pop().expect("left sibling not empty"), counts.pop().unwrap())
-                }
+                NodeKind::Internal { children, counts } => (
+                    children.pop().expect("left sibling not empty"),
+                    counts.pop().unwrap(),
+                ),
                 _ => unreachable!(),
             };
             match &mut self.arena[node_id].kind {
@@ -546,7 +581,10 @@ impl CountedBtree {
                     self.arena[c].parent = Some(left_id);
                 }
                 match &mut self.arena[left_id].kind {
-                    NodeKind::Internal { children: lc, counts: lcnt } => {
+                    NodeKind::Internal {
+                        children: lc,
+                        counts: lcnt,
+                    } => {
                         lc.extend(children);
                         lcnt.extend(counts);
                     }
@@ -573,7 +611,13 @@ impl CountedBtree {
     #[doc(hidden)]
     pub fn check_invariants(&self) {
         let mut leaves_in_order: Vec<NodeId> = Vec::new();
-        let total = self.check_node(self.root, None, &mut leaves_in_order, 0, self.tree_depth(self.root));
+        let total = self.check_node(
+            self.root,
+            None,
+            &mut leaves_in_order,
+            0,
+            self.tree_depth(self.root),
+        );
         assert_eq!(total, self.len, "len mismatch");
         // next-pointer chain equals in-order leaves.
         let mut chained = Vec::new();
@@ -620,7 +664,10 @@ impl CountedBtree {
         depth: usize,
         leaf_depth: usize,
     ) -> usize {
-        assert_eq!(self.arena[id].parent, parent, "bad parent pointer at node {id}");
+        assert_eq!(
+            self.arena[id].parent, parent,
+            "bad parent pointer at node {id}"
+        );
         let min = self.min_size();
         match &self.arena[id].kind {
             NodeKind::Leaf { keys, .. } => {
@@ -940,6 +987,11 @@ mod tests {
             t.remove_at(0).unwrap();
         }
         t.check_invariants();
-        assert!(t.node_count() < full / 4, "tree should shrink: {} vs {}", t.node_count(), full);
+        assert!(
+            t.node_count() < full / 4,
+            "tree should shrink: {} vs {}",
+            t.node_count(),
+            full
+        );
     }
 }

@@ -28,7 +28,10 @@ impl DenseIndex {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        DenseIndex { keys: Vec::with_capacity(n), pos: HashMap::with_capacity(n) }
+        DenseIndex {
+            keys: Vec::with_capacity(n),
+            pos: HashMap::with_capacity(n),
+        }
     }
 
     /// Bulk-load from keys in positional order. Errors on duplicates.

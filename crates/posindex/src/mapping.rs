@@ -22,12 +22,16 @@ pub struct RowMapping {
 
 impl RowMapping {
     pub fn new() -> Self {
-        RowMapping { index: CountedBtree::new() }
+        RowMapping {
+            index: CountedBtree::new(),
+        }
     }
 
     /// Bulk-build from keys in display order (initial table display).
     pub fn from_keys(keys: impl IntoIterator<Item = RowKey>) -> DsResult<Self> {
-        Ok(RowMapping { index: CountedBtree::from_keys(keys)? })
+        Ok(RowMapping {
+            index: CountedBtree::from_keys(keys)?,
+        })
     }
 
     /// Number of displayed rows.

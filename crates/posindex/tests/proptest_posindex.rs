@@ -1,10 +1,12 @@
 //! Model-based property tests: the counted B-tree must behave exactly like
 //! the dense baseline under arbitrary operation sequences, and its structural
 //! invariants must hold after every mutation.
-
-use proptest::prelude::*;
+//!
+//! Driven by `dataspread_testkit` (deterministic seeds) instead of an
+//! external property-testing crate — see substitution #4 in `DESIGN.md`.
 
 use dataspread_posindex::{CountedBtree, DenseIndex, PositionalIndex, RowKey};
+use dataspread_testkit::{cases, Rng};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,16 +16,16 @@ enum Op {
     RemoveKey(RowKey),
 }
 
-fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<usize>(), any::<u32>()).prop_map(|(p, k)| Op::InsertAt(p, k as RowKey)),
-            any::<usize>().prop_map(Op::RemoveAt),
-            any::<u32>().prop_map(|k| Op::Push(k as RowKey)),
-            any::<u32>().prop_map(|k| Op::RemoveKey(k as RowKey)),
-        ],
-        0..max_len,
-    )
+fn arb_ops(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = rng.index(max_len);
+    (0..len)
+        .map(|_| match rng.weighted(&[1, 1, 1, 1]) {
+            0 => Op::InsertAt(rng.next_u64() as usize, rng.next_u64() as u32 as RowKey),
+            1 => Op::RemoveAt(rng.next_u64() as usize),
+            2 => Op::Push(rng.next_u64() as u32 as RowKey),
+            _ => Op::RemoveKey(rng.next_u64() as u32 as RowKey),
+        })
+        .collect()
 }
 
 fn run_ops(ops: &[Op], fanout: usize) {
@@ -32,7 +34,11 @@ fn run_ops(ops: &[Op], fanout: usize) {
     for op in ops {
         match op {
             Op::InsertAt(p, k) => {
-                let p = if model.len() == 0 { 0 } else { p % (model.len() + 1) };
+                let p = if model.len() == 0 {
+                    0
+                } else {
+                    p % (model.len() + 1)
+                };
                 let r1 = tree.insert_at(p, *k);
                 let r2 = model.insert_at(p, *k);
                 assert_eq!(r1.is_ok(), r2.is_ok(), "insert_at({p}, {k}) disagreement");
@@ -74,38 +80,52 @@ fn run_ops(ops: &[Op], fanout: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn btree_matches_model_fanout_4(ops in arb_ops(120)) {
+#[test]
+fn btree_matches_model_fanout_4() {
+    cases(64, 0x90501, |rng| {
+        let ops = arb_ops(rng, 120);
         run_ops(&ops, 4);
-    }
+    });
+}
 
-    #[test]
-    fn btree_matches_model_fanout_5(ops in arb_ops(120)) {
-        // Odd fanout exercises asymmetric splits.
+#[test]
+fn btree_matches_model_fanout_5() {
+    // Odd fanout exercises asymmetric splits.
+    cases(64, 0x90502, |rng| {
+        let ops = arb_ops(rng, 120);
         run_ops(&ops, 5);
-    }
+    });
+}
 
-    #[test]
-    fn btree_matches_model_fanout_16(ops in arb_ops(200)) {
+#[test]
+fn btree_matches_model_fanout_16() {
+    cases(64, 0x90503, |rng| {
+        let ops = arb_ops(rng, 200);
         run_ops(&ops, 16);
-    }
+    });
+}
 
-    #[test]
-    fn bulk_load_equivalent_to_pushes(n in 0usize..600, fanout in 4usize..32) {
+#[test]
+fn bulk_load_equivalent_to_pushes() {
+    cases(64, 0x90504, |rng| {
+        let n = rng.index(600);
+        let fanout = rng.usize_in(4, 32);
         let keys: Vec<RowKey> = (0..n as RowKey).collect();
         let bulk = CountedBtree::from_keys_with_fanout(keys.clone(), fanout).unwrap();
         bulk.check_invariants();
-        prop_assert_eq!(bulk.to_vec(), keys);
-    }
+        assert_eq!(bulk.to_vec(), keys);
+    });
+}
 
-    #[test]
-    fn range_is_window_of_to_vec(n in 1usize..300, pos in 0usize..400, count in 0usize..64) {
+#[test]
+fn range_is_window_of_to_vec() {
+    cases(128, 0x90505, |rng| {
+        let n = rng.usize_in(1, 300);
+        let pos = rng.index(400);
+        let count = rng.index(64);
         let t = CountedBtree::from_keys_with_fanout((0..n as RowKey).map(|k| k * 2), 8).unwrap();
         let all = t.to_vec();
         let expect: Vec<RowKey> = all.iter().copied().skip(pos).take(count).collect();
-        prop_assert_eq!(t.range(pos, count), expect);
-    }
+        assert_eq!(t.range(pos, count), expect);
+    });
 }

@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Identity of a page frame: (attribute-group index, page index in chain).
 pub type PageRef = (u32, u32);
@@ -67,7 +67,14 @@ struct Lru {
 
 impl Lru {
     fn new(cap: usize) -> Self {
-        Lru { map: HashMap::new(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, cap }
+        Lru {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
     }
 
     fn unlink(&mut self, i: usize) {
@@ -117,7 +124,12 @@ impl Lru {
             self.map.remove(&node.key);
             self.free.push(victim);
         }
-        let node = LruNode { key, dirty: write, prev: NIL, next: NIL };
+        let node = LruNode {
+            key,
+            dirty: write,
+            prev: NIL,
+            next: NIL,
+        };
         let i = if let Some(i) = self.free.pop() {
             self.nodes[i] = node;
             i
@@ -131,9 +143,11 @@ impl Lru {
     }
 
     fn evict_all(&mut self) -> u64 {
-        let dirty = self.nodes.iter().enumerate().filter(|(i, n)| {
-            self.map.get(&n.key) == Some(i) && n.dirty
-        });
+        let dirty = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| self.map.get(&n.key) == Some(i) && n.dirty);
         let count = dirty.count() as u64;
         self.map.clear();
         self.nodes.clear();
@@ -163,12 +177,20 @@ impl BufferPool {
     /// `capacity` in page frames.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        BufferPool { lru: Mutex::new(Lru::new(capacity)), stats: PoolStats::default() }
+        BufferPool {
+            lru: Mutex::new(Lru::new(capacity)),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Lock the LRU, shrugging off poisoning (counters are best-effort).
+    fn lru(&self) -> std::sync::MutexGuard<'_, Lru> {
+        self.lru.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Record an access to a page. `write` marks the frame dirty.
     pub fn access(&self, page: PageRef, write: bool) {
-        let (hit, evicted) = self.lru.lock().access(page, write);
+        let (hit, evicted) = self.lru().access(page, write);
         if hit {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -185,8 +207,10 @@ impl BufferPool {
     /// Flush everything (e.g. between bench phases): counts dirty frames as
     /// write-backs and empties the pool.
     pub fn flush(&self) {
-        let dirty = self.lru.lock().evict_all();
-        self.stats.dirty_writebacks.fetch_add(dirty, Ordering::Relaxed);
+        let dirty = self.lru().evict_all();
+        self.stats
+            .dirty_writebacks
+            .fetch_add(dirty, Ordering::Relaxed);
     }
 
     pub fn stats(&self) -> &PoolStats {
@@ -194,7 +218,7 @@ impl BufferPool {
     }
 
     pub fn resident(&self) -> usize {
-        self.lru.lock().map.len()
+        self.lru().map.len()
     }
 }
 

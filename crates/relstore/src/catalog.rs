@@ -45,7 +45,8 @@ impl Catalog {
         if self.tables.contains_key(&k) {
             return Err(DsError::Schema(format!("table `{name}` already exists")));
         }
-        self.tables.insert(k.clone(), Table::new(name, schema, policy));
+        self.tables
+            .insert(k.clone(), Table::new(name, schema, policy));
         Ok(self.tables.get_mut(&k).unwrap())
     }
 
@@ -73,8 +74,7 @@ impl Catalog {
 
     /// Table names, sorted for deterministic output.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.tables.values().map(|t| t.name().to_string()).collect();
+        let mut names: Vec<String> = self.tables.values().map(|t| t.name().to_string()).collect();
         names.sort();
         names
     }

@@ -6,9 +6,39 @@
 //! determines how many fragments fit a 4 KiB page, which determines how many
 //! pages a schema change or scan touches.
 
-use bytes::{Buf, BufMut};
-
 use dataspread_types::{CellError, DsError, DsResult, Value};
+
+// Little-endian read helpers over an advancing slice. Bounds are checked by
+// the callers (decode reports truncation as `DsError`, not a panic).
+fn get_u8(buf: &mut &[u8]) -> u8 {
+    let v = buf[0];
+    *buf = &buf[1..];
+    v
+}
+
+fn get_u16_le(buf: &mut &[u8]) -> u16 {
+    let v = u16::from_le_bytes([buf[0], buf[1]]);
+    *buf = &buf[2..];
+    v
+}
+
+fn get_u32_le(buf: &mut &[u8]) -> u32 {
+    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    v
+}
+
+fn get_i64_le(buf: &mut &[u8]) -> i64 {
+    let v = i64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    v
+}
+
+fn get_f64_le(buf: &mut &[u8]) -> f64 {
+    let v = f64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    v
+}
 
 const TAG_EMPTY: u8 = 0;
 const TAG_BOOL_FALSE: u8 = 1;
@@ -21,25 +51,25 @@ const TAG_ERROR: u8 = 6;
 /// Append one value to `buf`.
 pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     match v {
-        Value::Empty => buf.put_u8(TAG_EMPTY),
-        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
-        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Empty => buf.push(TAG_EMPTY),
+        Value::Bool(false) => buf.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.push(TAG_BOOL_TRUE),
         Value::Int(i) => {
-            buf.put_u8(TAG_INT);
-            buf.put_i64_le(*i);
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
         }
         Value::Float(f) => {
-            buf.put_u8(TAG_FLOAT);
-            buf.put_f64_le(*f);
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&f.to_le_bytes());
         }
         Value::Text(s) => {
-            buf.put_u8(TAG_TEXT);
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
+            buf.push(TAG_TEXT);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
         }
         Value::Error(e) => {
-            buf.put_u8(TAG_ERROR);
-            buf.put_u8(error_code(*e));
+            buf.push(TAG_ERROR);
+            buf.push(error_code(*e));
         }
     }
 }
@@ -76,42 +106,42 @@ pub fn decode_value(buf: &mut &[u8]) -> DsResult<Value> {
     if buf.is_empty() {
         return Err(DsError::Storage("truncated value".into()));
     }
-    let tag = buf.get_u8();
+    let tag = get_u8(buf);
     Ok(match tag {
         TAG_EMPTY => Value::Empty,
         TAG_BOOL_FALSE => Value::Bool(false),
         TAG_BOOL_TRUE => Value::Bool(true),
         TAG_INT => {
-            if buf.remaining() < 8 {
+            if buf.len() < 8 {
                 return Err(DsError::Storage("truncated int".into()));
             }
-            Value::Int(buf.get_i64_le())
+            Value::Int(get_i64_le(buf))
         }
         TAG_FLOAT => {
-            if buf.remaining() < 8 {
+            if buf.len() < 8 {
                 return Err(DsError::Storage("truncated float".into()));
             }
-            Value::Float(buf.get_f64_le())
+            Value::Float(get_f64_le(buf))
         }
         TAG_TEXT => {
-            if buf.remaining() < 4 {
+            if buf.len() < 4 {
                 return Err(DsError::Storage("truncated text length".into()));
             }
-            let len = buf.get_u32_le() as usize;
-            if buf.remaining() < len {
+            let len = get_u32_le(buf) as usize;
+            if buf.len() < len {
                 return Err(DsError::Storage("truncated text body".into()));
             }
             let s = std::str::from_utf8(&buf[..len])
                 .map_err(|_| DsError::Storage("invalid utf8 in text value".into()))?
                 .to_string();
-            buf.advance(len);
+            *buf = &buf[len..];
             Value::Text(s)
         }
         TAG_ERROR => {
-            if buf.remaining() < 1 {
+            if buf.is_empty() {
                 return Err(DsError::Storage("truncated error".into()));
             }
-            Value::Error(error_from_code(buf.get_u8())?)
+            Value::Error(error_from_code(get_u8(buf))?)
         }
         _ => return Err(DsError::Storage(format!("bad value tag {tag}"))),
     })
@@ -120,7 +150,7 @@ pub fn decode_value(buf: &mut &[u8]) -> DsResult<Value> {
 /// Serialize a fragment (a fixed-arity slice of values).
 pub fn encode_fragment(values: &[Value]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(fragment_size_hint(values));
-    buf.put_u16_le(values.len() as u16);
+    buf.extend_from_slice(&(values.len() as u16).to_le_bytes());
     for v in values {
         encode_value(&mut buf, v);
     }
@@ -132,7 +162,7 @@ pub fn decode_fragment(mut bytes: &[u8]) -> DsResult<Vec<Value>> {
     if bytes.len() < 2 {
         return Err(DsError::Storage("truncated fragment".into()));
     }
-    let n = bytes.get_u16_le() as usize;
+    let n = get_u16_le(&mut bytes) as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(decode_value(&mut bytes)?);

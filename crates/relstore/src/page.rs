@@ -42,7 +42,11 @@ const SLOT_OVERHEAD: usize = 8;
 
 impl Page {
     pub fn new() -> Self {
-        Page { data: Vec::new(), slots: Vec::new(), live_bytes: 0 }
+        Page {
+            data: Vec::new(),
+            slots: Vec::new(),
+            live_bytes: 0,
+        }
     }
 
     /// Bytes a new fragment of `len` bytes would consume (payload + slot).
@@ -74,10 +78,16 @@ impl Page {
         self.live_bytes += bytes.len();
         // Reuse a dead slot if available (keeps the directory bounded).
         if let Some(i) = self.slots.iter().position(|s| *s == Slot::Dead) {
-            self.slots[i] = Slot::Live { off, len: bytes.len() as u32 };
+            self.slots[i] = Slot::Live {
+                off,
+                len: bytes.len() as u32,
+            };
             Ok(i as SlotId)
         } else {
-            self.slots.push(Slot::Live { off, len: bytes.len() as u32 });
+            self.slots.push(Slot::Live {
+                off,
+                len: bytes.len() as u32,
+            });
             Ok((self.slots.len() - 1) as SlotId)
         }
     }
@@ -85,10 +95,10 @@ impl Page {
     /// Read a live fragment.
     pub fn read(&self, slot: SlotId) -> DsResult<&[u8]> {
         match self.slots.get(slot as usize) {
-            Some(Slot::Live { off, len }) => {
-                Ok(&self.data[*off as usize..(*off + *len) as usize])
-            }
-            _ => Err(DsError::Storage(format!("read of dead/missing slot {slot}"))),
+            Some(Slot::Live { off, len }) => Ok(&self.data[*off as usize..(*off + *len) as usize]),
+            _ => Err(DsError::Storage(format!(
+                "read of dead/missing slot {slot}"
+            ))),
         }
     }
 
@@ -98,12 +108,19 @@ impl Page {
     pub fn update(&mut self, slot: SlotId, bytes: &[u8]) -> DsResult<bool> {
         let (off, len) = match self.slots.get(slot as usize) {
             Some(Slot::Live { off, len }) => (*off as usize, *len as usize),
-            _ => return Err(DsError::Storage(format!("update of dead/missing slot {slot}"))),
+            _ => {
+                return Err(DsError::Storage(format!(
+                    "update of dead/missing slot {slot}"
+                )))
+            }
         };
         if bytes.len() <= len {
             // Shrinking or same-size rewrite in place.
             self.data[off..off + bytes.len()].copy_from_slice(bytes);
-            self.slots[slot as usize] = Slot::Live { off: off as u32, len: bytes.len() as u32 };
+            self.slots[slot as usize] = Slot::Live {
+                off: off as u32,
+                len: bytes.len() as u32,
+            };
             self.live_bytes -= len - bytes.len();
             return Ok(true);
         }
@@ -120,7 +137,10 @@ impl Page {
         let off = self.data.len() as u32;
         self.data.extend_from_slice(bytes);
         self.live_bytes += bytes.len();
-        self.slots[slot as usize] = Slot::Live { off, len: bytes.len() as u32 };
+        self.slots[slot as usize] = Slot::Live {
+            off,
+            len: bytes.len() as u32,
+        };
         Ok(true)
     }
 
@@ -132,7 +152,9 @@ impl Page {
                 self.slots[slot as usize] = Slot::Dead;
                 Ok(())
             }
-            _ => Err(DsError::Storage(format!("delete of dead/missing slot {slot}"))),
+            _ => Err(DsError::Storage(format!(
+                "delete of dead/missing slot {slot}"
+            ))),
         }
     }
 
@@ -152,7 +174,10 @@ impl Page {
     }
 
     pub fn live_count(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Live { .. })).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Live { .. }))
+            .count()
     }
 
     pub fn live_bytes(&self) -> usize {
@@ -165,12 +190,16 @@ impl Page {
 
     /// Iterate live slots.
     pub fn iter_live(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
-        self.slots.iter().enumerate().filter_map(move |(i, s)| match s {
-            Slot::Live { off, len } => {
-                Some((i as SlotId, &self.data[*off as usize..(*off + *len) as usize]))
-            }
-            Slot::Dead => None,
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| match s {
+                Slot::Live { off, len } => Some((
+                    i as SlotId,
+                    &self.data[*off as usize..(*off + *len) as usize],
+                )),
+                Slot::Dead => None,
+            })
     }
 }
 
@@ -197,7 +226,10 @@ mod tests {
             p.insert(&frag).unwrap();
             n += 1;
         }
-        assert!(n >= PAGE_SIZE / (100 + 16), "fit at least a conservative bound, got {n}");
+        assert!(
+            n >= PAGE_SIZE / (100 + 16),
+            "fit at least a conservative bound, got {n}"
+        );
         assert!(p.insert(&frag).is_err(), "full page rejects");
     }
 

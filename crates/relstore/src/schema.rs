@@ -21,7 +21,11 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        ColumnDef { name: name.into(), dtype, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 
     pub fn not_null(mut self) -> Self {
@@ -39,7 +43,10 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(columns: Vec<ColumnDef>) -> DsResult<Self> {
-        let s = Schema { columns, pkey: Vec::new() };
+        let s = Schema {
+            columns,
+            pkey: Vec::new(),
+        };
         s.validate()?;
         Ok(s)
     }
@@ -76,7 +83,10 @@ impl Schema {
                 .iter()
                 .any(|o| o.name.eq_ignore_ascii_case(&c.name))
             {
-                return Err(DsError::Schema(format!("duplicate column name `{}`", c.name)));
+                return Err(DsError::Schema(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
             }
         }
         Ok(())
@@ -92,7 +102,9 @@ impl Schema {
 
     /// Case-insensitive column lookup (SQL identifier semantics).
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column(&self, i: usize) -> &ColumnDef {
@@ -153,14 +165,19 @@ impl Schema {
         if self.pkey.is_empty() {
             return None;
         }
-        Some(KeyTuple(self.pkey.iter().map(|&i| row[i].clone()).collect()))
+        Some(KeyTuple(
+            self.pkey.iter().map(|&i| row[i].clone()).collect(),
+        ))
     }
 
     // ---- dynamic schema operations (metadata side) ----------------------
 
     pub fn push_column(&mut self, def: ColumnDef) -> DsResult<usize> {
         if self.index_of(&def.name).is_some() {
-            return Err(DsError::Schema(format!("duplicate column name `{}`", def.name)));
+            return Err(DsError::Schema(format!(
+                "duplicate column name `{}`",
+                def.name
+            )));
         }
         if def.name.is_empty() {
             return Err(DsError::Schema("empty column name".into()));
@@ -175,7 +192,9 @@ impl Schema {
             .index_of(name)
             .ok_or_else(|| DsError::ColumnNotFound(name.to_string()))?;
         if self.pkey.contains(&i) {
-            return Err(DsError::Schema(format!("cannot drop primary key column `{name}`")));
+            return Err(DsError::Schema(format!(
+                "cannot drop primary key column `{name}`"
+            )));
         }
         if self.columns.len() == 1 {
             return Err(DsError::Schema("cannot drop the last column".into()));
@@ -305,13 +324,19 @@ mod tests {
             .conform_row(vec![Value::Int(1), Value::text("bob"), Value::Int(90)])
             .unwrap();
         assert_eq!(row[2], Value::Float(90.0), "Int widened to Float column");
-        assert!(s.conform_row(vec![Value::Int(1), Value::text("b")]).is_err(), "arity");
         assert!(
-            s.conform_row(vec![Value::Empty, Value::text("b"), Value::Empty]).is_err(),
+            s.conform_row(vec![Value::Int(1), Value::text("b")])
+                .is_err(),
+            "arity"
+        );
+        assert!(
+            s.conform_row(vec![Value::Empty, Value::text("b"), Value::Empty])
+                .is_err(),
             "NOT NULL pk"
         );
         assert!(
-            s.conform_row(vec![Value::text("xyz"), Value::text("b"), Value::Empty]).is_err(),
+            s.conform_row(vec![Value::text("xyz"), Value::text("b"), Value::Empty])
+                .is_err(),
             "bad int"
         );
     }
@@ -329,9 +354,13 @@ mod tests {
     #[test]
     fn dynamic_schema_ops() {
         let mut s = sample();
-        let i = s.push_column(ColumnDef::new("grade", DataType::Text)).unwrap();
+        let i = s
+            .push_column(ColumnDef::new("grade", DataType::Text))
+            .unwrap();
         assert_eq!(i, 3);
-        assert!(s.push_column(ColumnDef::new("GRADE", DataType::Int)).is_err());
+        assert!(s
+            .push_column(ColumnDef::new("GRADE", DataType::Int))
+            .is_err());
         s.rename_column("grade", "letter").unwrap();
         assert!(s.index_of("letter").is_some());
         let old = s.remove_column("name").unwrap();

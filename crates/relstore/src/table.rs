@@ -102,7 +102,12 @@ struct Group {
 impl Group {
     fn new(cols: Vec<usize>) -> Self {
         let defaults = vec![Value::Empty; cols.len()];
-        Group { cols, pages: Vec::new(), rowdir: HashMap::new(), defaults }
+        Group {
+            cols,
+            pages: Vec::new(),
+            rowdir: HashMap::new(),
+            defaults,
+        }
     }
 }
 
@@ -306,8 +311,11 @@ impl Table {
         let key = self.next_key;
         self.next_key += 1;
         for g in 0..self.groups.len() {
-            let frag: Vec<Value> =
-                self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+            let frag: Vec<Value> = self.groups[g]
+                .cols
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect();
             self.append_fragment(g, key, &frag)?;
         }
         self.order.insert_at(pos, key)?;
@@ -329,7 +337,10 @@ impl Table {
     /// Fetch a full row by key.
     pub fn get_row(&self, key: RowKey) -> DsResult<Vec<Value>> {
         if self.order.position_of(key).is_none() {
-            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+            return Err(DsError::Storage(format!(
+                "row key {key} not in table {}",
+                self.name
+            )));
         }
         let mut out = vec![Value::Empty; self.schema.width()];
         for g in 0..self.groups.len() {
@@ -345,7 +356,10 @@ impl Table {
     /// requested columns (the hybrid-layout read advantage).
     pub fn get_row_project(&self, key: RowKey, cols: &[usize]) -> DsResult<Vec<Value>> {
         if self.order.position_of(key).is_none() {
-            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+            return Err(DsError::Storage(format!(
+                "row key {key} not in table {}",
+                self.name
+            )));
         }
         let mut needed_groups: Vec<usize> = cols.iter().map(|&c| self.col_group[c].0).collect();
         needed_groups.sort_unstable();
@@ -357,24 +371,37 @@ impl Table {
                 scatter.insert(c, frag[off].clone());
             }
         }
-        Ok(cols.iter().map(|c| scatter.remove(c).unwrap_or(Value::Empty)).collect())
+        Ok(cols
+            .iter()
+            .map(|c| scatter.remove(c).unwrap_or(Value::Empty))
+            .collect())
     }
 
     /// Update one attribute of one row. Touches only the pages of the group
     /// containing the column.
     pub fn update_cell(&mut self, key: RowKey, col: usize, value: Value) -> DsResult<Value> {
         if self.order.position_of(key).is_none() {
-            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+            return Err(DsError::Storage(format!(
+                "row key {key} not in table {}",
+                self.name
+            )));
         }
         let value = self.schema.conform_value_at(col, value)?;
         // Primary-key maintenance requires the old full key.
         let in_pk = self.schema.pkey().contains(&col);
-        let old_row = if in_pk { Some(self.get_row(key)?) } else { None };
+        let old_row = if in_pk {
+            Some(self.get_row(key)?)
+        } else {
+            None
+        };
         let (g, off) = self.col_group[col];
         let mut frag = self.read_fragment(g, key)?;
         let old = std::mem::replace(&mut frag[off], value.clone());
         if let Some(old_row) = old_row {
-            let old_kt = self.schema.key_of(&old_row).expect("pk column implies pkey");
+            let old_kt = self
+                .schema
+                .key_of(&old_row)
+                .expect("pk column implies pkey");
             let mut new_row = old_row;
             new_row[col] = value;
             let new_kt = self.schema.key_of(&new_row).unwrap();
@@ -396,7 +423,10 @@ impl Table {
     /// Replace a full row.
     pub fn update_row(&mut self, key: RowKey, row: Vec<Value>) -> DsResult<()> {
         if self.order.position_of(key).is_none() {
-            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+            return Err(DsError::Storage(format!(
+                "row key {key} not in table {}",
+                self.name
+            )));
         }
         let row = self.schema.conform_row(row)?;
         if self.schema.has_pkey() {
@@ -415,8 +445,11 @@ impl Table {
             }
         }
         for g in 0..self.groups.len() {
-            let frag: Vec<Value> =
-                self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+            let frag: Vec<Value> = self.groups[g]
+                .cols
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect();
             self.write_fragment(g, key, &frag)?;
         }
         Ok(())
@@ -425,7 +458,10 @@ impl Table {
     /// Delete a row by key; returns the position it occupied.
     pub fn delete_row(&mut self, key: RowKey) -> DsResult<usize> {
         if self.order.position_of(key).is_none() {
-            return Err(DsError::Storage(format!("row key {key} not in table {}", self.name)));
+            return Err(DsError::Storage(format!(
+                "row key {key} not in table {}",
+                self.name
+            )));
         }
         if self.schema.has_pkey() {
             let row = self.get_row(key)?;
@@ -475,7 +511,10 @@ impl Table {
     }
 
     /// Visit every row in presentation order.
-    pub fn for_each_row(&self, f: &mut dyn FnMut(RowKey, Vec<Value>) -> DsResult<()>) -> DsResult<()> {
+    pub fn for_each_row(
+        &self,
+        f: &mut dyn FnMut(RowKey, Vec<Value>) -> DsResult<()>,
+    ) -> DsResult<()> {
         for k in self.order.to_vec() {
             f(k, self.get_row(k)?)?;
         }
@@ -543,7 +582,10 @@ impl Table {
     /// whole group is dropped (no page touched); otherwise only that group is
     /// rewritten.
     pub fn drop_column(&mut self, name: &str) -> DsResult<()> {
-        let idx = self.schema.index_of(name).ok_or_else(|| DsError::ColumnNotFound(name.into()))?;
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DsError::ColumnNotFound(name.into()))?;
         let (g, off) = self.col_group[idx];
         // Validate via the schema first (pk/last-column protection).
         self.schema.remove_column(name)?;
@@ -577,11 +619,7 @@ impl Table {
     /// Rewrite every fragment of a group through `transform`, rebuilding its
     /// page chain. Counts a read of every old page and a write of every new
     /// page — this is exactly the cost the hybrid layout avoids.
-    fn rewrite_group(
-        &mut self,
-        g: usize,
-        transform: impl Fn(&mut Vec<Value>),
-    ) -> DsResult<()> {
+    fn rewrite_group(&mut self, g: usize, transform: impl Fn(&mut Vec<Value>)) -> DsResult<()> {
         let old_pages = std::mem::take(&mut self.groups[g].pages);
         let old_rowdir = std::mem::take(&mut self.groups[g].rowdir);
         for pidx in 0..old_pages.len() {
@@ -620,8 +658,11 @@ impl Table {
         self.rebuild_col_group();
         for (k, row) in keys.into_iter().zip(rows) {
             for g in 0..self.groups.len() {
-                let frag: Vec<Value> =
-                    self.groups[g].cols.iter().map(|&c| row[c].clone()).collect();
+                let frag: Vec<Value> = self.groups[g]
+                    .cols
+                    .iter()
+                    .map(|&c| row[c].clone())
+                    .collect();
                 self.append_fragment(g, k, &frag)?;
             }
         }
@@ -679,7 +720,10 @@ mod tests {
     fn group_counts_match_policy() {
         assert_eq!(sample_table(GroupPolicy::RowStore).group_count(), 1);
         assert_eq!(sample_table(GroupPolicy::ColumnStore).group_count(), 3);
-        assert_eq!(sample_table(GroupPolicy::Hybrid { max_group_width: 2 }).group_count(), 2);
+        assert_eq!(
+            sample_table(GroupPolicy::Hybrid { max_group_width: 2 }).group_count(),
+            2
+        );
     }
 
     #[test]
@@ -738,7 +782,8 @@ mod tests {
     #[test]
     fn positional_insert_between_rows() {
         let mut t = sample_table(GroupPolicy::RowStore);
-        t.insert_at(5, vec![Value::Int(50), Value::text("middle"), Value::Empty]).unwrap();
+        t.insert_at(5, vec![Value::Int(50), Value::text("middle"), Value::Empty])
+            .unwrap();
         let k = t.key_at(5).unwrap();
         assert_eq!(t.get_row(k).unwrap()[1], Value::text("middle"));
         assert_eq!(t.row_count(), 11);
@@ -760,9 +805,14 @@ mod tests {
     fn add_column_lazy_under_hybrid() {
         let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
         t.stats().reset();
-        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?")).unwrap();
+        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?"))
+            .unwrap();
         // Zero data pages touched: the lazy-default group is empty.
-        assert_eq!(t.stats().page_writes(), 0, "hybrid ADD COLUMN touches no pages");
+        assert_eq!(
+            t.stats().page_writes(),
+            0,
+            "hybrid ADD COLUMN touches no pages"
+        );
         assert_eq!(t.schema().width(), 4);
         let key = t.key_at(2).unwrap();
         assert_eq!(t.get_row(key).unwrap()[3], Value::text("?"));
@@ -778,7 +828,8 @@ mod tests {
     fn add_column_rewrites_under_rowstore() {
         let mut t = sample_table(GroupPolicy::RowStore);
         t.stats().reset();
-        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?")).unwrap();
+        t.add_column(ColumnDef::new("grade", DataType::Text), Value::text("?"))
+            .unwrap();
         assert!(t.stats().page_writes() > 0, "row store must rewrite");
         let key = t.key_at(2).unwrap();
         assert_eq!(t.get_row(key).unwrap()[3], Value::text("?"));
@@ -789,7 +840,11 @@ mod tests {
         let mut t = sample_table(GroupPolicy::ColumnStore);
         t.stats().reset();
         t.drop_column("score").unwrap();
-        assert_eq!(t.stats().page_writes(), 0, "dropping a whole group is metadata-only");
+        assert_eq!(
+            t.stats().page_writes(),
+            0,
+            "dropping a whole group is metadata-only"
+        );
         assert_eq!(t.schema().width(), 2);
         let key = t.key_at(0).unwrap();
         let row = t.get_row(key).unwrap();
@@ -803,7 +858,10 @@ mod tests {
         t.drop_column("name").unwrap();
         assert!(t.stats().page_writes() > 0);
         let key = t.key_at(1).unwrap();
-        assert_eq!(t.get_row(key).unwrap(), vec![Value::Int(1), Value::Float(81.0)]);
+        assert_eq!(
+            t.get_row(key).unwrap(),
+            vec![Value::Int(1), Value::Float(81.0)]
+        );
         // pk still works after index shifts.
         assert_eq!(t.key_lookup(&KeyTuple(vec![Value::Int(1)])), Some(key));
         t.update_cell(key, 1, Value::Float(12.0)).unwrap();
@@ -822,7 +880,8 @@ mod tests {
     #[test]
     fn add_then_drop_column_round_trip() {
         let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
-        t.add_column(ColumnDef::new("extra", DataType::Int), Value::Int(0)).unwrap();
+        t.add_column(ColumnDef::new("extra", DataType::Int), Value::Int(0))
+            .unwrap();
         let key = t.key_at(0).unwrap();
         t.update_cell(key, 3, Value::Int(42)).unwrap();
         t.drop_column("extra").unwrap();
@@ -834,13 +893,19 @@ mod tests {
 
     #[test]
     fn projection_reads_fewer_groups() {
-        let mut t = Table::new("wide", {
-            let cols: Vec<ColumnDef> =
-                (0..8).map(|i| ColumnDef::new(format!("c{i}"), DataType::Int)).collect();
-            Schema::new(cols).unwrap()
-        }, GroupPolicy::Hybrid { max_group_width: 2 });
+        let mut t = Table::new(
+            "wide",
+            {
+                let cols: Vec<ColumnDef> = (0..8)
+                    .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int))
+                    .collect();
+                Schema::new(cols).unwrap()
+            },
+            GroupPolicy::Hybrid { max_group_width: 2 },
+        );
         for r in 0..20 {
-            t.insert((0..8).map(|c| Value::Int(r * 8 + c)).collect()).unwrap();
+            t.insert((0..8).map(|c| Value::Int(r * 8 + c)).collect())
+                .unwrap();
         }
         t.stats().reset();
         let full = t.scan().unwrap();
@@ -850,7 +915,10 @@ mod tests {
         let proj_reads = t.stats().page_reads();
         assert_eq!(full.len(), proj.len());
         assert_eq!(proj[3].1, vec![Value::Int(24)]);
-        assert!(proj_reads * 2 <= full_reads, "projection must read fewer pages: {proj_reads} vs {full_reads}");
+        assert!(
+            proj_reads * 2 <= full_reads,
+            "projection must read fewer pages: {proj_reads} vs {full_reads}"
+        );
     }
 
     #[test]
@@ -868,7 +936,11 @@ mod tests {
     fn update_row_replaces_everything() {
         let mut t = sample_table(GroupPolicy::Hybrid { max_group_width: 2 });
         let key = t.key_at(0).unwrap();
-        t.update_row(key, vec![Value::Int(0), Value::text("zed"), Value::Float(1.0)]).unwrap();
+        t.update_row(
+            key,
+            vec![Value::Int(0), Value::text("zed"), Value::Float(1.0)],
+        )
+        .unwrap();
         assert_eq!(
             t.get_row(key).unwrap(),
             vec![Value::Int(0), Value::text("zed"), Value::Float(1.0)]
@@ -886,7 +958,11 @@ mod tests {
             ])
             .unwrap();
         }
-        assert!(t.total_pages() > 10, "5000 rows must span many pages: {}", t.total_pages());
+        assert!(
+            t.total_pages() > 10,
+            "5000 rows must span many pages: {}",
+            t.total_pages()
+        );
         // Spot-check random access.
         let k = t.key_at(4321).unwrap();
         assert_eq!(t.get_row(k).unwrap()[0], Value::Int(4321));

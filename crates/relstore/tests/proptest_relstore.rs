@@ -1,10 +1,12 @@
 //! Model-based property tests for the attribute-group table: every grouping
 //! policy must expose identical logical behaviour (rows, order, schema)
 //! under random interleavings of DML and DDL.
-
-use proptest::prelude::*;
+//!
+//! Driven by `dataspread_testkit` (deterministic seeds) instead of an
+//! external property-testing crate — see substitution #4 in `DESIGN.md`.
 
 use dataspread_relstore::{ColumnDef, GroupPolicy, Schema, Table};
+use dataspread_testkit::{cases, Rng};
 use dataspread_types::{DataType, Value};
 
 #[derive(Clone, Debug)]
@@ -18,21 +20,19 @@ enum Op {
     RenameColumn(String),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (any::<i64>(), "[a-z]{0,6}").prop_map(|(v, s)| Op::Insert(v, s)),
-            2 => (any::<usize>(), any::<i64>(), "[a-z]{0,6}")
-                .prop_map(|(p, v, s)| Op::InsertAt(p, v, s)),
-            3 => (any::<usize>(), any::<usize>(), any::<i64>())
-                .prop_map(|(r, c, v)| Op::UpdateCell(r, c, v)),
-            2 => any::<usize>().prop_map(Op::DeleteAt),
-            1 => "[a-z]{1,5}".prop_map(Op::AddColumn),
-            1 => Just(Op::DropLastAdded),
-            1 => "[a-z]{1,5}".prop_map(Op::RenameColumn),
-        ],
-        0..60,
-    )
+fn arb_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.index(60);
+    (0..len)
+        .map(|_| match rng.weighted(&[4, 2, 3, 2, 1, 1, 1]) {
+            0 => Op::Insert(rng.i64(), rng.lowercase(0, 6)),
+            1 => Op::InsertAt(rng.next_u64() as usize, rng.i64(), rng.lowercase(0, 6)),
+            2 => Op::UpdateCell(rng.next_u64() as usize, rng.next_u64() as usize, rng.i64()),
+            3 => Op::DeleteAt(rng.next_u64() as usize),
+            4 => Op::AddColumn(rng.lowercase(1, 5)),
+            5 => Op::DropLastAdded,
+            _ => Op::RenameColumn(rng.lowercase(1, 5)),
+        })
+        .collect()
 }
 
 /// Plain in-memory model: a vec of rows plus column names.
@@ -51,7 +51,10 @@ fn base_schema() -> Schema {
 
 fn run(ops: &[Op], policy: GroupPolicy) {
     let mut t = Table::new("t", base_schema(), policy);
-    let mut m = Model { cols: vec!["a".into(), "b".into()], rows: Vec::new() };
+    let mut m = Model {
+        cols: vec!["a".into(), "b".into()],
+        rows: Vec::new(),
+    };
     let mut added: Vec<String> = Vec::new();
     let mut name_seq = 0usize;
 
@@ -64,7 +67,11 @@ fn run(ops: &[Op], policy: GroupPolicy) {
                 m.rows.push(row);
             }
             Op::InsertAt(p, v, s) => {
-                let p = if m.rows.is_empty() { 0 } else { p % (m.rows.len() + 1) };
+                let p = if m.rows.is_empty() {
+                    0
+                } else {
+                    p % (m.rows.len() + 1)
+                };
                 let mut row = vec![Value::Int(*v), Value::text(s.clone())];
                 row.extend(vec![Value::Empty; m.cols.len() - 2]);
                 t.insert_at(p, row.clone()).unwrap();
@@ -74,7 +81,11 @@ fn run(ops: &[Op], policy: GroupPolicy) {
                 if !m.rows.is_empty() {
                     let r = r % m.rows.len();
                     let c = c % m.cols.len();
-                    let val = if c == 1 { Value::text(v.to_string()) } else { Value::Int(*v) };
+                    let val = if c == 1 {
+                        Value::text(v.to_string())
+                    } else {
+                        Value::Int(*v)
+                    };
                     let key = t.key_at(r).unwrap();
                     t.update_cell(key, c, val.clone()).unwrap();
                     // Model applies the same storage coercion (Int column 0,
@@ -93,7 +104,8 @@ fn run(ops: &[Op], policy: GroupPolicy) {
             Op::AddColumn(base) => {
                 name_seq += 1;
                 let name = format!("{base}{name_seq}");
-                t.add_column(ColumnDef::new(name.clone(), DataType::Int), Value::Int(0)).unwrap();
+                t.add_column(ColumnDef::new(name.clone(), DataType::Int), Value::Int(0))
+                    .unwrap();
                 m.cols.push(name.clone());
                 for row in &mut m.rows {
                     row.push(Value::Int(0));
@@ -143,26 +155,34 @@ fn run(ops: &[Op], policy: GroupPolicy) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn rowstore_matches_model(ops in arb_ops()) {
+#[test]
+fn rowstore_matches_model() {
+    cases(32, 0x2e101, |rng| {
+        let ops = arb_ops(rng);
         run(&ops, GroupPolicy::RowStore);
-    }
+    });
+}
 
-    #[test]
-    fn colstore_matches_model(ops in arb_ops()) {
+#[test]
+fn colstore_matches_model() {
+    cases(32, 0x2e102, |rng| {
+        let ops = arb_ops(rng);
         run(&ops, GroupPolicy::ColumnStore);
-    }
+    });
+}
 
-    #[test]
-    fn hybrid2_matches_model(ops in arb_ops()) {
+#[test]
+fn hybrid2_matches_model() {
+    cases(32, 0x2e103, |rng| {
+        let ops = arb_ops(rng);
         run(&ops, GroupPolicy::Hybrid { max_group_width: 2 });
-    }
+    });
+}
 
-    #[test]
-    fn hybrid4_matches_model(ops in arb_ops()) {
+#[test]
+fn hybrid4_matches_model() {
+    cases(32, 0x2e104, |rng| {
+        let ops = arb_ops(rng);
         run(&ops, GroupPolicy::Hybrid { max_group_width: 4 });
-    }
+    });
 }

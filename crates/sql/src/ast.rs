@@ -7,6 +7,9 @@
 
 use dataspread_types::{DataType, Value};
 
+// Statements are parsed once and consumed; the size skew from the inline
+// `SelectStmt` is irrelevant next to boxing every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
     Select(SelectStmt),
@@ -48,9 +51,15 @@ pub enum InsertSource {
 
 #[derive(Clone, Debug, PartialEq)]
 pub enum AlterAction {
-    AddColumn { spec: ColumnSpec, default: Option<Expr> },
+    AddColumn {
+        spec: ColumnSpec,
+        default: Option<Expr>,
+    },
     DropColumn(String),
-    RenameColumn { from: String, to: String },
+    RenameColumn {
+        from: String,
+        to: String,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -80,7 +89,10 @@ pub enum SelectItem {
     Wildcard,
     /// `t.*`
     QualifiedWildcard(String),
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -212,7 +224,10 @@ pub enum Expr {
 
 impl Expr {
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_string() }
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
     }
 
     pub fn lit(v: impl Into<Value>) -> Expr {
@@ -239,18 +254,22 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
-            Expr::Case { operand, branches, else_ } => {
-                operand.as_ref().map_or(false, |e| e.contains_aggregate())
+            Expr::Case {
+                operand,
+                branches,
+                else_,
+            } => {
+                operand.as_ref().is_some_and(|e| e.contains_aggregate())
                     || branches
                         .iter()
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
-                    || else_.as_ref().map_or(false, |e| e.contains_aggregate())
+                    || else_.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             Expr::Function { args, .. } => args.iter().any(|e| e.contains_aggregate()),
             _ => false,
@@ -274,7 +293,9 @@ impl Expr {
                     e.for_each_column(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.for_each_column(f);
                 low.for_each_column(f);
                 high.for_each_column(f);
@@ -283,7 +304,11 @@ impl Expr {
                 expr.for_each_column(f);
                 pattern.for_each_column(f);
             }
-            Expr::Case { operand, branches, else_ } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_,
+            } => {
                 if let Some(e) = operand {
                     e.for_each_column(f);
                 }
@@ -340,7 +365,10 @@ mod tests {
     #[test]
     fn column_visitor() {
         let e = Expr::Binary {
-            left: Box::new(Expr::Column { table: Some("t".into()), name: "a".into() }),
+            left: Box::new(Expr::Column {
+                table: Some("t".into()),
+                name: "a".into(),
+            }),
             op: BinOp::Add,
             right: Box::new(Expr::col("b")),
         };

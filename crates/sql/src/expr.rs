@@ -24,7 +24,10 @@ pub struct ColInfo {
 
 impl ColInfo {
     pub fn new(qualifier: Option<&str>, name: impl Into<String>) -> Self {
-        ColInfo { qualifier: qualifier.map(|q| q.to_ascii_lowercase()), name: name.into() }
+        ColInfo {
+            qualifier: qualifier.map(|q| q.to_ascii_lowercase()),
+            name: name.into(),
+        }
     }
 }
 
@@ -44,15 +47,48 @@ pub fn agg_key(e: &Expr) -> String {
 pub enum BExpr {
     Literal(Value),
     Col(usize),
-    Unary { op: UnOp, expr: Box<BExpr> },
-    Binary { left: Box<BExpr>, op: BinOp, right: Box<BExpr> },
-    IsNull { expr: Box<BExpr>, negated: bool },
-    InList { expr: Box<BExpr>, list: Vec<BExpr>, negated: bool },
-    Between { expr: Box<BExpr>, low: Box<BExpr>, high: Box<BExpr>, negated: bool },
-    Like { expr: Box<BExpr>, pattern: Box<BExpr>, negated: bool },
-    Case { operand: Option<Box<BExpr>>, branches: Vec<(BExpr, BExpr)>, else_: Option<Box<BExpr>> },
-    ScalarFn { name: String, args: Vec<BExpr> },
-    Cast { expr: Box<BExpr>, dtype: DataType },
+    Unary {
+        op: UnOp,
+        expr: Box<BExpr>,
+    },
+    Binary {
+        left: Box<BExpr>,
+        op: BinOp,
+        right: Box<BExpr>,
+    },
+    IsNull {
+        expr: Box<BExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BExpr>,
+        list: Vec<BExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<BExpr>,
+        low: Box<BExpr>,
+        high: Box<BExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BExpr>,
+        pattern: Box<BExpr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<BExpr>>,
+        branches: Vec<(BExpr, BExpr)>,
+        else_: Option<Box<BExpr>>,
+    },
+    ScalarFn {
+        name: String,
+        args: Vec<BExpr>,
+    },
+    Cast {
+        expr: Box<BExpr>,
+        dtype: DataType,
+    },
     /// Reference to a precomputed aggregate slot.
     AggRef(usize),
 }
@@ -92,7 +128,11 @@ pub fn bind(
             expr: Box::new(bind(expr, cols, aggs, resolver)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => BExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BExpr::InList {
             expr: Box::new(bind(expr, cols, aggs, resolver)?),
             list: list
                 .iter()
@@ -100,18 +140,31 @@ pub fn bind(
                 .collect::<DsResult<_>>()?,
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => BExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BExpr::Between {
             expr: Box::new(bind(expr, cols, aggs, resolver)?),
             low: Box::new(bind(low, cols, aggs, resolver)?),
             high: Box::new(bind(high, cols, aggs, resolver)?),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => BExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BExpr::Like {
             expr: Box::new(bind(expr, cols, aggs, resolver)?),
             pattern: Box::new(bind(pattern, cols, aggs, resolver)?),
             negated: *negated,
         },
-        Expr::Case { operand, branches, else_ } => BExpr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => BExpr::Case {
             operand: match operand {
                 Some(e) => Some(Box::new(bind(e, cols, aggs, resolver)?)),
                 None => None,
@@ -119,7 +172,10 @@ pub fn bind(
             branches: branches
                 .iter()
                 .map(|(w, t)| {
-                    Ok((bind(w, cols, aggs, resolver)?, bind(t, cols, aggs, resolver)?))
+                    Ok((
+                        bind(w, cols, aggs, resolver)?,
+                        bind(t, cols, aggs, resolver)?,
+                    ))
                 })
                 .collect::<DsResult<_>>()?,
             else_: match else_ {
@@ -127,7 +183,12 @@ pub fn bind(
                 None => None,
             },
         },
-        Expr::Function { name, args, distinct, star } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
             if *distinct || *star {
                 return Err(DsError::Sql(format!(
                     "DISTINCT/* arguments only valid in aggregates, not `{name}`"
@@ -177,9 +238,26 @@ pub fn resolve_column(cols: &[ColInfo], table: Option<&str>, name: &str) -> DsRe
 fn is_scalar_fn(uname: &str) -> bool {
     matches!(
         uname,
-        "ABS" | "UPPER" | "LOWER" | "LENGTH" | "SUBSTR" | "SUBSTRING" | "TRIM" | "ROUND"
-            | "FLOOR" | "CEIL" | "CEILING" | "COALESCE" | "NULLIF" | "CONCAT" | "REPLACE"
-            | "MOD" | "POWER" | "POW" | "SQRT" | "SIGN"
+        "ABS"
+            | "UPPER"
+            | "LOWER"
+            | "LENGTH"
+            | "SUBSTR"
+            | "SUBSTRING"
+            | "TRIM"
+            | "ROUND"
+            | "FLOOR"
+            | "CEIL"
+            | "CEILING"
+            | "COALESCE"
+            | "NULLIF"
+            | "CONCAT"
+            | "REPLACE"
+            | "MOD"
+            | "POWER"
+            | "POW"
+            | "SQRT"
+            | "SIGN"
     )
 }
 
@@ -195,7 +273,8 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
                 UnOp::Neg => match numeric(&v)? {
                     None => Value::Empty,
                     Some(Num::Int(i)) => Value::Int(
-                        i.checked_neg().ok_or_else(|| DsError::Sql("integer overflow".into()))?,
+                        i.checked_neg()
+                            .ok_or_else(|| DsError::Sql("integer overflow".into()))?,
                     ),
                     Some(Num::Float(f)) => Value::Float(-f),
                 },
@@ -266,7 +345,11 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
             let v = eval(expr, row, aggs)?;
             Value::Bool(v.is_empty() != *negated)
         }
-        BExpr::InList { expr, list, negated } => {
+        BExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row, aggs)?;
             if v.is_empty() {
                 return Ok(Value::Empty);
@@ -286,7 +369,12 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
                 Value::Bool(*negated)
             }
         }
-        BExpr::Between { expr, low, high, negated } => {
+        BExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, row, aggs)?;
             let lo = eval(low, row, aggs)?;
             let hi = eval(high, row, aggs)?;
@@ -300,7 +388,11 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
                 _ => Value::Empty,
             }
         }
-        BExpr::Like { expr, pattern, negated } => {
+        BExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row, aggs)?;
             let p = eval(pattern, row, aggs)?;
             if v.is_empty() || p.is_empty() {
@@ -309,7 +401,11 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
             let matched = like_match(&v.display_string(), &p.display_string());
             Value::Bool(matched != *negated)
         }
-        BExpr::Case { operand, branches, else_ } => {
+        BExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
             match operand {
                 Some(op_expr) => {
                     let v = eval(op_expr, row, aggs)?;
@@ -334,8 +430,10 @@ pub fn eval(e: &BExpr, row: &[Value], aggs: &[Value]) -> DsResult<Value> {
             }
         }
         BExpr::ScalarFn { name, args } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, row, aggs)).collect::<DsResult<_>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, aggs))
+                .collect::<DsResult<_>>()?;
             scalar_fn(name, &vals)?
         }
         BExpr::Cast { expr, dtype } => {
@@ -437,7 +535,8 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> DsResult<Value> {
 }
 
 fn int_or_err(v: Option<i64>) -> DsResult<Value> {
-    v.map(Value::Int).ok_or_else(|| DsError::Sql("integer overflow".into()))
+    v.map(Value::Int)
+        .ok_or_else(|| DsError::Sql("integer overflow".into()))
 }
 
 /// SQL comparison: `Ok(None)` when either side is NULL; numeric types
@@ -453,11 +552,7 @@ pub fn sql_compare(l: &Value, r: &Value) -> DsResult<Option<Ordering>> {
         (Float(a), Float(b)) => a.partial_cmp(b),
         (Text(a), Text(b)) => Some(a.cmp(b)),
         (Bool(a), Bool(b)) => Some(a.cmp(b)),
-        _ => {
-            return Err(DsError::Sql(format!(
-                "cannot compare {l:?} with {r:?}"
-            )))
-        }
+        _ => return Err(DsError::Sql(format!("cannot compare {l:?} with {r:?}"))),
     })
 }
 
@@ -481,9 +576,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
                 false
             }
             Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
-            Some(c) => {
-                !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..])
-            }
+            Some(c) => !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..]),
         }
     }
     let t: Vec<char> = text.to_lowercase().chars().collect();
@@ -494,7 +587,10 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
 fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
     fn need(args: &[Value], n: usize, name: &str) -> DsResult<()> {
         if args.len() != n {
-            return Err(DsError::Sql(format!("{name} takes {n} argument(s), got {}", args.len())));
+            return Err(DsError::Sql(format!(
+                "{name} takes {n} argument(s), got {}",
+                args.len()
+            )));
         }
         Ok(())
     }
@@ -526,7 +622,13 @@ fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
             need(args, 1, name)?;
             match f64_arg(&args[0])? {
                 None => Value::Empty,
-                Some(f) => Value::Int(if f > 0.0 { 1 } else if f < 0.0 { -1 } else { 0 }),
+                Some(f) => Value::Int(if f > 0.0 {
+                    1
+                } else if f < 0.0 {
+                    -1
+                } else {
+                    0
+                }),
             }
         }
         "UPPER" => {
@@ -561,7 +663,9 @@ fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
             if args.len() != 2 && args.len() != 3 {
                 return Err(DsError::Sql("SUBSTR takes 2 or 3 arguments".into()));
             }
-            let Some(s) = text_arg(&args[0]) else { return Ok(Value::Empty) };
+            let Some(s) = text_arg(&args[0]) else {
+                return Ok(Value::Empty);
+            };
             let start = match args[1].coerce_i64() {
                 Ok(v) => v,
                 Err(_) => return Err(DsError::Sql("SUBSTR start must be an integer".into())),
@@ -571,7 +675,11 @@ fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
             let len = if args.len() == 3 {
                 match args[2].coerce_i64() {
                     Ok(v) if v >= 0 => v as usize,
-                    _ => return Err(DsError::Sql("SUBSTR length must be a non-negative integer".into())),
+                    _ => {
+                        return Err(DsError::Sql(
+                            "SUBSTR length must be a non-negative integer".into(),
+                        ))
+                    }
                 }
             } else {
                 chars.len()
@@ -593,9 +701,13 @@ fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
             if args.len() != 1 && args.len() != 2 {
                 return Err(DsError::Sql("ROUND takes 1 or 2 arguments".into()));
             }
-            let Some(x) = f64_arg(&args[0])? else { return Ok(Value::Empty) };
+            let Some(x) = f64_arg(&args[0])? else {
+                return Ok(Value::Empty);
+            };
             let digits = if args.len() == 2 {
-                args[1].coerce_i64().map_err(|_| DsError::Sql("ROUND digits must be integer".into()))?
+                args[1]
+                    .coerce_i64()
+                    .map_err(|_| DsError::Sql("ROUND digits must be integer".into()))?
             } else {
                 0
             };
@@ -640,9 +752,11 @@ fn scalar_fn(name: &str, args: &[Value]) -> DsResult<Value> {
             need(args, 2, name)?;
             arith(BinOp::Mod, &args[0], &args[1])?
         }
-        "COALESCE" => {
-            args.iter().find(|v| !v.is_empty()).cloned().unwrap_or(Value::Empty)
-        }
+        "COALESCE" => args
+            .iter()
+            .find(|v| !v.is_empty())
+            .cloned()
+            .unwrap_or(Value::Empty),
         "NULLIF" => {
             need(args, 2, name)?;
             if sql_compare(&args[0], &args[1])? == Some(Ordering::Equal) {
@@ -719,7 +833,11 @@ mod tests {
         assert_eq!(ev(&p("2 > 1"), &[]).unwrap(), Value::Bool(true));
         assert_eq!(ev(&p("2 = 2.0"), &[]).unwrap(), Value::Bool(true));
         assert_eq!(ev(&p("'abc' < 'abd'"), &[]).unwrap(), Value::Bool(true));
-        assert_eq!(ev(&p("'A' = 'a'"), &[]).unwrap(), Value::Bool(false), "case-sensitive");
+        assert_eq!(
+            ev(&p("'A' = 'a'"), &[]).unwrap(),
+            Value::Bool(false),
+            "case-sensitive"
+        );
         assert!(ev(&p("'a' > 1"), &[]).is_err(), "mixed types error");
     }
 
@@ -745,10 +863,19 @@ mod tests {
         assert_eq!(ev(&p("5 NOT IN (1, 2)"), &[]).unwrap(), Value::Bool(true));
         assert_eq!(ev(&p("2 IN (1, NULL)"), &[]).unwrap(), Value::Empty);
         assert_eq!(ev(&p("2 BETWEEN 1 AND 3"), &[]).unwrap(), Value::Bool(true));
-        assert_eq!(ev(&p("0 NOT BETWEEN 1 AND 3"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            ev(&p("0 NOT BETWEEN 1 AND 3"), &[]).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(ev(&p("'hello' LIKE 'h%'"), &[]).unwrap(), Value::Bool(true));
-        assert_eq!(ev(&p("'hello' LIKE 'H_LLO'"), &[]).unwrap(), Value::Bool(true));
-        assert_eq!(ev(&p("'hello' NOT LIKE '%z%'"), &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            ev(&p("'hello' LIKE 'H_LLO'"), &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&p("'hello' NOT LIKE '%z%'"), &[]).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -771,7 +898,10 @@ mod tests {
             ev(&p("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END"), &[]).unwrap(),
             Value::text("two")
         );
-        assert_eq!(ev(&p("CASE 9 WHEN 1 THEN 'one' END"), &[]).unwrap(), Value::Empty);
+        assert_eq!(
+            ev(&p("CASE 9 WHEN 1 THEN 'one' END"), &[]).unwrap(),
+            Value::Empty
+        );
     }
 
     #[test]
@@ -779,12 +909,21 @@ mod tests {
         assert_eq!(ev(&p("ABS(-3)"), &[]).unwrap(), Value::Int(3));
         assert_eq!(ev(&p("UPPER('abc')"), &[]).unwrap(), Value::text("ABC"));
         assert_eq!(ev(&p("LENGTH('héllo')"), &[]).unwrap(), Value::Int(5));
-        assert_eq!(ev(&p("SUBSTR('hello', 2, 3)"), &[]).unwrap(), Value::text("ell"));
+        assert_eq!(
+            ev(&p("SUBSTR('hello', 2, 3)"), &[]).unwrap(),
+            Value::text("ell")
+        );
         assert_eq!(ev(&p("ROUND(2.567, 2)"), &[]).unwrap(), Value::Float(2.57));
         assert_eq!(ev(&p("ROUND(2.5)"), &[]).unwrap(), Value::Int(3));
-        assert_eq!(ev(&p("COALESCE(NULL, NULL, 7)"), &[]).unwrap(), Value::Int(7));
+        assert_eq!(
+            ev(&p("COALESCE(NULL, NULL, 7)"), &[]).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(ev(&p("NULLIF(3, 3)"), &[]).unwrap(), Value::Empty);
-        assert_eq!(ev(&p("CONCAT('a', 1, 'b')"), &[]).unwrap(), Value::text("a1b"));
+        assert_eq!(
+            ev(&p("CONCAT('a', 1, 'b')"), &[]).unwrap(),
+            Value::text("a1b")
+        );
         assert_eq!(ev(&p("CAST('12' AS INT)"), &[]).unwrap(), Value::Int(12));
         assert!(ev(&p("NOSUCHFN(1)"), &[]).is_err());
     }

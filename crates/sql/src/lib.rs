@@ -1,0 +1,28 @@
+//! The SQL front end (paper §2.2, "Query Processing").
+//!
+//! DataSpread exposes the relational side of the system through a SQL dialect
+//! extended with two positional constructs: `RANGEVALUE('B1')` reads a scalar
+//! from the sheet, `RANGETABLE('A1:D100')` turns a region into a relation.
+//! This crate owns everything up to (but not including) execution:
+//!
+//! * [`token`] — the hand-written lexer.
+//! * [`parser`] — recursive-descent parsing into the [`ast`] types.
+//! * [`expr`] — name resolution and per-row evaluation of bound expressions,
+//!   with SQL NULL semantics (distinct from the spreadsheet's).
+//! * [`resolver`] — the [`SheetResolver`] trait through which positional
+//!   references reach a live workbook; the `dataspread` engine crate provides
+//!   the real implementation, [`resolver::StaticSheet`] a test double.
+//!
+//! Execution lives in the `dataspread` engine crate, which binds this front
+//! end to the relational storage manager and the interface manager.
+
+pub mod ast;
+pub mod expr;
+pub mod parser;
+pub mod resolver;
+pub mod token;
+
+pub use ast::{Expr, InsertSource, SelectStmt, Statement, TableExpr};
+pub use expr::{bind, eval, BExpr, ColInfo};
+pub use parser::{parse_statement, parse_statements};
+pub use resolver::{NoSheet, SheetResolver, StaticSheet};

@@ -7,9 +7,9 @@ use crate::token::{tokenize, Token};
 
 /// Words that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
-    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "ON", "JOIN", "INNER", "LEFT",
-    "RIGHT", "OUTER", "CROSS", "NATURAL", "UNION", "SET", "VALUES", "AS", "FROM", "SELECT",
-    "AND", "OR", "NOT", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC",
+    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "ON", "JOIN", "INNER", "LEFT", "RIGHT",
+    "OUTER", "CROSS", "NATURAL", "UNION", "SET", "VALUES", "AS", "FROM", "SELECT", "AND", "OR",
+    "NOT", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC",
 ];
 
 /// Parse a single SQL statement (a trailing `;` is allowed).
@@ -46,7 +46,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> DsResult<Self> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     // ---- token helpers ------------------------------------------------------
@@ -75,7 +78,10 @@ impl Parser {
         if self.at_eof() {
             Ok(())
         } else {
-            Err(DsError::Parse(format!("unexpected trailing input: {:?}", self.peek())))
+            Err(DsError::Parse(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -92,7 +98,11 @@ impl Parser {
         if self.eat_token(t) {
             Ok(())
         } else {
-            Err(DsError::Parse(format!("expected {:?}, found {:?}", t, self.peek())))
+            Err(DsError::Parse(format!(
+                "expected {:?}, found {:?}",
+                t,
+                self.peek()
+            )))
         }
     }
 
@@ -109,7 +119,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(DsError::Parse(format!("expected `{kw}`, found {:?}", self.peek())))
+            Err(DsError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -122,7 +135,9 @@ impl Parser {
         match self.next() {
             Token::Ident(s) => Ok(s),
             Token::QuotedIdent(s) => Ok(s),
-            other => Err(DsError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DsError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -170,7 +185,10 @@ impl Parser {
         if self.eat_kw("ALTER") {
             return self.alter_table();
         }
-        Err(DsError::Parse(format!("expected a statement, found {:?}", self.peek())))
+        Err(DsError::Parse(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
     }
 
     fn select(&mut self) -> DsResult<SelectStmt> {
@@ -186,8 +204,16 @@ impl Parser {
                 break;
             }
         }
-        let from = if self.eat_kw("FROM") { Some(self.table_expr()?) } else { None };
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let from = if self.eat_kw("FROM") {
+            Some(self.table_expr()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -198,7 +224,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -226,7 +256,17 @@ impl Parser {
         } else if self.eat_kw("OFFSET") {
             offset = Some(self.expr()?);
         }
-        Ok(SelectStmt { distinct, projection, from, filter, group_by, having, order_by, limit, offset })
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn select_item(&mut self) -> DsResult<SelectItem> {
@@ -262,7 +302,7 @@ impl Parser {
                 }
                 t if t.is_kw("LEFT") => {
                     look += 1;
-                    if self.tokens.get(look).map_or(false, |t| t.is_kw("OUTER")) {
+                    if self.tokens.get(look).is_some_and(|t| t.is_kw("OUTER")) {
                         look += 1;
                     }
                     Some(JoinKind::Left)
@@ -274,7 +314,7 @@ impl Parser {
                 _ => None,
             };
             let Some(kind) = kind else { break };
-            if !self.tokens.get(look).map_or(false, |t| t.is_kw("JOIN")) {
+            if !self.tokens.get(look).is_some_and(|t| t.is_kw("JOIN")) {
                 break;
             }
             self.pos = look + 1; // consume through JOIN
@@ -286,7 +326,9 @@ impl Parser {
             } else if kind == JoinKind::Cross {
                 JoinConstraint::None
             } else {
-                return Err(DsError::Parse("JOIN requires ON (or use NATURAL/CROSS)".into()));
+                return Err(DsError::Parse(
+                    "JOIN requires ON (or use NATURAL/CROSS)".into(),
+                ));
             };
             left = TableExpr::Join {
                 left: Box::new(left),
@@ -311,10 +353,13 @@ impl Parser {
             if self.peek_kw("SELECT") {
                 let query = self.select()?;
                 self.expect_token(&Token::RParen)?;
-                let alias = self.try_alias().ok_or_else(|| {
-                    DsError::Parse("a subquery in FROM needs an alias".into())
-                })?;
-                return Ok(TableExpr::Subquery { query: Box::new(query), alias });
+                let alias = self
+                    .try_alias()
+                    .ok_or_else(|| DsError::Parse("a subquery in FROM needs an alias".into()))?;
+                return Ok(TableExpr::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             let inner = self.table_expr()?;
             self.expect_token(&Token::RParen)?;
@@ -391,9 +436,15 @@ impl Parser {
         } else if self.peek_kw("SELECT") {
             InsertSource::Select(Box::new(self.select()?))
         } else {
-            return Err(DsError::Parse("expected VALUES or SELECT after INSERT".into()));
+            return Err(DsError::Parse(
+                "expected VALUES or SELECT after INSERT".into(),
+            ));
         };
-        Ok(Statement::Insert { table, columns, source })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
     }
 
     fn update(&mut self) -> DsResult<Statement> {
@@ -409,14 +460,26 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, filter })
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> DsResult<Statement> {
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -460,7 +523,11 @@ impl Parser {
             }
         }
         self.expect_token(&Token::RParen)?;
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn column_spec(&mut self) -> DsResult<ColumnSpec> {
@@ -468,7 +535,12 @@ impl Parser {
         let type_name = self.ident()?;
         let dtype = DataType::parse_sql(&type_name)
             .ok_or_else(|| DsError::Parse(format!("unknown type `{type_name}`")))?;
-        let mut spec = ColumnSpec { name, dtype, not_null: false, primary_key: false };
+        let mut spec = ColumnSpec {
+            name,
+            dtype,
+            not_null: false,
+            primary_key: false,
+        };
         loop {
             if self.eat_kw("NOT") {
                 self.expect_kw("NULL")?;
@@ -501,7 +573,11 @@ impl Parser {
         let action = if self.eat_kw("ADD") {
             self.eat_kw("COLUMN");
             let spec = self.column_spec()?;
-            let default = if self.eat_kw("DEFAULT") { Some(self.expr()?) } else { None };
+            let default = if self.eat_kw("DEFAULT") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             AlterAction::AddColumn { spec, default }
         } else if self.eat_kw("DROP") {
             self.eat_kw("COLUMN");
@@ -531,7 +607,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -540,7 +620,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -548,7 +632,10 @@ impl Parser {
     fn not_expr(&mut self) -> DsResult<Expr> {
         if self.eat_kw("NOT") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.cmp_expr()
     }
@@ -559,11 +646,16 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / BETWEEN / LIKE
         let negated = if self.peek_kw("NOT")
-            && (self.peek2().is_kw("IN") || self.peek2().is_kw("BETWEEN") || self.peek2().is_kw("LIKE"))
+            && (self.peek2().is_kw("IN")
+                || self.peek2().is_kw("BETWEEN")
+                || self.peek2().is_kw("LIKE"))
         {
             self.next();
             true
@@ -580,7 +672,11 @@ impl Parser {
                 }
             }
             self.expect_token(&Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.add_expr()?;
@@ -595,7 +691,11 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.add_expr()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(DsError::Parse("dangling NOT".into()));
@@ -611,7 +711,11 @@ impl Parser {
         };
         self.next();
         let right = self.add_expr()?;
-        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
     }
 
     fn add_expr(&mut self) -> DsResult<Expr> {
@@ -625,7 +729,11 @@ impl Parser {
             };
             self.next();
             let right = self.mul_expr()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -641,7 +749,11 @@ impl Parser {
             };
             self.next();
             let right = self.unary_expr()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -649,7 +761,10 @@ impl Parser {
     fn unary_expr(&mut self) -> DsResult<Expr> {
         if self.eat_token(&Token::Minus) {
             let inner = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.eat_token(&Token::Plus) {
             return self.unary_expr();
@@ -681,7 +796,10 @@ impl Parser {
                 self.next();
                 if self.eat_token(&Token::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(name), name: col })
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
                 } else {
                     Ok(Expr::Column { table: None, name })
                 }
@@ -712,7 +830,10 @@ impl Parser {
                     let dtype = DataType::parse_sql(&tname)
                         .ok_or_else(|| DsError::Parse(format!("unknown type `{tname}`")))?;
                     self.expect_token(&Token::RParen)?;
-                    return Ok(Expr::Cast { expr: Box::new(e), dtype });
+                    return Ok(Expr::Cast {
+                        expr: Box::new(e),
+                        dtype,
+                    });
                 }
                 if word.eq_ignore_ascii_case("RANGEVALUE") {
                     self.next();
@@ -743,24 +864,41 @@ impl Parser {
                         }
                         self.expect_token(&Token::RParen)?;
                     }
-                    return Ok(Expr::Function { name: word, args, distinct, star });
+                    return Ok(Expr::Function {
+                        name: word,
+                        args,
+                        distinct,
+                        star,
+                    });
                 }
                 // Column (possibly qualified).
                 self.next();
                 if self.eat_token(&Token::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(word), name: col })
+                    Ok(Expr::Column {
+                        table: Some(word),
+                        name: col,
+                    })
                 } else {
-                    Ok(Expr::Column { table: None, name: word })
+                    Ok(Expr::Column {
+                        table: None,
+                        name: word,
+                    })
                 }
             }
-            other => Err(DsError::Parse(format!("unexpected token {other:?} in expression"))),
+            other => Err(DsError::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 
     fn case_expr(&mut self) -> DsResult<Expr> {
         self.expect_kw("CASE")?;
-        let operand = if !self.peek_kw("WHEN") { Some(Box::new(self.expr()?)) } else { None };
+        let operand = if !self.peek_kw("WHEN") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         let mut branches = Vec::new();
         while self.eat_kw("WHEN") {
             let w = self.expr()?;
@@ -771,9 +909,17 @@ impl Parser {
         if branches.is_empty() {
             return Err(DsError::Parse("CASE needs at least one WHEN".into()));
         }
-        let else_ = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        let else_ = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw("END")?;
-        Ok(Expr::Case { operand, branches, else_ })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_,
+        })
     }
 }
 
@@ -814,28 +960,41 @@ mod tests {
     fn implicit_alias_not_keyword() {
         let s = sel("SELECT a x FROM t y WHERE x = 1");
         assert!(matches!(&s.projection[0], SelectItem::Expr { alias: Some(a), .. } if a == "x"));
-        assert!(
-            matches!(&s.from, Some(TableExpr::Named { alias: Some(a), .. }) if a == "y")
-        );
+        assert!(matches!(&s.from, Some(TableExpr::Named { alias: Some(a), .. }) if a == "y"));
     }
 
     #[test]
     fn join_varieties() {
         let s = sel("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
-        let Some(TableExpr::Join { kind, left, .. }) = &s.from else { panic!() };
+        let Some(TableExpr::Join { kind, left, .. }) = &s.from else {
+            panic!()
+        };
         assert_eq!(*kind, JoinKind::Left);
-        assert!(matches!(**left, TableExpr::Join { kind: JoinKind::Inner, .. }));
+        assert!(matches!(
+            **left,
+            TableExpr::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
 
         let s = sel("SELECT * FROM a NATURAL JOIN b");
         assert!(matches!(
             &s.from,
-            Some(TableExpr::Join { constraint: JoinConstraint::Natural, .. })
+            Some(TableExpr::Join {
+                constraint: JoinConstraint::Natural,
+                ..
+            })
         ));
 
         let s = sel("SELECT * FROM a CROSS JOIN b");
         assert!(matches!(
             &s.from,
-            Some(TableExpr::Join { kind: JoinKind::Cross, constraint: JoinConstraint::None, .. })
+            Some(TableExpr::Join {
+                kind: JoinKind::Cross,
+                constraint: JoinConstraint::None,
+                ..
+            })
         ));
     }
 
@@ -846,8 +1005,12 @@ mod tests {
 
     #[test]
     fn rangetable_and_rangevalue() {
-        let s = sel("SELECT * FROM actors NATURAL JOIN RANGETABLE(A1:D100) r WHERE id = RANGEVALUE(B1)");
-        let Some(TableExpr::Join { right, .. }) = &s.from else { panic!() };
+        let s = sel(
+            "SELECT * FROM actors NATURAL JOIN RANGETABLE(A1:D100) r WHERE id = RANGEVALUE(B1)",
+        );
+        let Some(TableExpr::Join { right, .. }) = &s.from else {
+            panic!()
+        };
         assert!(matches!(
             &**right,
             TableExpr::RangeTable { range, alias: Some(a) } if range == "A1:D100" && a == "r"
@@ -888,11 +1051,18 @@ mod tests {
     #[test]
     fn count_star_and_distinct() {
         let s = sel("SELECT COUNT(*), COUNT(DISTINCT x) FROM t");
-        let SelectItem::Expr { expr: Expr::Function { star, .. }, .. } = &s.projection[0] else {
+        let SelectItem::Expr {
+            expr: Expr::Function { star, .. },
+            ..
+        } = &s.projection[0]
+        else {
             panic!()
         };
         assert!(*star);
-        let SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } = &s.projection[1]
+        let SelectItem::Expr {
+            expr: Expr::Function { distinct, .. },
+            ..
+        } = &s.projection[1]
         else {
             panic!()
         };
@@ -902,9 +1072,18 @@ mod tests {
     #[test]
     fn expression_precedence() {
         let s = sel("SELECT 1 + 2 * 3");
-        let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
         // (1 + (2 * 3))
-        let Expr::Binary { op: BinOp::Add, right, .. } = expr else { panic!("{expr:?}") };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
+            panic!("{expr:?}")
+        };
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -912,7 +1091,14 @@ mod tests {
     fn logic_precedence() {
         let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
         // OR(a=1, AND(b=2, c=3))
-        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = &s.filter else { panic!() };
+        let Some(Expr::Binary {
+            op: BinOp::Or,
+            right,
+            ..
+        }) = &s.filter
+        else {
+            panic!()
+        };
         assert!(matches!(**right, Expr::Binary { op: BinOp::And, .. }));
     }
 
@@ -925,7 +1111,11 @@ mod tests {
         let mut stack = vec![s.filter.as_ref().unwrap()];
         while let Some(e) = stack.pop() {
             match e {
-                Expr::Binary { op: BinOp::And, left, right } => {
+                Expr::Binary {
+                    op: BinOp::And,
+                    left,
+                    right,
+                } => {
                     stack.push(left);
                     stack.push(right);
                 }
@@ -937,14 +1127,24 @@ mod tests {
             }
         }
         kinds.sort();
-        assert_eq!(kinds, vec!["betweentrue", "infalse", "isnulltrue", "likefalse"]);
+        assert_eq!(
+            kinds,
+            vec!["betweentrue", "infalse", "isnulltrue", "likefalse"]
+        );
     }
 
     #[test]
     fn case_forms() {
         let s = sel("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
-        let SelectItem::Expr { expr: Expr::Case { operand, branches, else_ }, .. } =
-            &s.projection[0]
+        let SelectItem::Expr {
+            expr:
+                Expr::Case {
+                    operand,
+                    branches,
+                    else_,
+                },
+            ..
+        } = &s.projection[0]
         else {
             panic!()
         };
@@ -953,7 +1153,12 @@ mod tests {
         assert!(else_.is_some());
 
         let s = sel("SELECT CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
-        let SelectItem::Expr { expr: Expr::Case { operand, branches, .. }, .. } = &s.projection[0]
+        let SelectItem::Expr {
+            expr: Expr::Case {
+                operand, branches, ..
+            },
+            ..
+        } = &s.projection[0]
         else {
             panic!()
         };
@@ -964,7 +1169,11 @@ mod tests {
     #[test]
     fn insert_forms() {
         let st = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
-        let Statement::Insert { columns: Some(cols), source: InsertSource::Values(v), .. } = st
+        let Statement::Insert {
+            columns: Some(cols),
+            source: InsertSource::Values(v),
+            ..
+        } = st
         else {
             panic!()
         };
@@ -974,19 +1183,31 @@ mod tests {
         let st = parse_statement("INSERT INTO t SELECT * FROM s").unwrap();
         assert!(matches!(
             st,
-            Statement::Insert { source: InsertSource::Select(_), columns: None, .. }
+            Statement::Insert {
+                source: InsertSource::Select(_),
+                columns: None,
+                ..
+            }
         ));
     }
 
     #[test]
     fn update_delete() {
         let st = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
-        let Statement::Update { sets, filter, .. } = st else { panic!() };
+        let Statement::Update { sets, filter, .. } = st else {
+            panic!()
+        };
         assert_eq!(sets.len(), 2);
         assert!(filter.is_some());
 
         let st = parse_statement("DELETE FROM t WHERE a < 0").unwrap();
-        assert!(matches!(st, Statement::Delete { filter: Some(_), .. }));
+        assert!(matches!(
+            st,
+            Statement::Delete {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -995,14 +1216,23 @@ mod tests {
             "CREATE TABLE IF NOT EXISTS t (id INT PRIMARY KEY, name TEXT NOT NULL, score REAL)",
         )
         .unwrap();
-        let Statement::CreateTable { columns, if_not_exists, .. } = st else { panic!() };
+        let Statement::CreateTable {
+            columns,
+            if_not_exists,
+            ..
+        } = st
+        else {
+            panic!()
+        };
         assert!(if_not_exists);
         assert_eq!(columns.len(), 3);
         assert!(columns[0].primary_key);
         assert!(columns[1].not_null);
 
         let st = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))").unwrap();
-        let Statement::CreateTable { columns, .. } = st else { panic!() };
+        let Statement::CreateTable { columns, .. } = st else {
+            panic!()
+        };
         assert!(columns[0].primary_key && columns[1].primary_key);
     }
 
@@ -1011,21 +1241,37 @@ mod tests {
         let st = parse_statement("ALTER TABLE t ADD COLUMN x INT DEFAULT 0").unwrap();
         assert!(matches!(
             st,
-            Statement::AlterTable { action: AlterAction::AddColumn { default: Some(_), .. }, .. }
+            Statement::AlterTable {
+                action: AlterAction::AddColumn {
+                    default: Some(_),
+                    ..
+                },
+                ..
+            }
         ));
         let st = parse_statement("ALTER TABLE t DROP COLUMN x").unwrap();
-        assert!(matches!(st, Statement::AlterTable { action: AlterAction::DropColumn(_), .. }));
+        assert!(matches!(
+            st,
+            Statement::AlterTable {
+                action: AlterAction::DropColumn(_),
+                ..
+            }
+        ));
         let st = parse_statement("ALTER TABLE t RENAME COLUMN x TO y").unwrap();
         assert!(matches!(
             st,
-            Statement::AlterTable { action: AlterAction::RenameColumn { .. }, .. }
+            Statement::AlterTable {
+                action: AlterAction::RenameColumn { .. },
+                ..
+            }
         ));
     }
 
     #[test]
     fn multi_statements() {
-        let v = parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
-            .unwrap();
+        let v =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(v.len(), 3);
     }
 

@@ -85,9 +85,11 @@ mod tests {
 
     #[test]
     fn static_sheet_round_trip() {
-        let s = StaticSheet::default()
-            .with_value("B1", 42)
-            .with_table("A1:B2", vec!["x", "y"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        let s = StaticSheet::default().with_value("B1", 42).with_table(
+            "A1:B2",
+            vec!["x", "y"],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
         assert_eq!(s.range_value("b1").unwrap(), Value::Int(42));
         let (cols, rows) = s.range_table("a1:b2").unwrap();
         assert_eq!(cols, vec!["x", "y"]);

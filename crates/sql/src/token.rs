@@ -192,7 +192,11 @@ pub fn tokenize(input: &str) -> DsResult<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -305,7 +309,9 @@ mod tests {
         let t = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
         assert!(t.contains(&Token::Int(1)));
         assert!(t.contains(&Token::Int(2)));
-        assert!(!t.iter().any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
+        assert!(!t
+            .iter()
+            .any(|x| matches!(x, Token::Ident(s) if s == "trailing")));
     }
 
     #[test]

@@ -184,7 +184,10 @@ impl Range {
     }
 
     pub fn contains(&self, a: CellAddr) -> bool {
-        a.row >= self.start.row && a.row <= self.end.row && a.col >= self.start.col && a.col <= self.end.col
+        a.row >= self.start.row
+            && a.row <= self.end.row
+            && a.col >= self.start.col
+            && a.col <= self.end.col
     }
 
     pub fn contains_range(&self, r: &Range) -> bool {
@@ -280,11 +283,21 @@ pub struct CellRef {
 
 impl CellRef {
     pub fn relative(addr: CellAddr) -> Self {
-        CellRef { sheet: SheetRef::Current, addr, abs_row: false, abs_col: false }
+        CellRef {
+            sheet: SheetRef::Current,
+            addr,
+            abs_row: false,
+            abs_col: false,
+        }
     }
 
     pub fn absolute(addr: CellAddr) -> Self {
-        CellRef { sheet: SheetRef::Current, addr, abs_row: true, abs_col: true }
+        CellRef {
+            sheet: SheetRef::Current,
+            addr,
+            abs_row: true,
+            abs_col: true,
+        }
     }
 
     /// Shift for copy/paste by `(d_row, d_col)`: absolute axes stay put,
@@ -293,7 +306,10 @@ impl CellRef {
     pub fn shifted_for_copy(&self, d_row: i64, d_col: i64) -> Option<CellRef> {
         let dr = if self.abs_row { 0 } else { d_row };
         let dc = if self.abs_col { 0 } else { d_col };
-        Some(CellRef { addr: self.addr.offset(dr, dc)?, ..self.clone() })
+        Some(CellRef {
+            addr: self.addr.offset(dr, dc)?,
+            ..self.clone()
+        })
     }
 
     /// Render with `$` flags and sheet qualifier.
@@ -516,7 +532,10 @@ mod tests {
         assert_eq!(shifted.addr, CellAddr::new(1, 4));
 
         let abs = CellRef::absolute(CellAddr::new(1, 1));
-        assert_eq!(abs.shifted_for_copy(5, 5).unwrap().addr, CellAddr::new(1, 1));
+        assert_eq!(
+            abs.shifted_for_copy(5, 5).unwrap().addr,
+            CellAddr::new(1, 1)
+        );
     }
 
     #[test]

@@ -139,14 +139,26 @@ mod tests {
 
     #[test]
     fn unify_int_float_widens() {
-        assert_eq!(DataType::unify(DataType::Int, DataType::Float), DataType::Float);
-        assert_eq!(DataType::unify(DataType::Float, DataType::Int), DataType::Float);
+        assert_eq!(
+            DataType::unify(DataType::Int, DataType::Float),
+            DataType::Float
+        );
+        assert_eq!(
+            DataType::unify(DataType::Float, DataType::Int),
+            DataType::Float
+        );
     }
 
     #[test]
     fn unify_mixed_collapses_to_text() {
-        assert_eq!(DataType::unify(DataType::Int, DataType::Text), DataType::Text);
-        assert_eq!(DataType::unify(DataType::Bool, DataType::Int), DataType::Text);
+        assert_eq!(
+            DataType::unify(DataType::Int, DataType::Text),
+            DataType::Text
+        );
+        assert_eq!(
+            DataType::unify(DataType::Bool, DataType::Int),
+            DataType::Text
+        );
     }
 
     #[test]
@@ -198,7 +210,13 @@ mod tests {
 
     #[test]
     fn sql_names_round_trip() {
-        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text, DataType::Any] {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Any,
+        ] {
             assert_eq!(DataType::parse_sql(t.sql_name()), Some(t));
         }
         assert_eq!(DataType::parse_sql("VARCHAR"), Some(DataType::Text));

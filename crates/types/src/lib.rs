@@ -23,9 +23,7 @@ pub mod dtype;
 pub mod error;
 pub mod value;
 
-pub use addr::{
-    col_to_letters, letters_to_col, CellAddr, CellRef, Range, RangeRef, SheetRef,
-};
+pub use addr::{col_to_letters, letters_to_col, CellAddr, CellRef, Range, RangeRef, SheetRef};
 pub use dtype::DataType;
 pub use error::{DsError, DsResult};
 pub use value::{CellError, Value};

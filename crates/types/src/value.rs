@@ -228,9 +228,7 @@ impl Value {
             (Empty, b) => Value::zero_like(b).compare(b),
             (a, Empty) => a.compare(&Value::zero_like(a)),
             (a, b) if rank(a) == rank(b) => match (a, b) {
-                (Text(x), Text(y)) => {
-                    Some(x.to_lowercase().cmp(&y.to_lowercase()))
-                }
+                (Text(x), Text(y)) => Some(x.to_lowercase().cmp(&y.to_lowercase())),
                 (Bool(x), Bool(y)) => Some(x.cmp(y)),
                 _ => {
                     let x = a.coerce_f64().ok()?;
@@ -282,11 +280,8 @@ impl Value {
 /// Render a float the way a cell would: integral values drop the `.0`, and we
 /// use the shortest round-trip representation otherwise.
 fn format_float(f: f64) -> String {
-    if f.is_nan() {
+    if f.is_nan() || f.is_infinite() {
         return "#NUM!".to_string();
-    }
-    if f.is_infinite() {
-        return if f > 0.0 { "#NUM!" } else { "#NUM!" }.to_string();
     }
     if f.fract() == 0.0 && f.abs() < 1e15 {
         format!("{}", f as i64)
@@ -366,7 +361,10 @@ mod tests {
         assert_eq!(Value::Empty.coerce_f64(), Ok(0.0));
         assert_eq!(Value::text(" 42 ").coerce_f64(), Ok(42.0));
         assert_eq!(Value::text("abc").coerce_f64(), Err(CellError::Value));
-        assert_eq!(Value::Error(CellError::Ref).coerce_f64(), Err(CellError::Ref));
+        assert_eq!(
+            Value::Error(CellError::Ref).coerce_f64(),
+            Err(CellError::Ref)
+        );
     }
 
     #[test]
@@ -418,22 +416,43 @@ mod tests {
 
     #[test]
     fn compare_text_case_insensitive() {
-        assert_eq!(Value::text("Apple").compare(&Value::text("apple")), Some(Ordering::Equal));
-        assert_eq!(Value::text("apple").compare(&Value::text("Banana")), Some(Ordering::Less));
+        assert_eq!(
+            Value::text("Apple").compare(&Value::text("apple")),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::text("apple").compare(&Value::text("Banana")),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn compare_int_float_unified() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn compare_empty_coerces() {
         assert_eq!(Value::Empty.compare(&Value::Int(0)), Some(Ordering::Equal));
-        assert_eq!(Value::Empty.compare(&Value::text("")), Some(Ordering::Equal));
-        assert_eq!(Value::Empty.compare(&Value::Bool(false)), Some(Ordering::Equal));
-        assert_eq!(Value::Empty.compare(&Value::Int(-1)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Empty.compare(&Value::text("")),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Empty.compare(&Value::Bool(false)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Empty.compare(&Value::Int(-1)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -450,7 +469,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_null_first_errors_last() {
-        let mut vals = vec![
+        let mut vals = [
             Value::text("b"),
             Value::Error(CellError::Na),
             Value::Int(1),
