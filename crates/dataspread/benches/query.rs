@@ -1,0 +1,80 @@
+//! Experiment C-join: the streaming executor's hash operators vs. their
+//! reference arms — equi-join and GROUP BY at 1k/10k/50k rows.
+//!
+//! Run with `cargo bench -p dataspread --bench query`. Each arm reports
+//! ns/iter plus derived rows/sec (input rows of the larger side over the
+//! per-iteration time); the summary prints the nested-loop/hash ratio. The
+//! nested-loop join arm is skipped at 50k rows — 2.5·10⁹ row comparisons is
+//! the point the hash join exists to avoid.
+
+use std::time::Duration;
+
+use dataspread::{ExecOptions, Workbook};
+use dataspread_testkit::{bench, black_box, Rng};
+use dataspread_types::Value;
+
+const TARGET: Duration = Duration::from_millis(300);
+/// Past this size the nested-loop arm is too slow to even measure once.
+const NESTED_LIMIT: usize = 10_000;
+
+const JOIN: &str = "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k";
+const GROUP: &str = "SELECT k, COUNT(*), SUM(v) FROM l GROUP BY k";
+
+/// Two n-row tables with ~n/10 distinct integer keys, so the join fans out
+/// roughly 10× per probe and GROUP BY forms real groups.
+fn workbook(n: usize) -> Workbook {
+    let mut wb = Workbook::new();
+    wb.execute_script(
+        "CREATE TABLE l (k INT, v INT);
+         CREATE TABLE r (k INT, w INT);",
+    )
+    .unwrap();
+    let keys = (n / 10).max(1) as u64;
+    let mut rng = Rng::new(0xC0_1A);
+    for table in ["l", "r"] {
+        let t = wb.catalog_mut().get_mut(table).unwrap();
+        for _ in 0..n {
+            t.insert(vec![
+                Value::Int(rng.below(keys) as i64),
+                Value::Int(rng.below(100) as i64),
+            ])
+            .unwrap();
+        }
+    }
+    wb
+}
+
+fn arm(wb: &mut Workbook, label: &str, sql: &str, n: usize, options: ExecOptions) -> f64 {
+    wb.set_exec_options(options);
+    let m = bench(&format!("{label}/{n}"), TARGET, || {
+        black_box(wb.query(sql).unwrap());
+    });
+    let ns = m.per_iter_ns();
+    println!("    {label}/{n}: {:.0} rows/sec", n as f64 / (ns * 1e-9));
+    ns
+}
+
+fn main() {
+    println!("C-join: equi-join + GROUP BY, hash vs reference arms");
+    let hash = ExecOptions::default();
+    let nested = ExecOptions {
+        hash_join: false,
+        hash_aggregation: false,
+        predicate_pushdown: false,
+    };
+    for n in [1_000usize, 10_000, 50_000] {
+        let mut wb = workbook(n);
+
+        let h = arm(&mut wb, "join/hash", JOIN, n, hash);
+        if n <= NESTED_LIMIT {
+            let nl = arm(&mut wb, "join/nested_loop", JOIN, n, nested);
+            println!("  -> join@{n}: nested/hash = {:.1}x", nl / h);
+        } else {
+            println!("  -> join@{n}: nested-loop arm skipped (quadratic)");
+        }
+
+        let ha = arm(&mut wb, "group_by/hash", GROUP, n, hash);
+        let la = arm(&mut wb, "group_by/linear", GROUP, n, nested);
+        println!("  -> group_by@{n}: linear/hash = {:.1}x", la / ha);
+    }
+}

@@ -1,25 +1,18 @@
-//! The SQL executor: evaluates parsed statements against the catalog, with
-//! positional references resolved from the live workbook.
+//! Statement execution: dispatches parsed statements against the catalog,
+//! with positional references resolved from the live workbook.
 //!
-//! This is the query-processing half the `dataspread_sql` crate deliberately
-//! leaves out: the front end parses and binds; this module plans nothing
-//! (every query runs as scan → filter → group → project → order, joins as
-//! nested loops) but implements the full statement surface the parser
-//! accepts: `SELECT` (joins, aggregation, `DISTINCT`, `ORDER BY`,
-//! `LIMIT`/`OFFSET`, subqueries, `RANGETABLE`), the three DML families, and
-//! DDL including the paper's cheap `ALTER TABLE` path.
-
-use std::cmp::Ordering;
-use std::collections::HashMap;
+//! `SELECT` runs through the streaming operator pipeline in [`crate::exec`]
+//! (planning, pushdown, hash joins, hash aggregation); this module keeps the
+//! statement surface around it — the three DML families (streaming their
+//! table scans) and DDL including the paper's cheap `ALTER TABLE` path.
 
 use dataspread_relstore::{Catalog, ColumnDef, RowKey, Schema};
-use dataspread_sql::ast::{
-    AlterAction, Expr, InsertSource, JoinConstraint, JoinKind, OrderItem, SelectItem, SelectStmt,
-    Statement, TableExpr,
-};
-use dataspread_sql::expr::{agg_key, bind, eval, sql_compare, truth, AggContext, BExpr, ColInfo};
+use dataspread_sql::ast::{AlterAction, Expr, InsertSource, Statement};
+use dataspread_sql::expr::{bind, eval, truth, BExpr, ColInfo};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{DsError, DsResult, Value};
+
+use crate::exec::{eval_standalone, run_select, ExecCtx, ExecOptions};
 
 /// Outcome of one executed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,17 +51,30 @@ pub(crate) fn execute(
     catalog: &mut Catalog,
     resolver: &dyn SheetResolver,
     stmt: Statement,
+    options: ExecOptions,
 ) -> DsResult<QueryResult> {
     match stmt {
         Statement::Select(sel) => {
-            let (columns, rows) = run_select(catalog, resolver, &sel)?;
+            let ctx = ExecCtx {
+                catalog,
+                resolver,
+                options,
+            };
+            let (columns, rows) = run_select(&ctx, &sel)?;
             Ok(QueryResult::Rows { columns, rows })
         }
         Statement::Insert {
             table,
             columns,
             source,
-        } => run_insert(catalog, resolver, &table, columns.as_deref(), &source),
+        } => run_insert(
+            catalog,
+            resolver,
+            options,
+            &table,
+            columns.as_deref(),
+            &source,
+        ),
         Statement::Update {
             table,
             sets,
@@ -142,636 +148,12 @@ pub(crate) fn execute(
     }
 }
 
-/// Evaluate an expression with no row context (DEFAULTs, LIMIT, VALUES).
-fn eval_standalone(e: &Expr, resolver: &dyn SheetResolver) -> DsResult<Value> {
-    let b = bind(e, &[], None, resolver)?;
-    eval(&b, &[], &[])
-}
-
-// ---- relations -----------------------------------------------------------
-
-/// An intermediate relation: column metadata plus materialized rows.
-struct Relation {
-    cols: Vec<ColInfo>,
-    rows: Vec<Vec<Value>>,
-}
-
-fn table_relation(
-    catalog: &Catalog,
-    resolver: &dyn SheetResolver,
-    te: &TableExpr,
-) -> DsResult<Relation> {
-    match te {
-        TableExpr::Named { name, alias } => {
-            let t = catalog.get(name)?;
-            let q = alias.as_deref().unwrap_or(name);
-            let cols = t
-                .schema()
-                .columns()
-                .iter()
-                .map(|c| ColInfo::new(Some(q), c.name.clone()))
-                .collect();
-            let rows = t.scan()?.into_iter().map(|(_, r)| r).collect();
-            Ok(Relation { cols, rows })
-        }
-        TableExpr::RangeTable { range, alias } => {
-            let (names, rows) = resolver.range_table(range)?;
-            let cols = names
-                .into_iter()
-                .map(|n| ColInfo::new(alias.as_deref(), n))
-                .collect();
-            Ok(Relation { cols, rows })
-        }
-        TableExpr::Subquery { query, alias } => {
-            let (names, rows) = run_select(catalog, resolver, query)?;
-            let cols = names
-                .into_iter()
-                .map(|n| ColInfo::new(Some(alias.as_str()), n))
-                .collect();
-            Ok(Relation { cols, rows })
-        }
-        TableExpr::Join {
-            left,
-            right,
-            kind,
-            constraint,
-        } => {
-            let l = table_relation(catalog, resolver, left)?;
-            let r = table_relation(catalog, resolver, right)?;
-            join(l, r, *kind, constraint, resolver)
-        }
-    }
-}
-
-/// Nested-loop join. `Natural` equi-joins on all same-named columns and
-/// merges them; `On` evaluates the predicate over the concatenated row.
-fn join(
-    left: Relation,
-    right: Relation,
-    kind: JoinKind,
-    constraint: &JoinConstraint,
-    resolver: &dyn SheetResolver,
-) -> DsResult<Relation> {
-    if let JoinConstraint::Natural = constraint {
-        // Pairs of (left idx, right idx) sharing a name.
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        for (li, lc) in left.cols.iter().enumerate() {
-            if let Some(ri) = right
-                .cols
-                .iter()
-                .position(|rc| rc.name.eq_ignore_ascii_case(&lc.name))
-            {
-                pairs.push((li, ri));
-            }
-        }
-        let keep_right: Vec<usize> = (0..right.cols.len())
-            .filter(|ri| !pairs.iter().any(|(_, p)| p == ri))
-            .collect();
-        let mut cols = left.cols.clone();
-        cols.extend(keep_right.iter().map(|&ri| right.cols[ri].clone()));
-        let mut rows = Vec::new();
-        for lrow in &left.rows {
-            let mut matched = false;
-            for rrow in &right.rows {
-                let ok = pairs.iter().try_fold(true, |acc, &(li, ri)| {
-                    Ok::<bool, DsError>(
-                        acc && sql_compare(&lrow[li], &rrow[ri])? == Some(Ordering::Equal),
-                    )
-                })?;
-                if ok {
-                    matched = true;
-                    let mut out = lrow.clone();
-                    out.extend(keep_right.iter().map(|&ri| rrow[ri].clone()));
-                    rows.push(out);
-                }
-            }
-            if !matched && kind == JoinKind::Left {
-                let mut out = lrow.clone();
-                out.extend(std::iter::repeat_n(Value::Empty, keep_right.len()));
-                rows.push(out);
-            }
-        }
-        return Ok(Relation { cols, rows });
-    }
-
-    let mut cols = left.cols.clone();
-    cols.extend(right.cols.iter().cloned());
-    let pred = match constraint {
-        JoinConstraint::On(e) => Some(bind(e, &cols, None, resolver)?),
-        JoinConstraint::None => None,
-        JoinConstraint::Natural => unreachable!("handled above"),
-    };
-    let right_width = right.cols.len();
-    let mut rows = Vec::new();
-    for lrow in &left.rows {
-        let mut matched = false;
-        for rrow in &right.rows {
-            let mut combined = lrow.clone();
-            combined.extend(rrow.iter().cloned());
-            let ok = match &pred {
-                Some(p) => truth(&eval(p, &combined, &[])?)? == Some(true),
-                None => true,
-            };
-            if ok {
-                matched = true;
-                rows.push(combined);
-            }
-        }
-        if !matched && kind == JoinKind::Left {
-            let mut out = lrow.clone();
-            out.extend(std::iter::repeat_n(Value::Empty, right_width));
-            rows.push(out);
-        }
-    }
-    Ok(Relation { cols, rows })
-}
-
-// ---- SELECT --------------------------------------------------------------
-
-fn run_select(
-    catalog: &Catalog,
-    resolver: &dyn SheetResolver,
-    sel: &SelectStmt,
-) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
-    let source = match &sel.from {
-        Some(te) => table_relation(catalog, resolver, te)?,
-        // `SELECT 1+1`: one anonymous row, no columns.
-        None => Relation {
-            cols: Vec::new(),
-            rows: vec![Vec::new()],
-        },
-    };
-
-    // WHERE.
-    let mut rows = source.rows;
-    if let Some(f) = &sel.filter {
-        let p = bind(f, &source.cols, None, resolver)?;
-        let mut kept = Vec::with_capacity(rows.len());
-        for r in rows {
-            if truth(&eval(&p, &r, &[])?)? == Some(true) {
-                kept.push(r);
-            }
-        }
-        rows = kept;
-    }
-
-    // Aggregate discovery across projection, HAVING, and ORDER BY.
-    let mut agg_exprs: Vec<Expr> = Vec::new();
-    let mut slots: HashMap<String, usize> = HashMap::new();
-    for item in &sel.projection {
-        if let SelectItem::Expr { expr, .. } = item {
-            collect_aggregates(expr, &mut agg_exprs, &mut slots);
-        }
-    }
-    if let Some(h) = &sel.having {
-        collect_aggregates(h, &mut agg_exprs, &mut slots);
-    }
-    for oi in &sel.order_by {
-        collect_aggregates(&oi.expr, &mut agg_exprs, &mut slots);
-    }
-    let grouped = !sel.group_by.is_empty() || !agg_exprs.is_empty() || sel.having.is_some();
-
-    // Evaluation contexts: (representative row, aggregate slot values).
-    let contexts: Vec<(Vec<Value>, Vec<Value>)> = if grouped {
-        let key_exprs: Vec<BExpr> = sel
-            .group_by
-            .iter()
-            .map(|e| bind(e, &source.cols, None, resolver))
-            .collect::<DsResult<_>>()?;
-        let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
-        for r in rows {
-            let key: Vec<Value> = key_exprs
-                .iter()
-                .map(|e| eval(e, &r, &[]))
-                .collect::<DsResult<_>>()?;
-            match groups.iter_mut().find(|(k, _)| vals_eq(k, &key)) {
-                Some((_, members)) => members.push(r),
-                None => groups.push((key, vec![r])),
-            }
-        }
-        // A global aggregate over zero rows still produces one group
-        // (COUNT(*) = 0); a grouped query over zero rows produces none.
-        if groups.is_empty() && sel.group_by.is_empty() {
-            groups.push((Vec::new(), Vec::new()));
-        }
-        let specs: Vec<AggSpec> = agg_exprs
-            .iter()
-            .map(|e| AggSpec::compile(e, &source.cols, resolver))
-            .collect::<DsResult<_>>()?;
-        let mut ctxs = Vec::with_capacity(groups.len());
-        for (_, members) in groups {
-            let aggs: Vec<Value> = specs
-                .iter()
-                .map(|s| s.compute(&members))
-                .collect::<DsResult<_>>()?;
-            let rep = members
-                .into_iter()
-                .next()
-                .unwrap_or_else(|| vec![Value::Empty; source.cols.len()]);
-            ctxs.push((rep, aggs));
-        }
-        ctxs
-    } else {
-        rows.into_iter().map(|r| (r, Vec::new())).collect()
-    };
-
-    let agg_ctx = AggContext { slots };
-    let agg_ref = if grouped { Some(&agg_ctx) } else { None };
-
-    // HAVING.
-    let mut contexts = contexts;
-    if let Some(h) = &sel.having {
-        let p = bind(h, &source.cols, agg_ref, resolver)?;
-        let mut kept = Vec::with_capacity(contexts.len());
-        for (r, a) in contexts {
-            if truth(&eval(&p, &r, &a)?)? == Some(true) {
-                kept.push((r, a));
-            }
-        }
-        contexts = kept;
-    }
-
-    // Projection expansion.
-    let mut proj: Vec<(BExpr, String)> = Vec::new();
-    for item in &sel.projection {
-        match item {
-            SelectItem::Wildcard => {
-                if grouped {
-                    return Err(DsError::Sql(
-                        "SELECT * is not valid with GROUP BY or aggregates".into(),
-                    ));
-                }
-                if source.cols.is_empty() {
-                    return Err(DsError::Sql("SELECT * requires a FROM clause".into()));
-                }
-                for (i, c) in source.cols.iter().enumerate() {
-                    proj.push((BExpr::Col(i), c.name.clone()));
-                }
-            }
-            SelectItem::QualifiedWildcard(t) => {
-                if grouped {
-                    return Err(DsError::Sql(
-                        "SELECT t.* is not valid with GROUP BY or aggregates".into(),
-                    ));
-                }
-                let tq = t.to_ascii_lowercase();
-                let before = proj.len();
-                for (i, c) in source.cols.iter().enumerate() {
-                    if c.qualifier.as_deref() == Some(tq.as_str()) {
-                        proj.push((BExpr::Col(i), c.name.clone()));
-                    }
-                }
-                if proj.len() == before {
-                    return Err(DsError::Sql(format!("unknown table alias `{t}`")));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let b = bind(expr, &source.cols, agg_ref, resolver)?;
-                let name = alias.clone().unwrap_or_else(|| expr_label(expr));
-                proj.push((b, name));
-            }
-        }
-    }
-
-    // ORDER BY keys: output ordinal, output alias, or source expression.
-    enum SortSrc {
-        Output(usize),
-        Ctx(BExpr),
-    }
-    let mut order: Vec<(SortSrc, bool)> = Vec::with_capacity(sel.order_by.len());
-    for OrderItem { expr, asc } in &sel.order_by {
-        let src = match expr {
-            Expr::Literal(Value::Int(k)) => {
-                let i = *k;
-                if i < 1 || i as usize > proj.len() {
-                    return Err(DsError::Sql(format!(
-                        "ORDER BY position {i} is out of range (1..={})",
-                        proj.len()
-                    )));
-                }
-                SortSrc::Output(i as usize - 1)
-            }
-            Expr::Column { table: None, name } => {
-                let matches: Vec<usize> = proj
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, (_, n))| n.eq_ignore_ascii_case(name))
-                    .map(|(i, _)| i)
-                    .collect();
-                match matches.as_slice() {
-                    [one] => SortSrc::Output(*one),
-                    [] => SortSrc::Ctx(bind(expr, &source.cols, agg_ref, resolver)?),
-                    _ => {
-                        return Err(DsError::Sql(format!(
-                            "ORDER BY column `{name}` is ambiguous"
-                        )))
-                    }
-                }
-            }
-            e => SortSrc::Ctx(bind(e, &source.cols, agg_ref, resolver)?),
-        };
-        order.push((src, *asc));
-    }
-
-    // Produce output rows with their sort keys.
-    let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(contexts.len());
-    for (r, a) in &contexts {
-        let vals: Vec<Value> = proj
-            .iter()
-            .map(|(b, _)| eval(b, r, a))
-            .collect::<DsResult<_>>()?;
-        let keys: Vec<Value> = order
-            .iter()
-            .map(|(src, _)| match src {
-                SortSrc::Output(i) => Ok(vals[*i].clone()),
-                SortSrc::Ctx(b) => eval(b, r, a),
-            })
-            .collect::<DsResult<_>>()?;
-        out.push((vals, keys));
-    }
-
-    // DISTINCT keeps the first occurrence of each projected row.
-    if sel.distinct {
-        let mut seen: Vec<Vec<Value>> = Vec::new();
-        out.retain(|(vals, _)| {
-            if seen.iter().any(|s| vals_eq(s, vals)) {
-                false
-            } else {
-                seen.push(vals.clone());
-                true
-            }
-        });
-    }
-
-    if !order.is_empty() {
-        out.sort_by(|(_, ka), (_, kb)| {
-            for (i, (_, asc)) in order.iter().enumerate() {
-                let ord = ka[i].total_cmp(&kb[i]);
-                let ord = if *asc { ord } else { ord.reverse() };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
-    }
-
-    // OFFSET / LIMIT.
-    let offset = match &sel.offset {
-        Some(e) => count_arg(e, resolver, "OFFSET")?,
-        None => 0,
-    };
-    let limit = match &sel.limit {
-        Some(e) => Some(count_arg(e, resolver, "LIMIT")?),
-        None => None,
-    };
-    let rows: Vec<Vec<Value>> = out
-        .into_iter()
-        .map(|(vals, _)| vals)
-        .skip(offset)
-        .take(limit.unwrap_or(usize::MAX))
-        .collect();
-
-    Ok((proj.into_iter().map(|(_, n)| n).collect(), rows))
-}
-
-fn count_arg(e: &Expr, resolver: &dyn SheetResolver, what: &str) -> DsResult<usize> {
-    let v = eval_standalone(e, resolver)?;
-    let n = v
-        .coerce_i64()
-        .map_err(|_| DsError::Sql(format!("{what} must be an integer, got {v:?}")))?;
-    if n < 0 {
-        return Err(DsError::Sql(format!("{what} must be non-negative")));
-    }
-    Ok(n as usize)
-}
-
-/// Componentwise SQL equality for group keys and DISTINCT (NULL groups with
-/// NULL).
-fn vals_eq(a: &[Value], b: &[Value]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y))
-}
-
-/// Gather distinct aggregate calls (structural identity) in encounter order.
-fn collect_aggregates(e: &Expr, list: &mut Vec<Expr>, slots: &mut HashMap<String, usize>) {
-    if e.is_aggregate_call() {
-        if let std::collections::hash_map::Entry::Vacant(slot) = slots.entry(agg_key(e)) {
-            slot.insert(list.len());
-            list.push(e.clone());
-        }
-        return; // aggregates do not nest
-    }
-    match e {
-        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
-            collect_aggregates(expr, list, slots)
-        }
-        Expr::Binary { left, right, .. } => {
-            collect_aggregates(left, list, slots);
-            collect_aggregates(right, list, slots);
-        }
-        Expr::InList {
-            expr, list: items, ..
-        } => {
-            collect_aggregates(expr, list, slots);
-            for it in items {
-                collect_aggregates(it, list, slots);
-            }
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            collect_aggregates(expr, list, slots);
-            collect_aggregates(low, list, slots);
-            collect_aggregates(high, list, slots);
-        }
-        Expr::Like { expr, pattern, .. } => {
-            collect_aggregates(expr, list, slots);
-            collect_aggregates(pattern, list, slots);
-        }
-        Expr::Case {
-            operand,
-            branches,
-            else_,
-        } => {
-            if let Some(o) = operand {
-                collect_aggregates(o, list, slots);
-            }
-            for (w, t) in branches {
-                collect_aggregates(w, list, slots);
-                collect_aggregates(t, list, slots);
-            }
-            if let Some(e2) = else_ {
-                collect_aggregates(e2, list, slots);
-            }
-        }
-        Expr::Function { args, .. } => {
-            for a in args {
-                collect_aggregates(a, list, slots);
-            }
-        }
-        Expr::Literal(_) | Expr::Column { .. } | Expr::RangeValue(_) => {}
-    }
-}
-
-/// One compiled aggregate call.
-struct AggSpec {
-    name: String,
-    arg: Option<BExpr>,
-    distinct: bool,
-    star: bool,
-}
-
-impl AggSpec {
-    fn compile(e: &Expr, cols: &[ColInfo], resolver: &dyn SheetResolver) -> DsResult<AggSpec> {
-        let Expr::Function {
-            name,
-            args,
-            distinct,
-            star,
-        } = e
-        else {
-            unreachable!("collect_aggregates only gathers function calls");
-        };
-        let uname = name.to_ascii_uppercase();
-        if *star {
-            if uname != "COUNT" {
-                return Err(DsError::Sql(format!("{uname}(*) is not valid")));
-            }
-            return Ok(AggSpec {
-                name: uname,
-                arg: None,
-                distinct: false,
-                star: true,
-            });
-        }
-        if args.len() != 1 {
-            return Err(DsError::Sql(format!("{uname} takes exactly one argument")));
-        }
-        if args[0].contains_aggregate() {
-            return Err(DsError::Sql("aggregate calls cannot nest".into()));
-        }
-        let arg = bind(&args[0], cols, None, resolver)?;
-        Ok(AggSpec {
-            name: uname,
-            arg: Some(arg),
-            distinct: *distinct,
-            star: false,
-        })
-    }
-
-    fn compute(&self, rows: &[Vec<Value>]) -> DsResult<Value> {
-        if self.star {
-            return Ok(Value::Int(rows.len() as i64));
-        }
-        let arg = self
-            .arg
-            .as_ref()
-            .expect("non-star aggregate has an argument");
-        // SQL semantics: NULL inputs are ignored by every aggregate.
-        let mut vals = Vec::with_capacity(rows.len());
-        for r in rows {
-            let v = eval(arg, r, &[])?;
-            if !v.is_empty() {
-                vals.push(v);
-            }
-        }
-        if self.distinct {
-            let mut ded: Vec<Value> = Vec::new();
-            for v in vals {
-                if !ded.iter().any(|w| w.sql_eq(&v)) {
-                    ded.push(v);
-                }
-            }
-            vals = ded;
-        }
-        match self.name.as_str() {
-            "COUNT" => Ok(Value::Int(vals.len() as i64)),
-            "SUM" | "AVG" => {
-                if vals.is_empty() {
-                    return Ok(Value::Empty);
-                }
-                let mut int_sum: i64 = 0;
-                let mut f_sum: f64 = 0.0;
-                let mut is_float = false;
-                for v in &vals {
-                    match v {
-                        Value::Int(i) => {
-                            if is_float {
-                                f_sum += *i as f64;
-                            } else {
-                                match int_sum.checked_add(*i) {
-                                    Some(s) => int_sum = s,
-                                    None => {
-                                        is_float = true;
-                                        f_sum = int_sum as f64 + *i as f64;
-                                    }
-                                }
-                            }
-                        }
-                        Value::Float(f) => {
-                            if !is_float {
-                                is_float = true;
-                                f_sum = int_sum as f64;
-                            }
-                            f_sum += f;
-                        }
-                        other => {
-                            return Err(DsError::Sql(format!(
-                                "{} over non-numeric value {other:?}",
-                                self.name
-                            )))
-                        }
-                    }
-                }
-                if self.name == "AVG" {
-                    let total = if is_float { f_sum } else { int_sum as f64 };
-                    Ok(Value::Float(total / vals.len() as f64))
-                } else if is_float {
-                    Ok(Value::Float(f_sum))
-                } else {
-                    Ok(Value::Int(int_sum))
-                }
-            }
-            "MIN" | "MAX" => {
-                let want_less = self.name == "MIN";
-                let mut best: Option<Value> = None;
-                for v in vals {
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => match sql_compare(&v, &b)? {
-                            Some(Ordering::Less) if want_less => v,
-                            Some(Ordering::Greater) if !want_less => v,
-                            _ => b,
-                        },
-                    });
-                }
-                Ok(best.unwrap_or(Value::Empty))
-            }
-            other => Err(DsError::Sql(format!("unknown aggregate `{other}`"))),
-        }
-    }
-}
-
-/// A readable output-column label for an unaliased projection.
-fn expr_label(e: &Expr) -> String {
-    match e {
-        Expr::Column { name, .. } => name.clone(),
-        Expr::Function {
-            name, star: true, ..
-        } => format!("{}(*)", name.to_ascii_lowercase()),
-        Expr::Function { name, .. } => name.to_ascii_lowercase(),
-        Expr::RangeValue(r) => format!("rangevalue({r})"),
-        Expr::Cast { expr, .. } => expr_label(expr),
-        Expr::Literal(v) => v.display_string(),
-        _ => "expr".to_string(),
-    }
-}
-
 // ---- DML -----------------------------------------------------------------
 
 fn run_insert(
     catalog: &mut Catalog,
     resolver: &dyn SheetResolver,
+    options: ExecOptions,
     table: &str,
     columns: Option<&[String]>,
     source: &InsertSource,
@@ -783,7 +165,14 @@ fn run_insert(
             .iter()
             .map(|t| t.iter().map(|e| eval_standalone(e, resolver)).collect())
             .collect::<DsResult<_>>()?,
-        InsertSource::Select(sel) => run_select(catalog, resolver, sel)?.1,
+        InsertSource::Select(sel) => {
+            let ctx = ExecCtx {
+                catalog,
+                resolver,
+                options,
+            };
+            run_select(&ctx, sel)?.1
+        }
     };
     let t = catalog.get_mut(table)?;
     let width = t.schema().width();
@@ -844,7 +233,7 @@ fn run_update(
     sets: &[(String, Expr)],
     filter: Option<&Expr>,
 ) -> DsResult<QueryResult> {
-    // Plan against the immutable table, then apply.
+    // Plan against the immutable table (streaming the scan), then apply.
     let updates: Vec<(RowKey, Vec<Value>)> = {
         let t = catalog.get(table)?;
         let cols: Vec<ColInfo> = t
@@ -869,7 +258,8 @@ fn run_update(
             None => None,
         };
         let mut updates = Vec::new();
-        for (key, row) in t.scan()? {
+        for item in t.iter_rows() {
+            let (key, row) = item?;
             let hit = match &pred {
                 Some(p) => truth(&eval(p, &row, &[])?)? == Some(true),
                 None => true,
@@ -912,7 +302,8 @@ fn run_delete(
             None => None,
         };
         let mut doomed = Vec::new();
-        for (key, row) in t.scan()? {
+        for item in t.iter_rows() {
+            let (key, row) = item?;
             let hit = match &pred {
                 Some(p) => truth(&eval(p, &row, &[])?)? == Some(true),
                 None => true,

@@ -1,0 +1,72 @@
+//! Leaf operators: streaming scans and the filter adapter.
+
+use dataspread_relstore::Table;
+use dataspread_sql::expr::BExpr;
+use dataspread_sql::resolver::SheetResolver;
+use dataspread_types::{DsResult, Value};
+
+use super::planner::Used;
+use super::{passes, RowStream};
+
+/// Stream a table in presentation order. With a concrete used-column set
+/// the scan reads only the attribute groups covering it (unused slots come
+/// back [`Value::Empty`], so column indices stay valid upstream).
+pub(crate) fn table_scan<'a>(table: &'a Table, used: &Used) -> RowStream<'a> {
+    let it = match used {
+        Used::All => table.iter_rows_sparse(None),
+        Used::Cols(set) => {
+            let cols: Vec<usize> = set.iter().copied().collect();
+            table.iter_rows_sparse(Some(&cols))
+        }
+    };
+    Box::new(it.map(|r| r.map(|(_, row)| row)))
+}
+
+/// Read a `RANGETABLE` region, bounded to the used columns when the
+/// resolver can prune (the live-sheet resolver narrows the rectangle handed
+/// to `CellStore::for_each_in_range`, touching fewer grid blocks).
+pub(crate) fn range_scan<'a>(
+    resolver: &'a dyn SheetResolver,
+    a1: &str,
+    width: usize,
+    used: &Used,
+) -> DsResult<RowStream<'a>> {
+    let rows = match used {
+        Used::All => resolver.range_table(a1)?.1,
+        Used::Cols(set) => {
+            let mut cols: Vec<usize> = set.iter().copied().filter(|&c| c < width).collect();
+            cols.sort_unstable();
+            resolver.range_table_pruned(a1, &cols)?
+        }
+    };
+    Ok(Box::new(rows.into_iter().map(Ok)))
+}
+
+/// The filter operator: forwards rows for which every conjunct is true.
+pub(crate) struct FilterIter<'a> {
+    input: RowStream<'a>,
+    preds: Vec<BExpr>,
+}
+
+impl<'a> FilterIter<'a> {
+    pub(crate) fn new(input: RowStream<'a>, preds: Vec<BExpr>) -> Self {
+        FilterIter { input, preds }
+    }
+}
+
+impl Iterator for FilterIter<'_> {
+    type Item = DsResult<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.input.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(row) => match passes(&self.preds, &row) {
+                    Err(e) => return Some(Err(e)),
+                    Ok(true) => return Some(Ok(row)),
+                    Ok(false) => {}
+                },
+            }
+        }
+    }
+}

@@ -60,11 +60,13 @@
 //! ```
 
 pub mod engine;
+pub mod exec;
 pub mod sheet;
 pub mod view;
 pub mod workbook;
 
 pub use engine::QueryResult;
+pub use exec::ExecOptions;
 pub use sheet::{Sheet, StoreKind};
 pub use view::TableView;
 pub use workbook::{SheetId, Workbook};

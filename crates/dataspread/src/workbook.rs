@@ -14,6 +14,7 @@ use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{col_to_letters, CellAddr, DataType, DsError, DsResult, Range, Value};
 
 use crate::engine::{self, QueryResult};
+use crate::exec::ExecOptions;
 use crate::sheet::{Sheet, StoreKind};
 
 /// Handle to a sheet inside a workbook.
@@ -29,6 +30,7 @@ pub struct Workbook {
     catalog: Catalog,
     current: usize,
     default_store: StoreKind,
+    exec_options: ExecOptions,
 }
 
 impl Default for Workbook {
@@ -51,6 +53,7 @@ impl Workbook {
             catalog: Catalog::new(),
             current: 0,
             default_store: kind,
+            exec_options: ExecOptions::default(),
         };
         wb.add_sheet("Sheet1")
             .expect("fresh workbook accepts a sheet");
@@ -112,6 +115,18 @@ impl Workbook {
         &mut self.catalog
     }
 
+    /// The executor strategy switches queries run under.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
+    }
+
+    /// Switch executor strategies (hash join / hash aggregation / predicate
+    /// pushdown) — used by benches and the equivalence property suites to
+    /// compare arms over identical data.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        self.exec_options = options;
+    }
+
     // ---- SQL ------------------------------------------------------------
 
     /// Parse and execute one SQL statement against the workbook: tables come
@@ -123,7 +138,7 @@ impl Workbook {
             by_name: &self.by_name,
             current: self.current,
         };
-        engine::execute(&mut self.catalog, &ctx, stmt)
+        engine::execute(&mut self.catalog, &ctx, stmt, self.exec_options)
     }
 
     /// Execute a `;`-separated script, returning the result of each statement.
@@ -136,7 +151,12 @@ impl Workbook {
                 by_name: &self.by_name,
                 current: self.current,
             };
-            out.push(engine::execute(&mut self.catalog, &ctx, stmt)?);
+            out.push(engine::execute(
+                &mut self.catalog,
+                &ctx,
+                stmt,
+                self.exec_options,
+            )?);
         }
         Ok(out)
     }
@@ -293,6 +313,15 @@ impl Workbook {
     }
 }
 
+/// The header rule: a region's first row names its columns when every cell
+/// of it is non-blank text.
+fn is_header(first: &[Value]) -> bool {
+    !first.is_empty()
+        && first
+            .iter()
+            .all(|v| matches!(v, Value::Text(s) if !s.trim().is_empty()))
+}
+
 /// Sanitize a header row into distinct, non-empty column names.
 fn header_names(row: &[Value], first_col: u32) -> DsResult<Vec<String>> {
     let mut names: Vec<String> = Vec::with_capacity(row.len());
@@ -338,6 +367,48 @@ impl<'a> SheetCtx<'a> {
     }
 }
 
+impl SheetCtx<'_> {
+    /// Locate and parse a `RANGETABLE` reference.
+    fn locate_range(&self, a1: &str) -> DsResult<(&Sheet, Range)> {
+        let (sheet, rest) = self.locate(a1)?;
+        let range = Sheet::parse_range(rest.trim())
+            .map_err(|_| DsError::Sql(format!("invalid RANGETABLE reference `{a1}`")))?;
+        Ok((sheet, range))
+    }
+
+    /// Header decision + first row: the region names come from the header
+    /// row when every cell of it is non-blank text. Reads only the first
+    /// row of the region.
+    fn header_row(&self, sheet: &Sheet, range: Range) -> (bool, Vec<Value>) {
+        let top = Range::from_bounds(
+            range.start.row,
+            range.start.col,
+            range.start.row,
+            range.end.col,
+        );
+        let mut first = sheet.region(top);
+        let first = first.remove(0);
+        let use_header = is_header(&first);
+        (use_header, first)
+    }
+
+    /// Column names for a region given the header decision.
+    fn region_names(
+        &self,
+        range: Range,
+        use_header: bool,
+        first: &[Value],
+    ) -> DsResult<Vec<String>> {
+        if use_header {
+            header_names(first, range.start.col)
+        } else {
+            Ok((0..range.width())
+                .map(|c| col_to_letters(range.start.col + c).to_ascii_lowercase())
+                .collect())
+        }
+    }
+}
+
 impl SheetResolver for SheetCtx<'_> {
     fn range_value(&self, a1: &str) -> DsResult<Value> {
         let (sheet, rest) = self.locate(a1)?;
@@ -351,23 +422,51 @@ impl SheetResolver for SheetCtx<'_> {
         Ok(v)
     }
 
+    /// Reads only the header row — planning a `RANGETABLE` scan must not
+    /// materialize the region.
+    fn range_table_names(&self, a1: &str) -> DsResult<Vec<String>> {
+        let (sheet, range) = self.locate_range(a1)?;
+        let (use_header, first) = self.header_row(sheet, range);
+        self.region_names(range, use_header, &first)
+    }
+
+    /// Column-bounded region read: only the rectangle spanning the used
+    /// columns is handed to the cell store's range scan, so narrow queries
+    /// over wide regions touch fewer grid blocks. Unused slots stay
+    /// `Value::Empty`; row count and width match the full read.
+    fn range_table_pruned(&self, a1: &str, used: &[usize]) -> DsResult<Vec<Vec<Value>>> {
+        let (sheet, range) = self.locate_range(a1)?;
+        let (use_header, _) = self.header_row(sheet, range);
+        let data_start = range.start.row + use_header as u32;
+        if data_start > range.end.row {
+            return Ok(Vec::new());
+        }
+        let width = range.width() as usize;
+        let height = (range.end.row - data_start + 1) as usize;
+        let mut rows = vec![vec![Value::Empty; width]; height];
+        if let (Some(&lo), Some(&hi)) = (used.iter().min(), used.iter().max()) {
+            let scan = Range::from_bounds(
+                data_start,
+                range.start.col + lo as u32,
+                range.end.row,
+                (range.start.col + hi as u32).min(range.end.col),
+            );
+            sheet.store().for_each_in_range(scan, &mut |a, v| {
+                rows[(a.row - data_start) as usize][(a.col - range.start.col) as usize] = v.clone();
+            });
+        }
+        Ok(rows)
+    }
+
     fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
-        let (sheet, rest) = self.locate(a1)?;
-        let range = Sheet::parse_range(rest.trim())
-            .map_err(|_| DsError::Sql(format!("invalid RANGETABLE reference `{a1}`")))?;
+        let (sheet, range) = self.locate_range(a1)?;
         let matrix = sheet.region(range);
-        // Header row if every first-row cell is non-blank text.
-        let use_header = !matrix.is_empty()
-            && matrix[0]
-                .iter()
-                .all(|v| matches!(v, Value::Text(s) if !s.trim().is_empty()));
-        let (names, data) = if use_header {
-            (header_names(&matrix[0], range.start.col)?, &matrix[1..])
+        let use_header = is_header(&matrix[0]);
+        let names = self.region_names(range, use_header, &matrix[0])?;
+        let data = if use_header {
+            &matrix[1..]
         } else {
-            let names: Vec<String> = (0..range.width())
-                .map(|c| col_to_letters(range.start.col + c).to_ascii_lowercase())
-                .collect();
-            (names, &matrix[..])
+            &matrix[..]
         };
         Ok((names, data.to_vec()))
     }

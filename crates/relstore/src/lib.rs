@@ -30,6 +30,6 @@ pub use bufferpool::{BufferPool, PoolStats};
 pub use catalog::{Catalog, DEFAULT_POLICY};
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColumnDef, KeyTuple, Schema};
-pub use table::{GroupPolicy, Table, TableStats};
+pub use table::{GroupPolicy, RowIter, Table, TableStats};
 
 pub use dataspread_posindex::RowKey;

@@ -531,6 +531,34 @@ impl Table {
         Ok(out)
     }
 
+    /// Streaming scan in presentation order: yields one row at a time
+    /// without materializing the table — the executor's scan operator.
+    pub fn iter_rows(&self) -> RowIter<'_> {
+        self.iter_rows_sparse(None)
+    }
+
+    /// Streaming scan that reads only the attribute groups covering `cols`,
+    /// yielding **full-width** rows whose other slots are left
+    /// [`Value::Empty`] — the projection-pushdown hook: column indices stay
+    /// valid upstream while untouched groups cost zero page reads.
+    /// `cols: None` reads every group (same as [`Table::iter_rows`]).
+    pub fn iter_rows_sparse(&self, cols: Option<&[usize]>) -> RowIter<'_> {
+        let groups = match cols {
+            None => (0..self.groups.len()).collect(),
+            Some(cols) => {
+                let mut gs: Vec<usize> = cols.iter().map(|&c| self.col_group[c].0).collect();
+                gs.sort_unstable();
+                gs.dedup();
+                gs
+            }
+        };
+        RowIter {
+            table: self,
+            keys: self.order.to_vec().into_iter(),
+            groups,
+        }
+    }
+
     /// Projected full scan: reads only the groups covering `cols`.
     pub fn scan_project(&self, cols: &[usize]) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
         let mut out = Vec::with_capacity(self.row_count());
@@ -667,6 +695,41 @@ impl Table {
             }
         }
         Ok(())
+    }
+}
+
+/// Streaming row iterator over a [`Table`] in presentation order; reads only
+/// the attribute groups selected at construction (see
+/// [`Table::iter_rows_sparse`]). Holds the key order as plain `u64`s — O(n)
+/// in keys, not in row payloads.
+pub struct RowIter<'a> {
+    table: &'a Table,
+    keys: std::vec::IntoIter<RowKey>,
+    /// Attribute groups to materialize, ascending.
+    groups: Vec<usize>,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = DsResult<(RowKey, Vec<Value>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let key = self.keys.next()?;
+        let mut out = vec![Value::Empty; self.table.schema.width()];
+        for &g in &self.groups {
+            match self.table.read_fragment(g, key) {
+                Ok(frag) => {
+                    for (off, &c) in self.table.groups[g].cols.iter().enumerate() {
+                        out[c] = frag[off].clone();
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok((key, out)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.keys.size_hint()
     }
 }
 
@@ -970,6 +1033,54 @@ mod tests {
         let w = t.scan_window(4990, 20).unwrap();
         assert_eq!(w.len(), 10);
         assert_eq!(w[9].1[0], Value::Int(4999));
+    }
+
+    #[test]
+    fn iter_rows_streams_in_presentation_order() {
+        for policy in [
+            GroupPolicy::RowStore,
+            GroupPolicy::ColumnStore,
+            GroupPolicy::Hybrid { max_group_width: 2 },
+        ] {
+            let t = sample_table(policy);
+            let streamed: Vec<_> = t.iter_rows().map(|r| r.unwrap()).collect();
+            assert_eq!(streamed, t.scan().unwrap(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn iter_rows_sparse_reads_fewer_pages_full_width() {
+        let mut t = Table::new(
+            "wide",
+            {
+                let cols: Vec<ColumnDef> = (0..8)
+                    .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int))
+                    .collect();
+                Schema::new(cols).unwrap()
+            },
+            GroupPolicy::Hybrid { max_group_width: 2 },
+        );
+        for r in 0..50 {
+            t.insert((0..8).map(|c| Value::Int(r * 8 + c)).collect())
+                .unwrap();
+        }
+        t.stats().reset();
+        let full: Vec<_> = t.iter_rows().map(|r| r.unwrap()).collect();
+        let full_reads = t.stats().page_reads();
+        t.stats().reset();
+        let sparse: Vec<_> = t.iter_rows_sparse(Some(&[1])).map(|r| r.unwrap()).collect();
+        let sparse_reads = t.stats().page_reads();
+        assert!(
+            sparse_reads * 2 <= full_reads,
+            "sparse scan must read fewer pages: {sparse_reads} vs {full_reads}"
+        );
+        // Full width; the requested column's whole group (cols 0–1) is
+        // populated, groups that were never read stay Empty.
+        assert_eq!(sparse[3].1.len(), 8);
+        assert_eq!(sparse[3].1[1], full[3].1[1]);
+        assert_eq!(sparse[3].1[0], full[3].1[0]);
+        assert_eq!(sparse[3].1[2], Value::Empty);
+        assert_eq!(sparse[3].1[7], Value::Empty);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`parser`] — recursive-descent parsing into the [`ast`] types.
 //! * [`expr`] — name resolution and per-row evaluation of bound expressions,
 //!   with SQL NULL semantics (distinct from the spreadsheet's).
+//! * [`planner`] — syntactic planning services over bound expressions
+//!   (conjunction splitting, column analysis, equi-join key extraction) and
+//!   the hashable value keys behind the engine's hash operators.
 //! * [`resolver`] — the [`SheetResolver`] trait through which positional
 //!   references reach a live workbook; the `dataspread` engine crate provides
 //!   the real implementation, [`resolver::StaticSheet`] a test double.
@@ -19,6 +22,7 @@
 pub mod ast;
 pub mod expr;
 pub mod parser;
+pub mod planner;
 pub mod resolver;
 pub mod token;
 

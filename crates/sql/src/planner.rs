@@ -1,0 +1,417 @@
+//! Planning helpers over *bound* expressions, plus the hashable value key
+//! the executor's hash operators are built on.
+//!
+//! The SQL crate stays execution-free (see the crate docs), but the engine's
+//! planner needs a handful of purely syntactic services — splitting a `WHERE`
+//! conjunction, asking which columns a bound predicate touches, rebasing
+//! column indices onto a child relation, and recognizing equi-join keys.
+//! Those live here so the engine's operator code stays about *operators*.
+//!
+//! ## Hash-key semantics ([`HKey`] / [`join_key`])
+//!
+//! `Value` is not `Eq + Hash` (floats), and SQL equality unifies `Int` with
+//! `Float`, so hash-based DISTINCT / GROUP BY / join need a normalized
+//! stand-in:
+//!
+//! * [`HKey::of`] mirrors [`Value::sql_eq`] (the grouping relation —
+//!   `NULL` groups with `NULL`): numeric values holding an exact integer
+//!   collapse to `HKey::Int`, `-0.0` to `0.0`. Two caveats, both far outside
+//!   realistic spreadsheet data: `NaN` keys hash equal (where `sql_eq` says
+//!   unequal, so `NaN` rows now deduplicate), and integers beyond 2⁵³ keep
+//!   exact identity even though `sql_eq`'s through-`f64` comparison is not
+//!   transitive there.
+//! * [`join_key`] is the *bucket* key for hash joins: every numeric maps to
+//!   its (normalized) `f64` bit pattern, so any `sql_compare`-equal pair is
+//!   guaranteed to land in the same bucket. The image is lossy above 2⁵³,
+//!   which is why the join operator re-verifies every candidate pair with
+//!   `sql_compare` before emitting — bucketing is a prefilter, never the
+//!   match predicate. `NULL` returns `None`: a NULL key can never
+//!   equi-match.
+
+use std::collections::HashSet;
+
+use dataspread_types::{CellError, Value};
+
+use crate::ast::BinOp;
+use crate::expr::BExpr;
+
+// ---- conjunctions --------------------------------------------------------
+
+/// Split a bound predicate into its `AND`-conjuncts, in evaluation order.
+///
+/// A row passes the original predicate (`truth == Some(true)`) iff it passes
+/// every conjunct, so a filter may apply them independently. (Short-circuit
+/// *error* behaviour is not preserved: a conjunct that the original
+/// evaluation would have skipped may now run — standard SQL latitude.)
+pub fn split_conjuncts(e: BExpr) -> Vec<BExpr> {
+    fn rec(e: BExpr, out: &mut Vec<BExpr>) {
+        match e {
+            BExpr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
+                rec(*left, out);
+                rec(*right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    rec(e, &mut out);
+    out
+}
+
+// ---- column analysis -----------------------------------------------------
+
+/// Add every column index referenced by `e` to `out`.
+pub fn collect_cols(e: &BExpr, out: &mut HashSet<usize>) {
+    visit_exprs(e, &mut |b| {
+        if let BExpr::Col(i) = b {
+            out.insert(*i);
+        }
+    });
+}
+
+/// The column indices referenced by `e`.
+pub fn cols_of(e: &BExpr) -> HashSet<usize> {
+    let mut s = HashSet::new();
+    collect_cols(e, &mut s);
+    s
+}
+
+/// Rewrite every `Col(i)` in `e` to `Col(map(i))` — rebasing a predicate
+/// bound against a parent relation onto one of its children.
+pub fn remap_cols(e: &BExpr, map: &dyn Fn(usize) -> usize) -> BExpr {
+    match e {
+        BExpr::Col(i) => BExpr::Col(map(*i)),
+        BExpr::Literal(v) => BExpr::Literal(v.clone()),
+        BExpr::AggRef(i) => BExpr::AggRef(*i),
+        BExpr::Unary { op, expr } => BExpr::Unary {
+            op: *op,
+            expr: Box::new(remap_cols(expr, map)),
+        },
+        BExpr::Binary { left, op, right } => BExpr::Binary {
+            left: Box::new(remap_cols(left, map)),
+            op: *op,
+            right: Box::new(remap_cols(right, map)),
+        },
+        BExpr::IsNull { expr, negated } => BExpr::IsNull {
+            expr: Box::new(remap_cols(expr, map)),
+            negated: *negated,
+        },
+        BExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BExpr::InList {
+            expr: Box::new(remap_cols(expr, map)),
+            list: list.iter().map(|e| remap_cols(e, map)).collect(),
+            negated: *negated,
+        },
+        BExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BExpr::Between {
+            expr: Box::new(remap_cols(expr, map)),
+            low: Box::new(remap_cols(low, map)),
+            high: Box::new(remap_cols(high, map)),
+            negated: *negated,
+        },
+        BExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BExpr::Like {
+            expr: Box::new(remap_cols(expr, map)),
+            pattern: Box::new(remap_cols(pattern, map)),
+            negated: *negated,
+        },
+        BExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => BExpr::Case {
+            operand: operand.as_ref().map(|e| Box::new(remap_cols(e, map))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (remap_cols(w, map), remap_cols(t, map)))
+                .collect(),
+            else_: else_.as_ref().map(|e| Box::new(remap_cols(e, map))),
+        },
+        BExpr::ScalarFn { name, args } => BExpr::ScalarFn {
+            name: name.clone(),
+            args: args.iter().map(|e| remap_cols(e, map)).collect(),
+        },
+        BExpr::Cast { expr, dtype } => BExpr::Cast {
+            expr: Box::new(remap_cols(expr, map)),
+            dtype: *dtype,
+        },
+    }
+}
+
+fn visit_exprs(e: &BExpr, f: &mut dyn FnMut(&BExpr)) {
+    f(e);
+    match e {
+        BExpr::Literal(_) | BExpr::Col(_) | BExpr::AggRef(_) => {}
+        BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } | BExpr::Cast { expr, .. } => {
+            visit_exprs(expr, f)
+        }
+        BExpr::Binary { left, right, .. } => {
+            visit_exprs(left, f);
+            visit_exprs(right, f);
+        }
+        BExpr::InList { expr, list, .. } => {
+            visit_exprs(expr, f);
+            for e in list {
+                visit_exprs(e, f);
+            }
+        }
+        BExpr::Between {
+            expr, low, high, ..
+        } => {
+            visit_exprs(expr, f);
+            visit_exprs(low, f);
+            visit_exprs(high, f);
+        }
+        BExpr::Like { expr, pattern, .. } => {
+            visit_exprs(expr, f);
+            visit_exprs(pattern, f);
+        }
+        BExpr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            if let Some(e) = operand {
+                visit_exprs(e, f);
+            }
+            for (w, t) in branches {
+                visit_exprs(w, f);
+                visit_exprs(t, f);
+            }
+            if let Some(e) = else_ {
+                visit_exprs(e, f);
+            }
+        }
+        BExpr::ScalarFn { args, .. } => {
+            for e in args {
+                visit_exprs(e, f);
+            }
+        }
+    }
+}
+
+// ---- equi-join key extraction --------------------------------------------
+
+/// Equi-join keys recognized in an `ON` conjunction bound against the
+/// concatenated `left ++ right` schema. `left[i] = right[i]` must compare
+/// `sql_compare`-equal for a pair to join; `residual` keeps the conjuncts
+/// that are not single-sided equalities (still concat-relative).
+#[derive(Debug, Default)]
+pub struct EquiKeys {
+    /// Key expressions over the left child's columns.
+    pub left: Vec<BExpr>,
+    /// Key expressions over the right child's columns (indices rebased to be
+    /// right-relative).
+    pub right: Vec<BExpr>,
+    /// Non-key conjuncts, concat-relative.
+    pub residual: Vec<BExpr>,
+}
+
+/// Classify `conjuncts` (bound against `left ++ right`, where the left child
+/// has `left_width` columns) into hash-join keys and residual predicate. A
+/// conjunct `a = b` becomes a key pair when one operand references only left
+/// columns and the other only right columns (each at least one — constant
+/// comparisons are not keys).
+pub fn extract_equi_keys(conjuncts: Vec<BExpr>, left_width: usize) -> EquiKeys {
+    let mut out = EquiKeys::default();
+    for c in conjuncts {
+        if let BExpr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = &c
+        {
+            let lc = cols_of(left);
+            let rc = cols_of(right);
+            let all_left = |s: &HashSet<usize>| !s.is_empty() && s.iter().all(|&i| i < left_width);
+            let all_right =
+                |s: &HashSet<usize>| !s.is_empty() && s.iter().all(|&i| i >= left_width);
+            if all_left(&lc) && all_right(&rc) {
+                out.left.push((**left).clone());
+                out.right.push(remap_cols(right, &|i| i - left_width));
+                continue;
+            }
+            if all_right(&lc) && all_left(&rc) {
+                out.left.push((**right).clone());
+                out.right.push(remap_cols(left, &|i| i - left_width));
+                continue;
+            }
+        }
+        out.residual.push(c);
+    }
+    out
+}
+
+// ---- hashable value keys -------------------------------------------------
+
+/// Hashable normalized stand-in for [`Value`] (see the module docs for the
+/// exact relation to `sql_eq` / `sql_compare`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum HKey {
+    Null,
+    Bool(bool),
+    /// Any numeric holding an exact integer (so `Int(2)` ≡ `Float(2.0)`).
+    Int(i64),
+    /// Non-integral float by normalized bit pattern.
+    Float(u64),
+    Text(String),
+    Error(CellError),
+}
+
+impl HKey {
+    /// Grouping key: `HKey::of(a) == HKey::of(b)` mirrors `a.sql_eq(&b)`
+    /// (NULL groups with NULL; caveats in the module docs).
+    pub fn of(v: &Value) -> HKey {
+        match v {
+            Value::Empty => HKey::Null,
+            Value::Bool(b) => HKey::Bool(*b),
+            Value::Int(i) => HKey::Int(*i),
+            Value::Float(f) => {
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                // `f as i64` is exact only on [-2⁶³, 2⁶³).
+                let two63 = 2f64.powi(63);
+                if f.is_nan() {
+                    HKey::Float(f64::NAN.to_bits())
+                } else if f.fract() == 0.0 && f >= -two63 && f < two63 {
+                    HKey::Int(f as i64)
+                } else {
+                    HKey::Float(f.to_bits())
+                }
+            }
+            Value::Text(s) => HKey::Text(s.clone()),
+            Value::Error(e) => HKey::Error(*e),
+        }
+    }
+
+    /// Grouping key of a whole row.
+    pub fn of_row(row: &[Value]) -> Vec<HKey> {
+        row.iter().map(HKey::of).collect()
+    }
+}
+
+/// Hash-join *bucket* key: `None` for NULL (never equi-matches); numerics by
+/// their normalized `f64` image so every `sql_compare`-equal pair shares a
+/// bucket. Candidates must still be verified with `sql_compare`.
+pub fn join_key(v: &Value) -> Option<HKey> {
+    match v {
+        Value::Empty => None,
+        Value::Bool(b) => Some(HKey::Bool(*b)),
+        Value::Int(i) => Some(HKey::Float(norm_bits(*i as f64))),
+        Value::Float(f) => Some(HKey::Float(norm_bits(*f))),
+        Value::Text(s) => Some(HKey::Text(s.clone())),
+        Value::Error(e) => Some(HKey::Error(*e)),
+    }
+}
+
+/// Bucket key of a whole key tuple; `None` when any component is NULL.
+pub fn join_key_row(vals: &[Value]) -> Option<Vec<HKey>> {
+    vals.iter().map(join_key).collect()
+}
+
+fn norm_bits(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{bind, ColInfo};
+    use crate::parser::parse_statement;
+    use crate::resolver::NoSheet;
+
+    fn parse_expr(sql_expr: &str) -> crate::ast::Expr {
+        match parse_statement(&format!("SELECT {sql_expr}")).unwrap() {
+            crate::ast::Statement::Select(s) => match s.projection.into_iter().next().unwrap() {
+                crate::ast::SelectItem::Expr { expr, .. } => expr,
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    fn cols4() -> Vec<ColInfo> {
+        vec![
+            ColInfo::new(Some("l"), "a"),
+            ColInfo::new(Some("l"), "b"),
+            ColInfo::new(Some("r"), "c"),
+            ColInfo::new(Some("r"), "d"),
+        ]
+    }
+
+    fn b(sql_expr: &str) -> BExpr {
+        bind(&parse_expr(sql_expr), &cols4(), None, &NoSheet).unwrap()
+    }
+
+    #[test]
+    fn conjunction_splitting() {
+        let parts = split_conjuncts(b("a = 1 AND b > 2 AND (c < 3 OR d = 4)"));
+        assert_eq!(parts.len(), 3);
+        assert_eq!(split_conjuncts(b("a = 1 OR b = 2")).len(), 1);
+    }
+
+    #[test]
+    fn column_collection_and_remap() {
+        let e = b("a + c * 2");
+        let mut s: HashSet<usize> = HashSet::new();
+        collect_cols(&e, &mut s);
+        assert_eq!(s, HashSet::from([0, 2]));
+        let shifted = remap_cols(&e, &|i| i + 10);
+        assert_eq!(cols_of(&shifted), HashSet::from([10, 12]));
+    }
+
+    #[test]
+    fn equi_key_extraction() {
+        // a,b are left (width 2); c,d are right.
+        let keys = extract_equi_keys(split_conjuncts(b("a = c AND d = b AND a > 1 AND c = 1")), 2);
+        assert_eq!(keys.left.len(), 2, "two equi pairs");
+        assert_eq!(keys.residual.len(), 2, "single-sided / constant conjuncts");
+        // Right-side keys are rebased to right-relative indices.
+        assert_eq!(cols_of(&keys.right[0]), HashSet::from([0]));
+        assert_eq!(cols_of(&keys.right[1]), HashSet::from([1]));
+    }
+
+    #[test]
+    fn hkey_mirrors_sql_eq() {
+        let pairs = [
+            (Value::Int(2), Value::Float(2.0), true),
+            (Value::Float(0.0), Value::Float(-0.0), true),
+            (Value::Int(2), Value::Int(3), false),
+            (Value::Float(2.5), Value::Float(2.5), true),
+            (Value::Int(1), Value::text("1"), false),
+            (Value::Empty, Value::Empty, true),
+            (Value::Bool(true), Value::Int(1), false),
+        ];
+        for (a, bb, eq) in pairs {
+            assert_eq!(HKey::of(&a) == HKey::of(&bb), eq, "{a:?} vs {bb:?}");
+            assert_eq!(a.sql_eq(&bb), eq, "sql_eq agrees for {a:?} vs {bb:?}");
+        }
+    }
+
+    #[test]
+    fn join_key_null_is_none() {
+        assert!(join_key(&Value::Empty).is_none());
+        assert!(join_key_row(&[Value::Int(1), Value::Empty]).is_none());
+        assert_eq!(join_key(&Value::Int(2)), join_key(&Value::Float(2.0)));
+        assert_eq!(join_key(&Value::Float(0.0)), join_key(&Value::Float(-0.0)));
+        assert_ne!(join_key(&Value::Int(2)), join_key(&Value::text("2")));
+    }
+}

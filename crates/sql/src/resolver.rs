@@ -15,6 +15,22 @@ pub trait SheetResolver {
     /// A region as a relation: column names + rows. How headers are inferred
     /// is the implementer's business (the workbook uses its import rules).
     fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)>;
+
+    /// Column names of a `RANGETABLE` region. Implementations backed by a
+    /// real grid should override this to read only the header row; the
+    /// default materializes the whole region.
+    fn range_table_names(&self, a1: &str) -> DsResult<Vec<String>> {
+        Ok(self.range_table(a1)?.0)
+    }
+
+    /// The region's rows with only the columns whose indices appear in
+    /// `used` guaranteed to be populated — the executor's scan-pruning hook.
+    /// Implementations may leave the other slots as [`Value::Empty`] so
+    /// narrower queries touch fewer storage blocks; rows keep the region's
+    /// full width and order. The default reads everything.
+    fn range_table_pruned(&self, a1: &str, _used: &[usize]) -> DsResult<Vec<Vec<Value>>> {
+        Ok(self.range_table(a1)?.1)
+    }
 }
 
 /// Resolver for contexts with no sheet attached (plain database use):
