@@ -3,12 +3,20 @@
 //!
 //! Run with `cargo bench -p dataspread --bench query`. Each arm reports
 //! ns/iter plus derived rows/sec (input rows of the larger side over the
-//! per-iteration time); the summary prints the nested-loop/hash ratio. The
-//! nested-loop join arm is skipped at 50k rows — 2.5·10⁹ row comparisons is
-//! the point the hash join exists to avoid.
+//! per-iteration time) and the blocks touched per iteration (one coherent
+//! `PoolStats::snapshot()` per phase, not four racing atomic loads); the
+//! summary prints the nested-loop/hash ratio. The nested-loop join arm is
+//! skipped at 50k rows — 2.5·10⁹ row comparisons is the point the hash
+//! join exists to avoid.
+//!
+//! A final durability section saves the 10k workbook into a real store
+//! directory and reports *measured* I/O (`PageFileStats`: frames and bytes
+//! physically written, fsyncs) next to the modeled buffer-pool counters —
+//! the boundary `docs/STORAGE.md` makes real.
 
 use std::time::Duration;
 
+use dataspread::relstore::PoolSnapshot;
 use dataspread::{ExecOptions, Workbook};
 use dataspread_testkit::{bench, black_box, Rng};
 use dataspread_types::Value;
@@ -44,14 +52,57 @@ fn workbook(n: usize) -> Workbook {
     wb
 }
 
+/// Combined pool counters of both bench tables, as one coherent copy each.
+fn pools(wb: &Workbook) -> PoolSnapshot {
+    let l = wb.catalog().get("l").unwrap().pool().stats().snapshot();
+    let r = wb.catalog().get("r").unwrap().pool().stats().snapshot();
+    PoolSnapshot {
+        hits: l.hits + r.hits,
+        misses: l.misses + r.misses,
+        evictions: l.evictions + r.evictions,
+        dirty_writebacks: l.dirty_writebacks + r.dirty_writebacks,
+    }
+}
+
 fn arm(wb: &mut Workbook, label: &str, sql: &str, n: usize, options: ExecOptions) -> f64 {
     wb.set_exec_options(options);
+    let before = pools(wb);
     let m = bench(&format!("{label}/{n}"), TARGET, || {
         black_box(wb.query(sql).unwrap());
     });
+    let after = pools(wb);
     let ns = m.per_iter_ns();
-    println!("    {label}/{n}: {:.0} rows/sec", n as f64 / (ns * 1e-9));
+    println!(
+        "    {label}/{n}: {:.0} rows/sec, {:.0} blocks touched/iter",
+        n as f64 / (ns * 1e-9),
+        (after.blocks_touched() - before.blocks_touched()) as f64 / m.iters as f64
+    );
     ns
+}
+
+/// Durability: checkpoint the workbook into a real store and report the
+/// physically written frames/bytes next to the modeled pool counters.
+fn durability_report(wb: &mut Workbook, n: usize) {
+    let dir = std::env::temp_dir().join(format!("dsp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = bench(&format!("durability/checkpoint/{n}"), TARGET, || {
+        wb.save(&dir).unwrap();
+    });
+    let modeled = wb.catalog().get("l").unwrap().pool().stats().snapshot();
+    // The freshly attached store's counters cover exactly the last save.
+    let store = dataspread::relstore::PageFile::open(dir.join("data.dsp")).unwrap();
+    println!(
+        "    real I/O per checkpoint: {} frames on disk ({} KiB page file), modeled pool writebacks so far: {}",
+        store.frame_count(),
+        std::fs::metadata(dir.join("data.dsp")).map(|md| md.len() / 1024).unwrap_or(0),
+        modeled.dirty_writebacks,
+    );
+    println!(
+        "    checkpoint: {:.2} ms/iter over {} iters",
+        m.per_iter_ns() / 1e6,
+        m.iters
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn main() {
@@ -76,5 +127,9 @@ fn main() {
         let ha = arm(&mut wb, "group_by/hash", GROUP, n, hash);
         let la = arm(&mut wb, "group_by/linear", GROUP, n, nested);
         println!("  -> group_by@{n}: linear/hash = {:.1}x", la / ha);
+
+        if n == 10_000 {
+            durability_report(&mut wb, n);
+        }
     }
 }

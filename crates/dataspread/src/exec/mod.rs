@@ -14,20 +14,20 @@
 //!   aggregate (hash GROUP BY) ─► HAVING ─► project ─► DISTINCT ─► sort ─► limit
 //! ```
 //!
-//! * **Streaming scans** ([`scan`]) — tables stream through
+//! * **Streaming scans** (`scan.rs`) — tables stream through
 //!   `Table::iter_rows_sparse`, reading only the attribute groups the query
 //!   touches; `RANGETABLE` regions are read column-bounded through
 //!   `SheetResolver::range_table_pruned`, so grid scans touch fewer blocks.
-//! * **Predicate pushdown** ([`planner`]) — the `WHERE` conjunction is
+//! * **Predicate pushdown** (`planner.rs`) — the `WHERE` conjunction is
 //!   split and every single-side term sinks below the joins into its scan
 //!   (left-join outer semantics respected).
-//! * **Hash joins** ([`join`]) — equi-join keys extracted from `ON` /
+//! * **Hash joins** (`join.rs`) — equi-join keys extracted from `ON` /
 //!   `NATURAL` constraints drive a build/probe hash join with `sql_compare`
 //!   verification; non-equi predicates fall back to nested loops. Output
 //!   order is identical to the nested-loop order, which the equivalence
 //!   property suite exploits.
-//! * **Hash aggregation** ([`aggregate`]) and **hash DISTINCT**
-//!   ([`output`]) — group lookup and dedup are O(1) per row via the
+//! * **Hash aggregation** (`aggregate.rs`) and **hash DISTINCT**
+//!   (`output.rs`) — group lookup and dedup are O(1) per row via the
 //!   normalized [`dataspread_sql::planner::HKey`].
 //!
 //! Every operator choice is switchable through [`ExecOptions`] so benches

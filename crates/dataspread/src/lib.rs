@@ -61,6 +61,7 @@
 
 pub mod engine;
 pub mod exec;
+pub mod persist;
 pub mod sheet;
 pub mod view;
 pub mod workbook;

@@ -1,0 +1,211 @@
+//! Workbook persistence: `save` / `open` / `checkpoint` over the relstore
+//! durable store.
+//!
+//! A workbook saves into a *store directory* holding the page file
+//! (`data.dsp`) and the write-ahead log (`wal.dsp`) — formats and the
+//! recovery protocol are specified in `docs/STORAGE.md`. The catalog
+//! (tables, schemas, pages) is checkpointed by
+//! [`dataspread_relstore::snapshot`]; this module contributes the
+//! engine-level metadata riding in the snapshot's `extra_meta` stream:
+//! every sheet's cells and stable row keys, the current-sheet pointer, and
+//! the default store kind.
+//!
+//! Durability boundaries after [`Workbook::save`] attaches the store:
+//!
+//! * **SQL DML** (`INSERT`/`UPDATE`/`DELETE` via [`Workbook::execute`]) and
+//!   positional DML ([`Workbook::insert_tuple_at`]) are WAL-logged and
+//!   survive a crash.
+//! * **SQL DDL** and [`Workbook::import_region`] trigger an automatic
+//!   checkpoint.
+//! * **Sheet edits** persist at the next checkpoint / [`Workbook::save`]
+//!   (grid edits are interface state; crash-consistency covers the
+//!   relational side).
+//! * Direct [`Workbook::catalog_mut`] DDL (e.g. `create_table`) is *not*
+//!   auto-persisted — call [`Workbook::save`] or [`Workbook::checkpoint`]
+//!   afterwards.
+
+use std::path::{Path, PathBuf};
+
+use dataspread_relstore::codec::{put_u32, Cursor};
+use dataspread_relstore::snapshot::{self, load_catalog, save_catalog, DATA_FILE};
+use dataspread_relstore::{Catalog, PageFile};
+use dataspread_types::{DsError, DsResult};
+
+use crate::exec::ExecOptions;
+use crate::sheet::{Sheet, StoreKind};
+use crate::workbook::Workbook;
+
+/// Version byte of the workbook metadata stream.
+const WB_META_VERSION: u8 = 1;
+
+/// The highest checkpoint generation evidenced on disk at `dir` — from the
+/// page file or a leftover WAL, whichever is newer (0 when neither is
+/// readable, i.e. a genuinely fresh store).
+fn on_disk_generation(dir: &Path) -> u64 {
+    let pf = PageFile::open(dir.join(DATA_FILE))
+        .map(|pf| pf.generation())
+        .unwrap_or(0);
+    let wal = dataspread_relstore::wal::scan_wal(dir.join(snapshot::WAL_FILE))
+        .ok()
+        .flatten()
+        .map(|scan| scan.generation)
+        .unwrap_or(0);
+    pf.max(wal)
+}
+
+pub(crate) fn encode_workbook_meta(wb: &Workbook) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(WB_META_VERSION);
+    buf.push(match wb.default_store {
+        StoreKind::Tiled => 0,
+        StoreKind::Block => 1,
+        StoreKind::Naive => 2,
+    });
+    put_u32(&mut buf, wb.current as u32);
+    put_u32(&mut buf, wb.sheets.len() as u32);
+    for sheet in &wb.sheets {
+        sheet.encode(&mut buf);
+    }
+    buf
+}
+
+pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Workbook> {
+    let mut cur = Cursor::new(meta);
+    let version = cur.u8()?;
+    if version != WB_META_VERSION {
+        return Err(DsError::Storage(format!(
+            "workbook snapshot: unsupported version {version}"
+        )));
+    }
+    let default_store = match cur.u8()? {
+        0 => StoreKind::Tiled,
+        1 => StoreKind::Block,
+        2 => StoreKind::Naive,
+        other => {
+            return Err(DsError::Storage(format!(
+                "workbook snapshot: bad store kind {other}"
+            )))
+        }
+    };
+    let current = cur.u32()? as usize;
+    let nsheets = cur.u32()? as usize;
+    let mut sheets = Vec::with_capacity(nsheets);
+    let mut by_name = std::collections::HashMap::with_capacity(nsheets);
+    for i in 0..nsheets {
+        let sheet = Sheet::decode(&mut cur)?;
+        by_name.insert(sheet.name().to_ascii_lowercase(), i);
+        sheets.push(sheet);
+    }
+    if !cur.is_empty() {
+        return Err(DsError::Storage("workbook snapshot: trailing bytes".into()));
+    }
+    if sheets.is_empty() || current >= sheets.len() {
+        return Err(DsError::Storage(
+            "workbook snapshot: invalid sheet table".into(),
+        ));
+    }
+    Ok(Workbook {
+        sheets,
+        by_name,
+        catalog,
+        current,
+        default_store,
+        exec_options: ExecOptions::default(),
+        store: None,
+    })
+}
+
+impl Workbook {
+    /// Persist the whole workbook — catalog, schemas, table pages, and
+    /// sheet grids — into the store directory `dir`, and attach the store
+    /// so subsequent DML is WAL-logged. Calling `save` again checkpoints:
+    /// the snapshot is rewritten atomically and the log is reset.
+    ///
+    /// ```
+    /// use dataspread::Workbook;
+    /// let dir = std::env::temp_dir().join(format!("dsp-doc-save-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let mut wb = Workbook::new();
+    /// wb.execute("CREATE TABLE t (x INT)").unwrap();
+    /// wb.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    /// wb.save(&dir).unwrap();
+    /// assert!(wb.is_durable());
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn save(&mut self, dir: impl AsRef<Path>) -> DsResult<()> {
+        let dir = dir.as_ref().to_path_buf();
+        // The generation must exceed whatever was ever written to `dir`:
+        // regressing it would let a crash in the rename→WAL-reset window
+        // leave a stale WAL that recovery mistakes for current (or rejects
+        // as future). When this workbook is not the attached author of the
+        // directory, read the watermark off the disk itself.
+        let base = match &self.store {
+            Some(store) if store.dir == dir => store.generation,
+            _ => on_disk_generation(&dir),
+        };
+        self.checkpoint_into(dir, base + 1)
+    }
+
+    /// Reopen a workbook from a store directory: load the last checkpoint,
+    /// replay the committed WAL tail (ARIES-lite redo — a torn tail is
+    /// truncated), fold the result into a fresh checkpoint, and attach.
+    ///
+    /// ```
+    /// use dataspread::Workbook;
+    /// use dataspread_types::Value;
+    /// let dir = std::env::temp_dir().join(format!("dsp-doc-open-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let mut wb = Workbook::new();
+    /// wb.execute("CREATE TABLE t (x INT)").unwrap();
+    /// wb.save(&dir).unwrap();
+    /// // Logged through the WAL, durable at statement end:
+    /// wb.execute("INSERT INTO t VALUES (41), (1)").unwrap();
+    /// drop(wb); // "kill" the process
+    ///
+    /// let mut wb = Workbook::open(&dir).unwrap();
+    /// let (_, rows) = wb.query("SELECT SUM(x) FROM t").unwrap();
+    /// assert_eq!(rows[0][0], Value::Int(42));
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn open(dir: impl AsRef<Path>) -> DsResult<Workbook> {
+        let dir = dir.as_ref().to_path_buf();
+        let loaded = load_catalog(&dir)?;
+        let generation = loaded.generation;
+        let mut wb = decode_workbook_meta(&loaded.extra_meta, loaded.catalog)?;
+        // Fold the replayed tail into a fresh checkpoint + empty WAL.
+        wb.checkpoint_into(dir, generation + 1)?;
+        Ok(wb)
+    }
+
+    /// Rewrite the snapshot and reset the WAL at the attached store
+    /// directory. Errors if no store is attached.
+    pub fn checkpoint(&mut self) -> DsResult<()> {
+        let (dir, generation) = match &self.store {
+            Some(store) => (store.dir.clone(), store.generation + 1),
+            None => {
+                return Err(DsError::Storage(
+                    "workbook has no durable store; call save(path) first".into(),
+                ))
+            }
+        };
+        self.checkpoint_into(dir, generation)
+    }
+
+    fn checkpoint_into(&mut self, dir: PathBuf, generation: u64) -> DsResult<()> {
+        let wb_meta = encode_workbook_meta(self);
+        let handle = save_catalog(&dir, &self.catalog, &wb_meta, generation)?;
+        handle.attach_all(&mut self.catalog);
+        self.store = Some(handle);
+        Ok(())
+    }
+
+    /// Is a durable store attached (DML WAL-logged, checkpoints enabled)?
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached store directory, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir.as_path())
+    }
+}

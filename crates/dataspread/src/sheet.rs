@@ -215,6 +215,71 @@ impl Sheet {
         Range::parse_a1(a1)
             .map_err(|_| DsError::Interface(format!("invalid range reference `{a1}`")))
     }
+
+    // ---- persistence (checkpoint format; see docs/STORAGE.md) -------------
+
+    /// Serialize the sheet into the workbook snapshot stream: name, store
+    /// kind, the stable row keys in display order, and every non-empty cell.
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        use dataspread_relstore::codec::{encode_value, put_str, put_u32, put_u64};
+        put_str(buf, &self.name);
+        buf.push(match self.kind {
+            StoreKind::Tiled => 0,
+            StoreKind::Block => 1,
+            StoreKind::Naive => 2,
+        });
+        put_u64(buf, self.next_row_key);
+        let keys = self.rows.keys();
+        put_u64(buf, keys.len() as u64);
+        for k in keys {
+            put_u64(buf, k);
+        }
+        let mut cells: Vec<(CellAddr, Value)> = Vec::with_capacity(self.cells.cell_count());
+        if let Some(bounds) = self.cells.used_bounds() {
+            self.cells
+                .for_each_in_range(bounds, &mut |a, v| cells.push((a, v.clone())));
+        }
+        // Deterministic order for byte-stable snapshots.
+        cells.sort_by_key(|(a, _)| (a.row, a.col));
+        put_u64(buf, cells.len() as u64);
+        for (a, v) in cells {
+            put_u32(buf, a.row);
+            put_u32(buf, a.col);
+            encode_value(buf, &v);
+        }
+    }
+
+    /// Rebuild a sheet from the snapshot stream.
+    pub(crate) fn decode(cur: &mut dataspread_relstore::codec::Cursor<'_>) -> DsResult<Sheet> {
+        let name = cur.str()?;
+        let kind = match cur.u8()? {
+            0 => StoreKind::Tiled,
+            1 => StoreKind::Block,
+            2 => StoreKind::Naive,
+            other => {
+                return Err(DsError::Storage(format!(
+                    "snapshot: bad store kind {other}"
+                )))
+            }
+        };
+        let next_row_key = cur.u64()?;
+        let nkeys = cur.u64()? as usize;
+        let mut keys = Vec::with_capacity(nkeys);
+        for _ in 0..nkeys {
+            keys.push(cur.u64()?);
+        }
+        let mut sheet = Sheet::new(name, kind);
+        sheet.rows = RowMapping::from_keys(keys)?;
+        sheet.next_row_key = next_row_key;
+        let ncells = cur.u64()? as usize;
+        for _ in 0..ncells {
+            let row = cur.u32()?;
+            let col = cur.u32()?;
+            let v = cur.value()?;
+            sheet.cells.set(CellAddr::new(row, col), v);
+        }
+        Ok(sheet)
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +331,33 @@ mod tests {
         s.delete_rows(0, 1).unwrap();
         assert_eq!(s.row_of_key(k1), None, "deleted row key retired");
         assert_eq!(s.row_of_key(k5), Some(6));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for kind in [StoreKind::Tiled, StoreKind::Block, StoreKind::Naive] {
+            let mut s = Sheet::new("Grid", kind);
+            s.set_input(a("A1"), "hello");
+            s.set_input(a("C7"), "3.5");
+            s.set_input(a("B2"), "#REF!");
+            let k0 = s.row_key(0);
+            s.insert_rows(1, 2).unwrap();
+            let mut buf = Vec::new();
+            s.encode(&mut buf);
+            let mut cur = dataspread_relstore::codec::Cursor::new(&buf);
+            let back = Sheet::decode(&mut cur).unwrap();
+            assert!(cur.is_empty());
+            assert_eq!(back.name(), "Grid");
+            assert_eq!(back.store_kind(), kind);
+            // insert_rows(1, 2) shifted C7→C9 and B2→B4; A1 stayed put.
+            assert_eq!(back.value(a("A1")), Value::text("hello"));
+            assert_eq!(back.value(a("C9")), Value::Float(3.5));
+            assert!(back.value(a("B4")).is_error());
+            assert_eq!(back.value(a("C7")), Value::Empty);
+            assert_eq!(back.cell_count(), s.cell_count());
+            assert_eq!(back.row_of_key(k0), s.row_of_key(k0));
+            assert_eq!(back.registered_rows(), s.registered_rows());
+        }
     }
 
     #[test]

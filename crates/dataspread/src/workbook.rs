@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 
-use dataspread_relstore::{Catalog, ColumnDef, RowKey, Schema};
+use dataspread_relstore::{Catalog, ColumnDef, RowKey, Schema, StoreHandle};
+use dataspread_sql::ast::Statement;
 use dataspread_sql::parser::{parse_statement, parse_statements};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{col_to_letters, CellAddr, DataType, DsError, DsResult, Range, Value};
@@ -24,13 +25,15 @@ pub struct SheetId(pub usize);
 /// The top-level engine object.
 #[derive(Debug)]
 pub struct Workbook {
-    sheets: Vec<Sheet>,
+    pub(crate) sheets: Vec<Sheet>,
     /// Lower-cased sheet name → index.
-    by_name: HashMap<String, usize>,
-    catalog: Catalog,
-    current: usize,
-    default_store: StoreKind,
-    exec_options: ExecOptions,
+    pub(crate) by_name: HashMap<String, usize>,
+    pub(crate) catalog: Catalog,
+    pub(crate) current: usize,
+    pub(crate) default_store: StoreKind,
+    pub(crate) exec_options: ExecOptions,
+    /// Attached durable store, if any (see [`Workbook::save`]).
+    pub(crate) store: Option<StoreHandle>,
 }
 
 impl Default for Workbook {
@@ -54,6 +57,7 @@ impl Workbook {
             current: 0,
             default_store: kind,
             exec_options: ExecOptions::default(),
+            store: None,
         };
         wb.add_sheet("Sheet1")
             .expect("fresh workbook accepts a sheet");
@@ -131,14 +135,14 @@ impl Workbook {
 
     /// Parse and execute one SQL statement against the workbook: tables come
     /// from the catalog, `RANGEVALUE`/`RANGETABLE` read the live sheets.
+    ///
+    /// With a durable store attached ([`Workbook::save`]), each DML
+    /// statement runs as one WAL transaction — durable when `execute`
+    /// returns `Ok` — and each successful DDL statement triggers a
+    /// checkpoint (schema changes are snapshot-persisted, not logged).
     pub fn execute(&mut self, sql: &str) -> DsResult<QueryResult> {
         let stmt = parse_statement(sql)?;
-        let ctx = SheetCtx {
-            sheets: &self.sheets,
-            by_name: &self.by_name,
-            current: self.current,
-        };
-        engine::execute(&mut self.catalog, &ctx, stmt, self.exec_options)
+        self.execute_stmt(stmt)
     }
 
     /// Execute a `;`-separated script, returning the result of each statement.
@@ -146,19 +150,61 @@ impl Workbook {
         let stmts = parse_statements(sql)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in stmts {
-            let ctx = SheetCtx {
-                sheets: &self.sheets,
-                by_name: &self.by_name,
-                current: self.current,
-            };
-            out.push(engine::execute(
-                &mut self.catalog,
-                &ctx,
-                stmt,
-                self.exec_options,
-            )?);
+            out.push(self.execute_stmt(stmt)?);
         }
         Ok(out)
+    }
+
+    fn execute_stmt(&mut self, stmt: Statement) -> DsResult<QueryResult> {
+        let is_dml = matches!(
+            stmt,
+            Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. }
+        );
+        let is_ddl = matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::DropTable { .. }
+                | Statement::AlterTable { .. }
+        );
+        // One WAL transaction per DML statement: the attached tables append
+        // redo records as they mutate; commit (fsync) seals the statement.
+        let in_txn = if is_dml {
+            match &self.store {
+                Some(store) => {
+                    store.wal.begin()?;
+                    true
+                }
+                None => false,
+            }
+        } else {
+            false
+        };
+        let ctx = SheetCtx {
+            sheets: &self.sheets,
+            by_name: &self.by_name,
+            current: self.current,
+        };
+        let result = engine::execute(&mut self.catalog, &ctx, stmt, self.exec_options);
+        if in_txn {
+            let store = self.store.as_ref().expect("store present when in_txn");
+            match &result {
+                Ok(_) => store.wal.commit()?,
+                // The engine applies DML row by row with no undo, so a
+                // failed statement may have partially mutated the catalog —
+                // and every applied row was already logged. Commit those
+                // records too: recovery must rebuild exactly the state live
+                // queries see, not an alternate history (statement
+                // atomicity is future work). Best-effort: the statement
+                // error outranks a commit I/O error.
+                Err(_) => {
+                    let _ = store.wal.commit();
+                }
+            }
+        }
+        if is_ddl && result.is_ok() && self.store.is_some() {
+            self.checkpoint()?;
+        }
+        result
     }
 
     /// Execute and demand a row set (convenience for queries).
@@ -249,6 +295,11 @@ impl Workbook {
                 .collect();
             t.insert(clean)?;
             n += 1;
+        }
+        // A new table is DDL: with a store attached, persist it (and its
+        // imported rows) via checkpoint, like CREATE TABLE through SQL.
+        if self.store.is_some() {
+            self.checkpoint()?;
         }
         Ok(n)
     }

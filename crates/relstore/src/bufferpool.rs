@@ -1,12 +1,13 @@
 //! Buffer pool: an LRU over page frames with hit/miss/eviction accounting.
 //!
-//! The repository substitutes in-memory pages for the paper's disk blocks
-//! (substitution #3 in `DESIGN.md`); the buffer pool restores the *cost
-//! cliff* of that boundary. Every page access is routed through
-//! [`BufferPool::access`]: a miss models a disk read, an eviction of a dirty
-//! frame models a write-back. Benches report these counters alongside wall
-//! time, so layouts can be compared by "blocks touched" exactly as the paper
-//! argues.
+//! The buffer pool restores the *cost cliff* of the memory/disk boundary.
+//! Every page access is routed through [`BufferPool::access`]: a miss models
+//! a disk read, an eviction of a dirty frame models a write-back. When a
+//! table is attached to a durable store (see `docs/STORAGE.md`), the
+//! [`PageRef`] of each dirty eviction is returned to the caller, which
+//! writes the page's real bytes to the on-disk page file — the counters
+//! stop being a simulation and become measurements of actual I/O. Benches
+//! report them alongside wall time via [`PoolStats::snapshot`].
 
 use std::collections::HashMap;
 
@@ -16,28 +17,71 @@ use std::sync::Mutex;
 /// Identity of a page frame: (attribute-group index, page index in chain).
 pub type PageRef = (u32, u32);
 
-/// Counters for the simulated memory/disk boundary.
+/// Counters for the memory/disk boundary.
+///
+/// The fields are atomics so `&self` paths can count; read them through the
+/// accessors, or grab a coherent one-pass copy with [`PoolStats::snapshot`].
 #[derive(Debug, Default)]
 pub struct PoolStats {
+    /// Accesses that found their page resident.
     pub hits: AtomicU64,
+    /// Accesses that had to fault their page in (modeled disk reads).
     pub misses: AtomicU64,
+    /// Frames evicted to make room.
     pub evictions: AtomicU64,
+    /// Evicted frames that were dirty (modeled — or, with a durable store
+    /// attached, real — disk writes).
     pub dirty_writebacks: AtomicU64,
 }
 
+/// A point-in-time copy of [`PoolStats`], taken in one pass so benches stop
+/// reading four atomics non-atomically mid-run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Accesses that found their page resident.
+    pub hits: u64,
+    /// Accesses that faulted their page in.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Evicted frames that were dirty.
+    pub dirty_writebacks: u64,
+}
+
+impl PoolSnapshot {
+    /// Blocks that crossed the disk boundary: reads (misses) + writes.
+    pub fn blocks_touched(&self) -> u64 {
+        self.misses + self.dirty_writebacks
+    }
+}
+
 impl PoolStats {
+    /// Accesses that found their page resident.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
+    /// Accesses that faulted their page in.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+    /// Frames evicted to make room.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+    /// Evicted frames that were dirty.
     pub fn dirty_writebacks(&self) -> u64 {
         self.dirty_writebacks.load(Ordering::Relaxed)
     }
+    /// One-pass copy of all four counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            dirty_writebacks: self.dirty_writebacks(),
+        }
+    }
+    /// Zero every counter (bench phase boundaries).
     pub fn reset(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -103,9 +147,9 @@ impl Lru {
         }
     }
 
-    /// Touch a page. Returns `(hit, evicted_dirty)` where `evicted_dirty` is
-    /// `Some(dirty_flag)` if an eviction happened to make room.
-    fn access(&mut self, key: PageRef, write: bool) -> (bool, Option<bool>) {
+    /// Touch a page. Returns `(hit, evicted)` where `evicted` is
+    /// `Some((page, dirty_flag))` if an eviction happened to make room.
+    fn access(&mut self, key: PageRef, write: bool) -> (bool, Option<(PageRef, bool)>) {
         if let Some(&i) = self.map.get(&key) {
             self.unlink(i);
             self.push_front(i);
@@ -120,7 +164,7 @@ impl Lru {
             let victim = self.tail;
             self.unlink(victim);
             let node = &self.nodes[victim];
-            evicted = Some(node.dirty);
+            evicted = Some((node.key, node.dirty));
             self.map.remove(&node.key);
             self.free.push(victim);
         }
@@ -142,19 +186,20 @@ impl Lru {
         (false, evicted)
     }
 
-    fn evict_all(&mut self) -> u64 {
-        let dirty = self
+    fn evict_all(&mut self) -> Vec<PageRef> {
+        let dirty: Vec<PageRef> = self
             .nodes
             .iter()
             .enumerate()
-            .filter(|(i, n)| self.map.get(&n.key) == Some(i) && n.dirty);
-        let count = dirty.count() as u64;
+            .filter(|(i, n)| self.map.get(&n.key) == Some(i) && n.dirty)
+            .map(|(_, n)| n.key)
+            .collect();
         self.map.clear();
         self.nodes.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        count
+        dirty
     }
 }
 
@@ -189,36 +234,53 @@ impl BufferPool {
     }
 
     /// Record an access to a page. `write` marks the frame dirty.
-    pub fn access(&self, page: PageRef, write: bool) {
+    ///
+    /// Returns the [`PageRef`] of a *dirty* frame this access evicted, if
+    /// any — the write-back hook. A caller holding real page bytes (a table
+    /// attached to a durable store) must write that page out; callers in
+    /// pure in-memory mode ignore it and the write-back stays modeled.
+    pub fn access(&self, page: PageRef, write: bool) -> Option<PageRef> {
         let (hit, evicted) = self.lru().access(page, write);
         if hit {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(dirty) = evicted {
+        let mut dirty_evicted = None;
+        if let Some((key, dirty)) = evicted {
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             if dirty {
                 self.stats.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
+                dirty_evicted = Some(key);
             }
         }
+        dirty_evicted
     }
 
-    /// Flush everything (e.g. between bench phases): counts dirty frames as
-    /// write-backs and empties the pool.
-    pub fn flush(&self) {
+    /// Flush everything (a checkpoint, or a bench phase boundary): counts
+    /// dirty frames as write-backs, empties the pool, and returns the dirty
+    /// [`PageRef`]s so an attached store can write them out.
+    pub fn flush(&self) -> Vec<PageRef> {
         let dirty = self.lru().evict_all();
         self.stats
             .dirty_writebacks
-            .fetch_add(dirty, Ordering::Relaxed);
+            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
+        dirty
     }
 
+    /// The counters.
     pub fn stats(&self) -> &PoolStats {
         &self.stats
     }
 
+    /// Frames currently resident.
     pub fn resident(&self) -> usize {
         self.lru().map.len()
+    }
+
+    /// Configured capacity in page frames (persisted across save/open).
+    pub fn capacity(&self) -> usize {
+        self.lru().cap
     }
 }
 
@@ -279,8 +341,36 @@ mod tests {
         pool.access((0, 0), true);
         pool.access((0, 1), false);
         pool.access((0, 2), true);
-        pool.flush();
+        let mut dirty = pool.flush();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![(0, 0), (0, 2)]);
         assert_eq!(pool.stats().dirty_writebacks(), 2);
         assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn access_reports_dirty_victim() {
+        let pool = BufferPool::new(1);
+        assert_eq!(pool.access((0, 0), true), None);
+        // Evicts (0,0), which is dirty: the write-back hook fires.
+        assert_eq!(pool.access((0, 1), false), Some((0, 0)));
+        // Evicts (0,1), which is clean: nothing to write back.
+        assert_eq!(pool.access((0, 2), false), None);
+    }
+
+    #[test]
+    fn snapshot_is_one_coherent_copy() {
+        let pool = BufferPool::new(2);
+        pool.access((0, 0), true);
+        pool.access((0, 0), false);
+        pool.access((0, 1), false);
+        pool.access((0, 2), false); // evicts dirty (0,0)
+        let s = pool.stats().snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.dirty_writebacks, 1);
+        assert_eq!(s.blocks_touched(), 4);
+        assert_eq!(s, pool.stats().snapshot(), "stable when idle");
     }
 }

@@ -19,6 +19,7 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// An empty catalog.
     pub fn new() -> Self {
         Catalog::default()
     }
@@ -32,6 +33,7 @@ impl Catalog {
         self.create_table_with_policy(name, schema, DEFAULT_POLICY)
     }
 
+    /// Create a table under an explicit grouping policy.
     pub fn create_table_with_policy(
         &mut self,
         name: &str,
@@ -50,24 +52,28 @@ impl Catalog {
         Ok(self.tables.get_mut(&k).unwrap())
     }
 
+    /// Remove a table, returning it.
     pub fn drop_table(&mut self, name: &str) -> DsResult<Table> {
         self.tables
             .remove(&Self::key(name))
             .ok_or_else(|| DsError::TableNotFound(name.to_string()))
     }
 
+    /// Look up a table by (case-insensitive) name.
     pub fn get(&self, name: &str) -> DsResult<&Table> {
         self.tables
             .get(&Self::key(name))
             .ok_or_else(|| DsError::TableNotFound(name.to_string()))
     }
 
+    /// Mutable lookup by (case-insensitive) name.
     pub fn get_mut(&mut self, name: &str) -> DsResult<&mut Table> {
         self.tables
             .get_mut(&Self::key(name))
             .ok_or_else(|| DsError::TableNotFound(name.to_string()))
     }
 
+    /// Does a table with this name exist?
     pub fn contains(&self, name: &str) -> bool {
         self.tables.contains_key(&Self::key(name))
     }
@@ -79,10 +85,31 @@ impl Catalog {
         names
     }
 
+    /// Mutable access to every table (attach/detach of the durable store,
+    /// checkpointing). Iteration order is unspecified.
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
+
+    /// Adopt an already-built table (snapshot decode).
+    pub(crate) fn insert_table(&mut self, table: Table) -> DsResult<()> {
+        let k = Self::key(table.name());
+        if self.tables.contains_key(&k) {
+            return Err(DsError::Schema(format!(
+                "table `{}` already exists",
+                table.name()
+            )));
+        }
+        self.tables.insert(k, table);
+        Ok(())
+    }
+
+    /// Number of tables.
     pub fn len(&self) -> usize {
         self.tables.len()
     }
 
+    /// True when the catalog holds no tables.
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }

@@ -5,6 +5,10 @@
 //! is the unit that makes "pages touched" a meaningful metric: fragment size
 //! determines how many fragments fit a 4 KiB page, which determines how many
 //! pages a schema change or scan touches.
+//!
+//! The module also provides the little-endian primitives ([`put_u32`],
+//! [`put_str`], [`Cursor`], …) shared by every on-disk encoding in the crate
+//! (page images, WAL records, snapshot metadata — see `docs/STORAGE.md`).
 
 use dataspread_types::{CellError, DsError, DsResult, Value};
 
@@ -185,6 +189,108 @@ pub fn value_size(v: &Value) -> usize {
 
 fn fragment_size_hint(values: &[Value]) -> usize {
     2 + values.iter().map(value_size).sum::<usize>()
+}
+
+/// Wrap an I/O error into the workspace error type with context.
+pub(crate) fn io_err(what: &str, e: std::io::Error) -> DsError {
+    DsError::Storage(format!("{what}: {e}"))
+}
+
+// ---- little-endian write helpers ------------------------------------------
+
+/// Append a `u16` little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u32`) UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over an encoded byte slice.
+///
+/// Every accessor reports truncation as [`DsError::Storage`] instead of
+/// panicking — the counterpart of the `put_*` helpers, used by the WAL and
+/// snapshot decoders where the input may be torn or corrupt.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> DsResult<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(DsError::Storage(format!("truncated {what}")));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> DsResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `u16` little-endian.
+    pub fn u16(&mut self) -> DsResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Read a `u32` little-endian.
+    pub fn u32(&mut self) -> DsResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` little-endian.
+    pub fn u64(&mut self) -> DsResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> DsResult<&'a [u8]> {
+        self.take(n, "bytes")
+    }
+
+    /// Read a length-prefixed (`u32`) UTF-8 string.
+    pub fn str(&mut self) -> DsResult<String> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len, "string body")?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| DsError::Storage("invalid utf8 in string".into()))
+    }
+
+    /// Read one tagged [`Value`] (the [`decode_value`] encoding).
+    pub fn value(&mut self) -> DsResult<Value> {
+        decode_value(&mut self.buf)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3) — the checksum framing every durable byte.
+//!
+//! The page-file header, each page frame, and each WAL record carry a CRC-32
+//! over their payload (see `docs/STORAGE.md`). The workspace builds with no
+//! external crates, so the polynomial table is generated at first use from
+//! the reflected polynomial `0xEDB88320`.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE: init `!0`, reflected, final xor `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let base = crc32(b"hello world");
+        for i in 0..11 {
+            let mut flipped = b"hello world".to_vec();
+            flipped[i] ^= 0x01;
+            assert_ne!(crc32(&flipped), base, "flip at {i} must change crc");
+        }
+    }
+}

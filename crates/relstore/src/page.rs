@@ -41,6 +41,7 @@ impl Default for Page {
 const SLOT_OVERHEAD: usize = 8;
 
 impl Page {
+    /// An empty page.
     pub fn new() -> Self {
         Page {
             data: Vec::new(),
@@ -173,6 +174,7 @@ impl Page {
         self.data = new_data;
     }
 
+    /// Number of live (non-tombstoned) fragments.
     pub fn live_count(&self) -> usize {
         self.slots
             .iter()
@@ -180,12 +182,75 @@ impl Page {
             .count()
     }
 
+    /// Bytes occupied by live fragments.
     pub fn live_bytes(&self) -> usize {
         self.live_bytes
     }
 
+    /// True when no live fragment remains.
     pub fn is_empty(&self) -> bool {
         self.live_bytes == 0
+    }
+
+    /// Serialize the page into its on-disk image (see `docs/STORAGE.md`):
+    /// slot directory (dead slots kept — slot ids are stable identity) then
+    /// the byte arena. The page budget guarantees the image fits a pager
+    /// frame: `data.len() + 8·slots ≤ PAGE_SIZE` always holds, so the image
+    /// is at most `PAGE_SIZE + 6` bytes.
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(6 + self.slots.len() * 8 + self.data.len());
+        buf.extend_from_slice(&(self.slots.len() as u16).to_le_bytes());
+        for s in &self.slots {
+            let (off, len) = match s {
+                Slot::Live { off, len } => (*off, *len),
+                Slot::Dead => (u32::MAX, 0),
+            };
+            buf.extend_from_slice(&off.to_le_bytes());
+            buf.extend_from_slice(&len.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.data);
+        buf
+    }
+
+    /// Rebuild a page from an on-disk image, validating the directory
+    /// against the arena bounds.
+    pub fn from_image(image: &[u8]) -> DsResult<Page> {
+        let mut cur = crate::codec::Cursor::new(image);
+        let nslots = cur.u16()? as usize;
+        let mut slots = Vec::with_capacity(nslots);
+        for _ in 0..nslots {
+            let off = cur.u32()?;
+            let len = cur.u32()?;
+            slots.push(if off == u32::MAX {
+                Slot::Dead
+            } else {
+                Slot::Live { off, len }
+            });
+        }
+        let data_len = cur.u32()? as usize;
+        let data = cur.bytes(data_len)?.to_vec();
+        if !cur.is_empty() {
+            return Err(DsError::Storage("trailing bytes after page image".into()));
+        }
+        let mut live_bytes = 0usize;
+        for s in &slots {
+            if let Slot::Live { off, len } = s {
+                let end = *off as usize + *len as usize;
+                if end > data.len() {
+                    return Err(DsError::Storage("page image: slot out of bounds".into()));
+                }
+                live_bytes += *len as usize;
+            }
+        }
+        if data.len() + slots.len() * SLOT_OVERHEAD > PAGE_SIZE {
+            return Err(DsError::Storage("page image exceeds page budget".into()));
+        }
+        Ok(Page {
+            data,
+            slots,
+            live_bytes,
+        })
     }
 
     /// Iterate live slots.
@@ -296,6 +361,48 @@ mod tests {
         p.delete(a).unwrap();
         let live: Vec<&[u8]> = p.iter_live().map(|(_, b)| b).collect();
         assert_eq!(live, vec![b"b" as &[u8]]);
+    }
+
+    #[test]
+    fn image_round_trips_with_tombstones() {
+        let mut p = Page::new();
+        let a = p.insert(b"alpha").unwrap();
+        let b = p.insert(b"beta").unwrap();
+        let c = p.insert(b"gamma").unwrap();
+        p.delete(b).unwrap();
+        let back = Page::from_image(&p.to_image()).unwrap();
+        assert_eq!(back.read(a).unwrap(), b"alpha");
+        assert!(back.read(b).is_err(), "tombstone survives the image");
+        assert_eq!(back.read(c).unwrap(), b"gamma");
+        assert_eq!(back.live_bytes(), p.live_bytes());
+        assert_eq!(back.live_count(), 2);
+    }
+
+    #[test]
+    fn image_fits_frame_even_when_full() {
+        let mut p = Page::new();
+        while p.has_room(100) {
+            p.insert(&[1u8; 100]).unwrap();
+        }
+        assert!(p.to_image().len() <= PAGE_SIZE + 6);
+    }
+
+    #[test]
+    fn corrupt_image_rejected() {
+        let mut p = Page::new();
+        p.insert(b"x").unwrap();
+        let img = p.to_image();
+        assert!(
+            Page::from_image(&img[..img.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut grown = img.clone();
+        grown.push(0);
+        assert!(Page::from_image(&grown).is_err(), "trailing bytes");
+        // A live slot pointing past the arena must be rejected.
+        let mut oob = img;
+        oob[2..6].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(Page::from_image(&oob).is_err(), "slot out of bounds");
     }
 
     #[test]

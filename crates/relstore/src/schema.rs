@@ -14,12 +14,16 @@ use dataspread_types::{DataType, DsError, DsResult, Value};
 /// tracked on the [`Schema`], not the column.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ColumnDef {
+    /// Column name (SQL identifiers compare case-insensitively).
     pub name: String,
+    /// Declared type; stored values are coerced to it.
     pub dtype: DataType,
+    /// Whether NULL (`Value::Empty`) is accepted.
     pub nullable: bool,
 }
 
 impl ColumnDef {
+    /// A nullable column of the given name and type.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
         ColumnDef {
             name: name.into(),
@@ -28,6 +32,7 @@ impl ColumnDef {
         }
     }
 
+    /// Builder: mark the column NOT NULL.
     pub fn not_null(mut self) -> Self {
         self.nullable = false;
         self
@@ -42,6 +47,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// A schema over `columns` (validated: non-empty, distinct names).
     pub fn new(columns: Vec<ColumnDef>) -> DsResult<Self> {
         let s = Schema {
             columns,
@@ -92,10 +98,12 @@ impl Schema {
         Ok(())
     }
 
+    /// The column definitions, in order.
     pub fn columns(&self) -> &[ColumnDef] {
         &self.columns
     }
 
+    /// Number of columns.
     pub fn width(&self) -> usize {
         self.columns.len()
     }
@@ -107,14 +115,17 @@ impl Schema {
             .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
+    /// The column at index `i`.
     pub fn column(&self, i: usize) -> &ColumnDef {
         &self.columns[i]
     }
 
+    /// Primary-key column indices (empty when no key is declared).
     pub fn pkey(&self) -> &[usize] {
         &self.pkey
     }
 
+    /// Does the schema declare a primary key?
     pub fn has_pkey(&self) -> bool {
         !self.pkey.is_empty()
     }
@@ -172,6 +183,8 @@ impl Schema {
 
     // ---- dynamic schema operations (metadata side) ----------------------
 
+    /// Append a column (the metadata half of `ADD COLUMN`); returns its
+    /// index.
     pub fn push_column(&mut self, def: ColumnDef) -> DsResult<usize> {
         if self.index_of(&def.name).is_some() {
             return Err(DsError::Schema(format!(
@@ -208,6 +221,7 @@ impl Schema {
         Ok(i)
     }
 
+    /// Rename a column; returns its index.
     pub fn rename_column(&mut self, from: &str, to: &str) -> DsResult<usize> {
         if to.is_empty() {
             return Err(DsError::Schema("empty column name".into()));

@@ -25,6 +25,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dataspread_posindex::{CountedBtree, PositionalIndex, RowKey};
 use dataspread_types::{DsError, DsResult, Value};
@@ -32,7 +33,9 @@ use dataspread_types::{DsError, DsResult, Value};
 use crate::bufferpool::BufferPool;
 use crate::codec::{decode_fragment, encode_fragment};
 use crate::page::{Page, SlotId, PAGE_SIZE};
+use crate::pager::PageFile;
 use crate::schema::{ColumnDef, KeyTuple, Schema};
+use crate::wal::{WalOp, WalWriter};
 
 /// How columns are partitioned into attribute groups.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +45,10 @@ pub enum GroupPolicy {
     /// Each column in its own group.
     ColumnStore,
     /// Groups of at most `max_group_width` columns (the DataSpread layout).
-    Hybrid { max_group_width: usize },
+    Hybrid {
+        /// Upper bound on columns per attribute group.
+        max_group_width: usize,
+    },
 }
 
 impl GroupPolicy {
@@ -65,21 +71,28 @@ impl GroupPolicy {
 /// Logical page-touch counters ("disk blocks that need an update").
 #[derive(Debug, Default)]
 pub struct TableStats {
+    /// Pages read (a logical disk-block read).
     pub page_reads: AtomicU64,
+    /// Pages written (a logical disk-block write).
     pub page_writes: AtomicU64,
+    /// Fresh pages allocated.
     pub pages_allocated: AtomicU64,
 }
 
 impl TableStats {
+    /// Pages read so far.
     pub fn page_reads(&self) -> u64 {
         self.page_reads.load(Ordering::Relaxed)
     }
+    /// Pages written so far.
     pub fn page_writes(&self) -> u64 {
         self.page_writes.load(Ordering::Relaxed)
     }
+    /// Pages allocated so far.
     pub fn pages_allocated(&self) -> u64 {
         self.pages_allocated.load(Ordering::Relaxed)
     }
+    /// Zero every counter (bench phase boundaries).
     pub fn reset(&self) {
         self.page_reads.store(0, Ordering::Relaxed);
         self.page_writes.store(0, Ordering::Relaxed);
@@ -129,13 +142,19 @@ pub struct Table {
     order: CountedBtree,
     stats: TableStats,
     pool: BufferPool,
+    /// Redo log for DML when the table is attached to a durable store.
+    wal: Option<Arc<WalWriter>>,
+    /// Page file receiving dirty-eviction write-backs when attached.
+    pager: Option<Arc<PageFile>>,
 }
 
 impl Table {
+    /// A table with the default buffer-pool capacity.
     pub fn new(name: impl Into<String>, schema: Schema, policy: GroupPolicy) -> Self {
         Table::with_pool_capacity(name, schema, policy, DEFAULT_POOL_PAGES)
     }
 
+    /// A table whose buffer pool holds `pool_pages` frames.
     pub fn with_pool_capacity(
         name: impl Into<String>,
         schema: Schema,
@@ -158,6 +177,8 @@ impl Table {
             order: CountedBtree::new(),
             stats: TableStats::default(),
             pool: BufferPool::new(pool_pages),
+            wal: None,
+            pager: None,
         };
         t.rebuild_col_group();
         t
@@ -176,26 +197,33 @@ impl Table {
 
     // ---- accessors --------------------------------------------------------
 
+    /// Table name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Current schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
+    /// The grouping policy the table was created (or last compacted)
+    /// under.
     pub fn policy(&self) -> GroupPolicy {
         self.policy
     }
 
+    /// Number of rows.
     pub fn row_count(&self) -> usize {
         self.order.len()
     }
 
+    /// Logical page-touch counters.
     pub fn stats(&self) -> &TableStats {
         &self.stats
     }
 
+    /// The table's buffer pool.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
     }
@@ -215,14 +243,66 @@ impl Table {
         self.groups.iter().map(|g| g.pages.len()).collect()
     }
 
-    fn touch_read(&self, g: usize, page: u32) {
+    fn touch_read(&self, g: usize, page: u32) -> DsResult<()> {
         self.stats.page_reads.fetch_add(1, Ordering::Relaxed);
-        self.pool.access((g as u32, page), false);
+        let evicted = self.pool.access((g as u32, page), false);
+        self.writeback(evicted)
     }
 
-    fn touch_write(&self, g: usize, page: u32) {
+    fn touch_write(&self, g: usize, page: u32) -> DsResult<()> {
         self.stats.page_writes.fetch_add(1, Ordering::Relaxed);
-        self.pool.access((g as u32, page), true);
+        let evicted = self.pool.access((g as u32, page), true);
+        self.writeback(evicted)
+    }
+
+    /// The buffer pool's write-back hook: when a dirty frame is evicted and
+    /// a durable store is attached, flush the page's real bytes as a
+    /// copy-on-write scratch frame (recovery never reads scratch frames —
+    /// the authoritative chain is checkpoint + WAL; see `docs/STORAGE.md`).
+    fn writeback(&self, evicted: Option<(u32, u32)>) -> DsResult<()> {
+        let Some((g, p)) = evicted else { return Ok(()) };
+        let Some(pager) = &self.pager else {
+            return Ok(());
+        };
+        // Stale refs (a group dropped or rewritten since the frame was
+        // cached) have nothing left to flush.
+        if let Some(page) = self
+            .groups
+            .get(g as usize)
+            .and_then(|group| group.pages.get(p as usize))
+        {
+            pager.append_frame(&page.to_image())?;
+        }
+        Ok(())
+    }
+
+    // ---- durability --------------------------------------------------------
+
+    /// Attach this table to a durable store: DML appends redo records to
+    /// `wal`, and dirty buffer-pool evictions write real page bytes through
+    /// `pager`. Called by the snapshot layer after a checkpoint or open.
+    pub fn attach_durability(&mut self, wal: Arc<WalWriter>, pager: Arc<PageFile>) {
+        self.wal = Some(wal);
+        self.pager = Some(pager);
+    }
+
+    /// Detach from the durable store; the table reverts to pure in-memory
+    /// operation with modeled I/O counters.
+    pub fn detach_durability(&mut self) {
+        self.wal = None;
+        self.pager = None;
+    }
+
+    /// Is this table writing through to a durable store?
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    fn log(&self, op: WalOp) -> DsResult<()> {
+        match &self.wal {
+            Some(wal) => wal.log(op),
+            None => Ok(()),
+        }
     }
 
     // ---- fragment plumbing -------------------------------------------------
@@ -249,7 +329,7 @@ impl Table {
         let pidx = (group.pages.len() - 1) as u32;
         let slot = group.pages[pidx as usize].insert(&bytes)?;
         group.rowdir.insert(key, (pidx, slot));
-        self.touch_write(g, pidx);
+        self.touch_write(g, pidx)?;
         Ok(())
     }
 
@@ -259,7 +339,7 @@ impl Table {
         let group = &self.groups[g];
         match group.rowdir.get(&key) {
             Some(&(pidx, slot)) => {
-                self.touch_read(g, pidx);
+                self.touch_read(g, pidx)?;
                 let bytes = group.pages[pidx as usize].read(slot)?;
                 decode_fragment(bytes)
             }
@@ -275,7 +355,7 @@ impl Table {
             Some((pidx, slot)) => {
                 let bytes = encode_fragment(values);
                 let fits = self.groups[g].pages[pidx as usize].update(slot, &bytes)?;
-                self.touch_write(g, pidx);
+                self.touch_write(g, pidx)?;
                 if !fits {
                     // Relocate: tombstone the old copy, append elsewhere.
                     self.groups[g].pages[pidx as usize].delete(slot)?;
@@ -299,6 +379,28 @@ impl Table {
     /// Insert so the new row is displayed at position `pos` — the positional
     /// insert a spreadsheet "insert row" needs.
     pub fn insert_at(&mut self, pos: usize, row: Vec<Value>) -> DsResult<RowKey> {
+        self.insert_at_keyed(pos, None, row)
+    }
+
+    /// Insert at position `pos` under a caller-chosen row key — the WAL
+    /// replay hook (see [`crate::wal::apply_committed`]): recovery must
+    /// reproduce the exact keys the original execution assigned, so later
+    /// redo records keep resolving. Errors if `key` is already present.
+    pub fn insert_at_with_key(
+        &mut self,
+        pos: usize,
+        key: RowKey,
+        row: Vec<Value>,
+    ) -> DsResult<RowKey> {
+        self.insert_at_keyed(pos, Some(key), row)
+    }
+
+    fn insert_at_keyed(
+        &mut self,
+        pos: usize,
+        forced: Option<RowKey>,
+        row: Vec<Value>,
+    ) -> DsResult<RowKey> {
         let row = self.schema.conform_row(row)?;
         if let Some(kt) = self.schema.key_of(&row) {
             if self.pk_index.contains_key(&kt) {
@@ -308,8 +410,23 @@ impl Table {
                 )));
             }
         }
-        let key = self.next_key;
-        self.next_key += 1;
+        let key = match forced {
+            Some(k) => {
+                if self.order.position_of(k).is_some() {
+                    return Err(DsError::Storage(format!(
+                        "row key {k} already present in table {}",
+                        self.name
+                    )));
+                }
+                self.next_key = self.next_key.max(k + 1);
+                k
+            }
+            None => {
+                let k = self.next_key;
+                self.next_key += 1;
+                k
+            }
+        };
         for g in 0..self.groups.len() {
             let frag: Vec<Value> = self.groups[g]
                 .cols
@@ -322,6 +439,12 @@ impl Table {
         if let Some(kt) = self.schema.key_of(&row) {
             self.pk_index.insert(kt, key);
         }
+        self.log(WalOp::Insert {
+            table: self.name.clone(),
+            key,
+            pos: pos as u64,
+            row,
+        })?;
         Ok(key)
     }
 
@@ -417,6 +540,12 @@ impl Table {
             }
         }
         self.write_fragment(g, key, &frag)?;
+        self.log(WalOp::UpdateCell {
+            table: self.name.clone(),
+            key,
+            col: col as u32,
+            value: frag[off].clone(),
+        })?;
         Ok(old)
     }
 
@@ -452,6 +581,11 @@ impl Table {
                 .collect();
             self.write_fragment(g, key, &frag)?;
         }
+        self.log(WalOp::UpdateRow {
+            table: self.name.clone(),
+            key,
+            row,
+        })?;
         Ok(())
     }
 
@@ -471,10 +605,15 @@ impl Table {
         for g in 0..self.groups.len() {
             if let Some((pidx, slot)) = self.groups[g].rowdir.remove(&key) {
                 self.groups[g].pages[pidx as usize].delete(slot)?;
-                self.touch_write(g, pidx);
+                self.touch_write(g, pidx)?;
             }
         }
-        self.order.remove_key(key)
+        let pos = self.order.remove_key(key)?;
+        self.log(WalOp::Delete {
+            table: self.name.clone(),
+            key,
+        })?;
+        Ok(pos)
     }
 
     // ---- positional access ---------------------------------------------------
@@ -651,7 +790,7 @@ impl Table {
         let old_pages = std::mem::take(&mut self.groups[g].pages);
         let old_rowdir = std::mem::take(&mut self.groups[g].rowdir);
         for pidx in 0..old_pages.len() {
-            self.touch_read(g, pidx as u32);
+            self.touch_read(g, pidx as u32)?;
         }
         // Preserve a deterministic order: iterate rows in page order.
         let mut frags: Vec<(RowKey, Vec<Value>)> = Vec::with_capacity(old_rowdir.len());
@@ -696,6 +835,210 @@ impl Table {
         }
         Ok(())
     }
+
+    // ---- snapshot encode/decode (the checkpoint format) --------------------
+
+    /// Write every page into fresh pager frames and encode the table's
+    /// snapshot metadata (schema, policy, row order, per-group directories,
+    /// frame ids) into `buf`. Also empties the buffer pool — a checkpoint
+    /// *forces* all pages, so nothing stays dirty. Byte layout in
+    /// `docs/STORAGE.md`.
+    pub(crate) fn encode_snapshot(&self, pager: &PageFile, buf: &mut Vec<u8>) -> DsResult<()> {
+        use crate::codec::{encode_value, put_str, put_u16, put_u32, put_u64};
+        self.pool.flush();
+        put_str(buf, &self.name);
+        match self.policy {
+            GroupPolicy::RowStore => buf.push(0),
+            GroupPolicy::ColumnStore => buf.push(1),
+            GroupPolicy::Hybrid { max_group_width } => {
+                buf.push(2);
+                put_u32(buf, max_group_width as u32);
+            }
+        }
+        put_u64(buf, self.next_key);
+        put_u64(buf, self.pool.capacity() as u64);
+        // Schema: columns then pkey indices.
+        put_u16(buf, self.schema.width() as u16);
+        for c in self.schema.columns() {
+            put_str(buf, &c.name);
+            buf.push(dtype_code(c.dtype));
+            buf.push(c.nullable as u8);
+        }
+        put_u16(buf, self.schema.pkey().len() as u16);
+        for &i in self.schema.pkey() {
+            put_u16(buf, i as u16);
+        }
+        // Presentation order.
+        let order = self.order.to_vec();
+        put_u64(buf, order.len() as u64);
+        for k in &order {
+            put_u64(buf, *k);
+        }
+        // Groups: layout, defaults, page frames, row directory.
+        put_u16(buf, self.groups.len() as u16);
+        for group in &self.groups {
+            put_u16(buf, group.cols.len() as u16);
+            for &c in &group.cols {
+                put_u32(buf, c as u32);
+            }
+            for d in &group.defaults {
+                encode_value(buf, d);
+            }
+            put_u32(buf, group.pages.len() as u32);
+            for page in &group.pages {
+                let frame = pager.append_frame(&page.to_image())?;
+                put_u64(buf, frame);
+            }
+            put_u32(buf, group.rowdir.len() as u32);
+            // Deterministic order for byte-stable snapshots.
+            let mut entries: Vec<(&RowKey, &(u32, SlotId))> = group.rowdir.iter().collect();
+            entries.sort();
+            for (key, (pidx, slot)) in entries {
+                put_u64(buf, *key);
+                put_u32(buf, *pidx);
+                put_u16(buf, *slot);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a table from snapshot metadata, reading its pages back from
+    /// the pager. The result is detached (no WAL/pager); the snapshot layer
+    /// attaches it after recovery so replay does not re-log itself.
+    pub(crate) fn decode_snapshot(
+        cur: &mut crate::codec::Cursor<'_>,
+        pager: &PageFile,
+    ) -> DsResult<Table> {
+        let name = cur.str()?;
+        let policy = match cur.u8()? {
+            0 => GroupPolicy::RowStore,
+            1 => GroupPolicy::ColumnStore,
+            2 => GroupPolicy::Hybrid {
+                max_group_width: cur.u32()? as usize,
+            },
+            other => {
+                return Err(DsError::Storage(format!(
+                    "snapshot: bad group policy {other}"
+                )))
+            }
+        };
+        let next_key = cur.u64()?;
+        let pool_pages = (cur.u64()? as usize).max(1);
+        let ncols = cur.u16()? as usize;
+        let mut defs = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let cname = cur.str()?;
+            let dtype = dtype_from_code(cur.u8()?)?;
+            let nullable = cur.u8()? != 0;
+            let mut def = ColumnDef::new(cname, dtype);
+            def.nullable = nullable;
+            defs.push(def);
+        }
+        let npk = cur.u16()? as usize;
+        let mut pk_names = Vec::with_capacity(npk);
+        for _ in 0..npk {
+            let i = cur.u16()? as usize;
+            if i >= defs.len() {
+                return Err(DsError::Storage("snapshot: pkey index out of range".into()));
+            }
+            pk_names.push(defs[i].name.clone());
+        }
+        let mut schema = Schema::new(defs)?;
+        if !pk_names.is_empty() {
+            let names: Vec<&str> = pk_names.iter().map(String::as_str).collect();
+            schema = schema.with_pkey(&names)?;
+        }
+        let norder = cur.u64()? as usize;
+        let mut order_keys = Vec::with_capacity(norder);
+        for _ in 0..norder {
+            order_keys.push(cur.u64()?);
+        }
+        let ngroups = cur.u16()? as usize;
+        let mut groups = Vec::with_capacity(ngroups);
+        for _ in 0..ngroups {
+            let width = cur.u16()? as usize;
+            let mut cols = Vec::with_capacity(width);
+            for _ in 0..width {
+                cols.push(cur.u32()? as usize);
+            }
+            let mut defaults = Vec::with_capacity(width);
+            for _ in 0..width {
+                defaults.push(cur.value()?);
+            }
+            let npages = cur.u32()? as usize;
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                let frame = cur.u64()?;
+                pages.push(Page::from_image(&pager.read_frame(frame)?)?);
+            }
+            let ndir = cur.u32()? as usize;
+            let mut rowdir = HashMap::with_capacity(ndir);
+            for _ in 0..ndir {
+                let key = cur.u64()?;
+                let pidx = cur.u32()?;
+                let slot = cur.u16()?;
+                rowdir.insert(key, (pidx, slot));
+            }
+            groups.push(Group {
+                cols,
+                pages,
+                rowdir,
+                defaults,
+            });
+        }
+        let mut t = Table {
+            name,
+            schema,
+            policy,
+            groups,
+            col_group: Vec::new(),
+            next_key,
+            pk_index: BTreeMap::new(),
+            order: CountedBtree::from_keys(order_keys)?,
+            stats: TableStats::default(),
+            pool: BufferPool::new(pool_pages),
+            wal: None,
+            pager: None,
+        };
+        t.rebuild_col_group();
+        // Rebuild the primary-key index from the restored rows.
+        if t.schema.has_pkey() {
+            for key in t.order.to_vec() {
+                let row = t.get_row(key)?;
+                let kt = t.schema.key_of(&row).expect("pkey present");
+                if t.pk_index.insert(kt, key).is_some() {
+                    return Err(DsError::Storage(format!(
+                        "snapshot: duplicate primary key in table {}",
+                        t.name
+                    )));
+                }
+            }
+        }
+        Ok(t)
+    }
+}
+
+fn dtype_code(d: dataspread_types::DataType) -> u8 {
+    use dataspread_types::DataType::*;
+    match d {
+        Bool => 0,
+        Int => 1,
+        Float => 2,
+        Text => 3,
+        Any => 4,
+    }
+}
+
+fn dtype_from_code(c: u8) -> DsResult<dataspread_types::DataType> {
+    use dataspread_types::DataType::*;
+    Ok(match c {
+        0 => Bool,
+        1 => Int,
+        2 => Float,
+        3 => Text,
+        4 => Any,
+        other => return Err(DsError::Storage(format!("snapshot: bad dtype {other}"))),
+    })
 }
 
 /// Streaming row iterator over a [`Table`] in presentation order; reads only

@@ -8,7 +8,7 @@
 //!   suites need. Deterministic: a failing case's seed is printed so the run
 //!   can be reproduced exactly with [`replay`].
 //! * [`cases`] — a fixed-count property-test driver over derived seeds.
-//! * [`bench`] — wall-clock micro-benchmark with warmup and per-iteration
+//! * [`bench()`] — wall-clock micro-benchmark with warmup and per-iteration
 //!   reporting, used by the `harness = false` bench targets.
 
 use std::hint::black_box as bb;
