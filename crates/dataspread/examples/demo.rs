@@ -15,22 +15,24 @@ fn main() {
     let sheet = wb.current_sheet();
 
     // A grade book typed straight onto the grid.
-    wb.sheet_mut(sheet).set_region(
-        a("A1"),
-        &[
-            vec![Value::text("id"), Value::text("name"), Value::text("score")],
-            vec![Value::Int(1), Value::text("ada"), Value::Int(91)],
-            vec![Value::Int(2), Value::text("alan"), Value::Int(87)],
-            vec![Value::Int(3), Value::text("grace"), Value::Int(95)],
-        ],
-    );
+    wb.sheet_mut(sheet)
+        .set_region(
+            a("A1"),
+            &[
+                vec![Value::text("id"), Value::text("name"), Value::text("score")],
+                vec![Value::Int(1), Value::text("ada"), Value::Int(91)],
+                vec![Value::Int(2), Value::text("alan"), Value::Int(87)],
+                vec![Value::Int(3), Value::text("grace"), Value::Int(95)],
+            ],
+        )
+        .unwrap();
     let n = wb
         .import_region(sheet, Range::parse_a1("A1:C4").unwrap(), "students", true)
         .unwrap();
     println!("imported {n} rows into `students`");
 
     // The cutoff lives in a cell; SQL reads it live.
-    wb.sheet_mut(sheet).set_input(a("E1"), "90");
+    wb.sheet_mut(sheet).set_input(a("E1"), "90").unwrap();
     let (cols, rows) = wb
         .query("SELECT name, score FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -41,7 +43,7 @@ fn main() {
     }
 
     // Edit the cell, same query, new answer.
-    wb.sheet_mut(sheet).set_input(a("E1"), "94");
+    wb.sheet_mut(sheet).set_input(a("E1"), "94").unwrap();
     let (_, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1)")
         .unwrap();
@@ -60,14 +62,16 @@ fn main() {
     }
 
     // Aggregation + a RANGETABLE join against a second region.
-    wb.sheet_mut(sheet).set_region(
-        a("G1"),
-        &[
-            vec![Value::text("id"), Value::text("bonus")],
-            vec![Value::Int(1), Value::Int(4)],
-            vec![Value::Int(3), Value::Int(2)],
-        ],
-    );
+    wb.sheet_mut(sheet)
+        .set_region(
+            a("G1"),
+            &[
+                vec![Value::text("id"), Value::text("bonus")],
+                vec![Value::Int(1), Value::Int(4)],
+                vec![Value::Int(3), Value::Int(2)],
+            ],
+        )
+        .unwrap();
     let (_, rows) = wb
         .query(
             "SELECT name, score + bonus AS total
@@ -85,6 +89,19 @@ fn main() {
     let out = wb.add_sheet("Report").unwrap();
     let covered = wb.export_table("students", out, a("A1"), true).unwrap();
     println!("\nexported `students` to Report!{covered}");
+
+    // Formulas: typed like a spreadsheet, recomputed incrementally, and
+    // visible to SQL through RANGEVALUE.
+    let e1 = wb.set_input(out, a("E1"), "=SUM(C2:C5)").unwrap();
+    let e2 = wb.set_input(out, a("E2"), "=E1/4 & \" avg\"").unwrap();
+    let src1 = wb.formula_text(out, a("E1")).unwrap().to_string();
+    let src2 = wb.formula_text(out, a("E2")).unwrap().to_string();
+    println!("\nReport!E1 {src1} = {e1}   E2 {src2} = {e2}");
+    wb.set_input(out, a("C2"), "100").unwrap(); // edit a precedent
+    println!("after C2 := 100 -> E1 = {}", wb.cell(out, a("E1")));
+    wb.set_input(out, a("F1"), "=F2").unwrap();
+    wb.set_input(out, a("F2"), "=F1").unwrap();
+    println!("cyclic F1=F2, F2=F1 -> {}", wb.cell(out, a("F1")));
 
     // Error surfaces, as a user would hit them.
     for bad in [

@@ -23,7 +23,8 @@ fn main() {
         let mut wb = Workbook::new();
         let sheet = wb.current_sheet();
         wb.sheet_mut(sheet)
-            .set_input(CellAddr::parse_a1("B1").unwrap(), "90");
+            .set_input(CellAddr::parse_a1("B1").unwrap(), "90")
+            .unwrap();
         wb.execute("CREATE TABLE students (id INT PRIMARY KEY, name TEXT, score REAL)")
             .unwrap();
         wb.execute("INSERT INTO students VALUES (1, 'ada', 91.5), (2, 'alan', 87.0)")

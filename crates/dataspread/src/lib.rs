@@ -24,9 +24,15 @@
 //! * [`Workbook`] / [`Sheet`] — sheets hold schemaless interface data in a
 //!   pluggable cell store ([`StoreKind`]), with stable row identity through
 //!   structural edits.
+//! * Formulas — `=SUM(A1:B2)` cells ([`Workbook::set_input`]) parsed by
+//!   `dataspread_formula`, tracked in a cross-sheet dependency graph, and
+//!   recomputed *incrementally* in topological order ([`crate::calc`]);
+//!   cycles display `#CYCLE!`, references broken by row/column deletion
+//!   display `#REF!`.
 //! * [`Workbook::execute`] — a SQL executor over the catalog (`SELECT` with
 //!   joins/aggregates/ordering, DML, DDL) in which `RANGEVALUE('B1')` and
-//!   `RANGETABLE('A1:C10')` read the *live* grid.
+//!   `RANGETABLE('A1:C10')` read the *live* grid — formula results
+//!   included.
 //! * [`Workbook::import_region`] / [`Workbook::export_table`] — the two-way
 //!   boundary crossing, with automatic schema inference (paper §2.2).
 //! * Positional DML — [`Workbook::insert_tuple_at`] and
@@ -40,14 +46,21 @@
 //! use dataspread::{QueryResult, Workbook};
 //! use dataspread_types::{CellAddr, Value};
 //!
+//! let a = |s: &str| CellAddr::parse_a1(s).unwrap();
 //! let mut wb = Workbook::new();
 //! let sheet = wb.current_sheet();
-//! wb.sheet_mut(sheet).set_input(CellAddr::parse_a1("B1").unwrap(), "30");
+//!
+//! // Formula cells recompute incrementally when their inputs change.
+//! wb.set_input(sheet, a("A1"), "10").unwrap();
+//! wb.set_input(sheet, a("A2"), "20").unwrap();
+//! assert_eq!(wb.set_input(sheet, a("B1"), "=SUM(A1:A2)").unwrap(), Value::Int(30));
+//! wb.set_input(sheet, a("A1"), "15").unwrap();
+//! assert_eq!(wb.cell(sheet, a("B1")), Value::Int(35));
 //!
 //! wb.execute("CREATE TABLE ages (name TEXT, age INT)").unwrap();
 //! wb.execute("INSERT INTO ages VALUES ('ada', 36), ('alan', 41), ('grace', 29)").unwrap();
 //!
-//! // SQL that reads the live sheet: B1 holds the cutoff.
+//! // SQL that reads the live sheet: the formula cell holds the cutoff.
 //! let (_, rows) = wb
 //!     .query("SELECT name FROM ages WHERE age > RANGEVALUE(B1) ORDER BY name")
 //!     .unwrap();
@@ -59,6 +72,7 @@
 //! assert_eq!(window[1].1[0], Value::text("edsger"));
 //! ```
 
+pub mod calc;
 pub mod engine;
 pub mod exec;
 pub mod persist;
@@ -66,6 +80,7 @@ pub mod sheet;
 pub mod view;
 pub mod workbook;
 
+pub use calc::CalcStats;
 pub use engine::QueryResult;
 pub use exec::ExecOptions;
 pub use sheet::{Sheet, StoreKind};
@@ -73,6 +88,7 @@ pub use view::TableView;
 pub use workbook::{SheetId, Workbook};
 
 // Re-export the layer crates so downstream users need only one dependency.
+pub use dataspread_formula as formula;
 pub use dataspread_gridstore as gridstore;
 pub use dataspread_posindex as posindex;
 pub use dataspread_relstore as relstore;
@@ -315,13 +331,13 @@ mod tests {
     fn rangevalue_reads_live_grid() {
         let mut wb = setup();
         let s = wb.current_sheet();
-        wb.sheet_mut(s).set_input(a("B1"), "90");
+        wb.sheet_mut(s).set_input(a("B1"), "90").unwrap();
         let (_, rows) = wb
             .query("SELECT COUNT(*) FROM students WHERE score > RANGEVALUE(B1)")
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(2)]]);
         // Update the cell; the same query sees the new value.
-        wb.sheet_mut(s).set_input(a("B1"), "95");
+        wb.sheet_mut(s).set_input(a("B1"), "95").unwrap();
         let (_, rows) = wb
             .query("SELECT COUNT(*) FROM students WHERE score > RANGEVALUE(B1)")
             .unwrap();
@@ -332,14 +348,16 @@ mod tests {
     fn rangetable_joins_grid_with_table() {
         let mut wb = setup();
         let s = wb.current_sheet();
-        wb.sheet_mut(s).set_region(
-            a("A1"),
-            &[
-                vec![Value::text("id"), Value::text("bonus")],
-                vec![Value::Int(1), Value::Int(5)],
-                vec![Value::Int(3), Value::Int(7)],
-            ],
-        );
+        wb.sheet_mut(s)
+            .set_region(
+                a("A1"),
+                &[
+                    vec![Value::text("id"), Value::text("bonus")],
+                    vec![Value::Int(1), Value::Int(5)],
+                    vec![Value::Int(3), Value::Int(7)],
+                ],
+            )
+            .unwrap();
         let (_, rows) = wb
             .query("SELECT name, bonus FROM students NATURAL JOIN RANGETABLE(A1:B3) ORDER BY name")
             .unwrap();

@@ -15,28 +15,34 @@
 //! * **SQL DML** (`INSERT`/`UPDATE`/`DELETE` via [`Workbook::execute`]) and
 //!   positional DML ([`Workbook::insert_tuple_at`]) are WAL-logged and
 //!   survive a crash.
-//! * **SQL DDL** and [`Workbook::import_region`] trigger an automatic
-//!   checkpoint.
-//! * **Sheet edits** persist at the next checkpoint / [`Workbook::save`]
-//!   (grid edits are interface state; crash-consistency covers the
-//!   relational side).
+//! * **Sheet edits** — cell writes (literals *and* formulas) and
+//!   structural row/column edits — are WAL-logged at edit time as logical
+//!   inputs and replayed on [`Workbook::open`], which then recomputes
+//!   every formula. They survive a crash between checkpoints.
+//! * **SQL DDL**, [`Workbook::import_region`], and [`Workbook::add_sheet`]
+//!   trigger an automatic checkpoint.
 //! * Direct [`Workbook::catalog_mut`] DDL (e.g. `create_table`) is *not*
 //!   auto-persisted — call [`Workbook::save`] or [`Workbook::checkpoint`]
 //!   afterwards.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use dataspread_relstore::codec::{put_u32, Cursor};
+use dataspread_relstore::codec::{put_u32, put_u64, Cursor};
 use dataspread_relstore::snapshot::{self, load_catalog, save_catalog, DATA_FILE};
+use dataspread_relstore::wal::{GridEditKind, SheetCellContent, WalOp};
 use dataspread_relstore::{Catalog, PageFile};
-use dataspread_types::{DsError, DsResult};
+use dataspread_types::{CellAddr, DsError, DsResult};
 
+use crate::calc::CalcStats;
 use crate::exec::ExecOptions;
 use crate::sheet::{Sheet, StoreKind};
 use crate::workbook::Workbook;
 
-/// Version byte of the workbook metadata stream.
-const WB_META_VERSION: u8 = 1;
+/// Version byte of the workbook metadata stream. Version 2 added the
+/// default buffer-pool capacity and per-sheet formula sections; version 1
+/// streams are still readable (they decode with defaults and no formulas).
+const WB_META_VERSION: u8 = 2;
 
 /// The highest checkpoint generation evidenced on disk at `dir` — from the
 /// page file or a leftover WAL, whichever is newer (0 when neither is
@@ -62,6 +68,7 @@ pub(crate) fn encode_workbook_meta(wb: &Workbook) -> Vec<u8> {
         StoreKind::Naive => 2,
     });
     put_u32(&mut buf, wb.current as u32);
+    put_u64(&mut buf, wb.catalog.default_pool_capacity() as u64);
     put_u32(&mut buf, wb.sheets.len() as u32);
     for sheet in &wb.sheets {
         sheet.encode(&mut buf);
@@ -72,7 +79,7 @@ pub(crate) fn encode_workbook_meta(wb: &Workbook) -> Vec<u8> {
 pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Workbook> {
     let mut cur = Cursor::new(meta);
     let version = cur.u8()?;
-    if version != WB_META_VERSION {
+    if version == 0 || version > WB_META_VERSION {
         return Err(DsError::Storage(format!(
             "workbook snapshot: unsupported version {version}"
         )));
@@ -88,11 +95,20 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
         }
     };
     let current = cur.u32()? as usize;
+    // Version 1 predates the configurable pool capacity and formula
+    // sections; it decodes with the default capacity and literal-only cells.
+    let pool_pages = if version >= 2 {
+        (cur.u64()? as usize).max(1)
+    } else {
+        dataspread_relstore::table::DEFAULT_POOL_PAGES
+    };
     let nsheets = cur.u32()? as usize;
     let mut sheets = Vec::with_capacity(nsheets);
     let mut by_name = std::collections::HashMap::with_capacity(nsheets);
+    let clock = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(1));
     for i in 0..nsheets {
-        let sheet = Sheet::decode(&mut cur)?;
+        let mut sheet = Sheet::decode(&mut cur, version >= 2)?;
+        sheet.share_clock(std::sync::Arc::clone(&clock));
         by_name.insert(sheet.name().to_ascii_lowercase(), i);
         sheets.push(sheet);
     }
@@ -104,6 +120,8 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
             "workbook snapshot: invalid sheet table".into(),
         ));
     }
+    let mut catalog = catalog;
+    catalog.set_default_pool_capacity(pool_pages);
     Ok(Workbook {
         sheets,
         by_name,
@@ -112,6 +130,8 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
         default_store,
         exec_options: ExecOptions::default(),
         store: None,
+        calc_stats: CalcStats::default(),
+        clock,
     })
 }
 
@@ -148,7 +168,9 @@ impl Workbook {
 
     /// Reopen a workbook from a store directory: load the last checkpoint,
     /// replay the committed WAL tail (ARIES-lite redo — a torn tail is
-    /// truncated), fold the result into a fresh checkpoint, and attach.
+    /// truncated) — table DML *and* sheet edits, including formula cells —
+    /// recompute every formula, fold the result into a fresh checkpoint,
+    /// and attach.
     ///
     /// ```
     /// use dataspread::Workbook;
@@ -172,9 +194,61 @@ impl Workbook {
         let loaded = load_catalog(&dir)?;
         let generation = loaded.generation;
         let mut wb = decode_workbook_meta(&loaded.extra_meta, loaded.catalog)?;
+        // Replay committed sheet edits on top of the decoded sheets (the
+        // relational ops were already replayed by `load_catalog`). The
+        // sheets are detached here, so replay does not re-log itself; the
+        // shared edit clock stamps replayed formulas and structural edits
+        // in replay order, so the flush below rewrites references with the
+        // same temporal semantics as the original execution.
+        for op in &loaded.sheet_ops {
+            wb.apply_sheet_op(op)?;
+        }
+        // One recomputation pass folds the replayed edits in (snapshot
+        // caches are fresh — checkpoints flush before encoding).
+        wb.flush_grid();
         // Fold the replayed tail into a fresh checkpoint + empty WAL.
         wb.checkpoint_into(dir, generation + 1)?;
         Ok(wb)
+    }
+
+    /// Apply one replayed sheet operation to the decoded (detached) sheets.
+    fn apply_sheet_op(&mut self, op: &WalOp) -> DsResult<()> {
+        let sheet = match op {
+            WalOp::SheetCell { sheet, .. } | WalOp::SheetGrid { sheet, .. } => {
+                self.sheet_id(sheet).map_err(|_| {
+                    DsError::Storage(format!(
+                        "wal recovery: sheet `{sheet}` not in the checkpoint"
+                    ))
+                })?
+            }
+            _ => return Ok(()), // table ops were applied by load_catalog
+        };
+        let s = &mut self.sheets[sheet.0];
+        match op {
+            WalOp::SheetCell {
+                row, col, content, ..
+            } => {
+                let addr = CellAddr::new(*row, *col);
+                match content {
+                    SheetCellContent::Value(v) => {
+                        s.set_value(addr, v.clone())?;
+                    }
+                    SheetCellContent::Formula(src) => {
+                        s.set_formula(addr, src)?;
+                    }
+                }
+            }
+            WalOp::SheetGrid {
+                edit, at, count, ..
+            } => match edit {
+                GridEditKind::InsertRows => s.insert_rows(*at, *count)?,
+                GridEditKind::DeleteRows => s.delete_rows(*at, *count)?,
+                GridEditKind::InsertCols => s.insert_cols(*at, *count)?,
+                GridEditKind::DeleteCols => s.delete_cols(*at, *count)?,
+            },
+            _ => {}
+        }
+        Ok(())
     }
 
     /// Rewrite the snapshot and reset the WAL at the attached store
@@ -192,9 +266,15 @@ impl Workbook {
     }
 
     fn checkpoint_into(&mut self, dir: PathBuf, generation: u64) -> DsResult<()> {
+        // Snapshot computed values, not stale caches.
+        self.flush_grid();
         let wb_meta = encode_workbook_meta(self);
         let handle = save_catalog(&dir, &self.catalog, &wb_meta, generation)?;
         handle.attach_all(&mut self.catalog);
+        // Sheets log their grid edits through the same WAL.
+        for sheet in &mut self.sheets {
+            sheet.attach_wal(Arc::clone(&handle.wal));
+        }
         self.store = Some(handle);
         Ok(())
     }
@@ -207,5 +287,44 @@ impl Workbook {
     /// The attached store directory, if any.
     pub fn store_dir(&self) -> Option<&Path> {
         self.store.as_ref().map(|s| s.dir.as_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_relstore::codec::encode_value;
+    use dataspread_relstore::codec::put_str;
+    use dataspread_relstore::table::DEFAULT_POOL_PAGES;
+    use dataspread_types::Value;
+
+    /// Version-1 metadata streams (pre-formula, pre-pool-capacity) must
+    /// still decode: stores written by the previous release stay readable.
+    #[test]
+    fn version_1_meta_still_decodes() {
+        let mut buf = vec![1u8]; // version 1
+        buf.push(0); // default_store: Tiled
+        put_u32(&mut buf, 0); // current sheet
+        put_u32(&mut buf, 1); // one sheet
+        put_str(&mut buf, "Sheet1");
+        buf.push(0); // store kind Tiled
+        put_u64(&mut buf, 1); // next_row_key
+        put_u64(&mut buf, 0); // no registered rows
+        put_u64(&mut buf, 1); // one cell
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 0);
+        encode_value(&mut buf, &Value::Int(7));
+        // No formula section, no pool capacity: that's the v1 layout.
+        let mut wb = decode_workbook_meta(&buf, Catalog::new()).unwrap();
+        let s = wb.current_sheet();
+        assert_eq!(wb.cell(s, CellAddr::new(0, 0)), Value::Int(7));
+        assert_eq!(wb.sheet(s).formula_count(), 0);
+        assert_eq!(wb.default_pool_capacity(), DEFAULT_POOL_PAGES);
+    }
+
+    #[test]
+    fn future_meta_versions_are_rejected() {
+        let buf = vec![3u8, 0u8];
+        assert!(decode_workbook_meta(&buf, Catalog::new()).is_err());
     }
 }

@@ -1,15 +1,30 @@
-//! A sheet: schemaless interface data plus stable row identity.
+//! A sheet: schemaless interface data, formulas, and stable row identity.
 //!
 //! Paper §3 (Interface Manager / Interface Storage): the sheet holds the
 //! *interface data* — cells addressed by position, no schema — in a pluggable
 //! [`CellStore`], and maintains a positional mapping from display rows to
 //! stable row keys so edits with "locational context" can be translated into
 //! keyed operations (and back).
+//!
+//! Formula cells keep their parsed [`Formula`] here, next to the *cached*
+//! display value in the cell store — so every read path (`RANGEVALUE`,
+//! `RANGETABLE`, region scans) sees computed results with zero formula
+//! awareness. Recomputation is the workbook's job: the sheet only records
+//! which cells changed (`Sheet::take_pending`) and evaluates a freshly
+//! typed formula once against itself. When the owning workbook is durable,
+//! every cell and structural edit is WAL-logged (the logical input, not the
+//! computed value) so grid edits survive a crash between checkpoints.
 
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dataspread_formula::{CellProvider, Formula, GridOp};
 use dataspread_gridstore::block::BlockConfig;
 use dataspread_gridstore::{BlockGrid, CellStore, NaiveGrid, TileConfig, TiledGrid};
 use dataspread_posindex::{RowKey, RowMapping};
-use dataspread_types::{CellAddr, DsError, DsResult, Range, Value};
+use dataspread_relstore::wal::{GridEditKind, SheetCellContent, WalOp, WalWriter};
+use dataspread_types::{CellAddr, CellError, DsError, DsResult, Range, SheetRef, Value};
 
 /// Which interface-storage layout backs a sheet (experiment `C5` arms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -33,15 +48,55 @@ impl StoreKind {
     }
 }
 
+/// A formula cell: the original source text plus its parsed form. `ast` is
+/// `None` when the source did not parse — the cell then displays `#NAME?`
+/// but the text is preserved for editing and persistence.
+#[derive(Clone, Debug)]
+pub(crate) struct CellFormula {
+    pub src: String,
+    pub ast: Option<Formula>,
+    /// Edit-clock tick at which the formula was (re)typed. A deferred
+    /// structural-edit rewrite applies only to formulas *older* than the
+    /// edit — a formula typed afterwards already uses post-edit coordinates.
+    pub stamp: u64,
+}
+
+/// Edits made since the workbook last recomputed: the changed cell positions
+/// and, in order, any structural edits (with their edit-clock sequence, for
+/// temporal ordering against formula stamps). Consumed by the workbook's
+/// recalculation pass.
+#[derive(Default, Debug)]
+pub(crate) struct PendingEdits {
+    pub cells: HashSet<CellAddr>,
+    pub ops: Vec<(u64, GridOp)>,
+}
+
+impl PendingEdits {
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty() && self.ops.is_empty()
+    }
+}
+
 /// One sheet of a workbook.
 pub struct Sheet {
     name: String,
     kind: StoreKind,
     cells: Box<dyn CellStore<Value>>,
+    /// Formula cells, keyed by position (row-major order for deterministic
+    /// snapshots). The cell store holds their cached values.
+    formulas: BTreeMap<CellAddr, CellFormula>,
     /// Display row → stable row key. Rows are registered lazily as they are
     /// touched; keys survive structural inserts/deletes above them.
     rows: RowMapping,
     next_row_key: RowKey,
+    /// Redo log for grid edits when the owning workbook is durable.
+    wal: Option<Arc<WalWriter>>,
+    /// Edits not yet folded into the workbook's dependency graph.
+    pending: PendingEdits,
+    /// Edit clock, shared across every sheet of a workbook so formula
+    /// stamps and structural-edit sequences are totally ordered workbook-
+    /// wide. A lone sheet gets a private clock.
+    clock: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Sheet {
@@ -50,8 +105,24 @@ impl std::fmt::Debug for Sheet {
             .field("name", &self.name)
             .field("kind", &self.kind)
             .field("cells", &self.cells.cell_count())
+            .field("formulas", &self.formulas.len())
             .field("rows", &self.rows.row_count())
             .finish()
+    }
+}
+
+/// Formula resolution against a lone sheet: `Current` and the sheet's own
+/// name resolve here, anything else is `#REF!`. The workbook substitutes its
+/// cross-sheet provider when it recomputes.
+struct LocalCells<'a>(&'a Sheet);
+
+impl CellProvider for LocalCells<'_> {
+    fn cell_value(&self, sheet: &SheetRef, addr: CellAddr) -> Result<Value, CellError> {
+        match sheet {
+            SheetRef::Current => Ok(self.0.value(addr)),
+            SheetRef::Named(n) if n.eq_ignore_ascii_case(&self.0.name) => Ok(self.0.value(addr)),
+            SheetRef::Named(_) => Err(CellError::Ref),
+        }
     }
 }
 
@@ -61,9 +132,25 @@ impl Sheet {
             name: name.into(),
             kind,
             cells: kind.build(),
+            formulas: BTreeMap::new(),
             rows: RowMapping::new(),
             next_row_key: 1,
+            wal: None,
+            pending: PendingEdits::default(),
+            // Start at 1: snapshot-decoded formulas carry stamp 0 and are
+            // older than every live edit.
+            clock: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Share the workbook's edit clock (called when the sheet joins a
+    /// workbook) so stamps order across sheets.
+    pub(crate) fn share_clock(&mut self, clock: Arc<AtomicU64>) {
+        self.clock = clock;
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     pub fn name(&self) -> &str {
@@ -79,16 +166,48 @@ impl Sheet {
         self.cells.as_ref()
     }
 
+    // ---- durability ------------------------------------------------------
+
+    /// Attach the workbook's WAL: every subsequent cell/structural edit is
+    /// logged (auto-committed) so it survives a crash between checkpoints.
+    pub(crate) fn attach_wal(&mut self, wal: Arc<WalWriter>) {
+        self.wal = Some(wal);
+    }
+
+    fn log_cell(&self, addr: CellAddr, content: SheetCellContent) -> DsResult<()> {
+        match &self.wal {
+            Some(wal) => wal.log(WalOp::SheetCell {
+                sheet: self.name.clone(),
+                row: addr.row,
+                col: addr.col,
+                content,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn log_grid(&self, edit: GridEditKind, at: u32, count: u32) -> DsResult<()> {
+        match &self.wal {
+            Some(wal) => wal.log(WalOp::SheetGrid {
+                sheet: self.name.clone(),
+                edit,
+                at,
+                count,
+            }),
+            None => Ok(()),
+        }
+    }
+
     // ---- cells -----------------------------------------------------------
 
-    /// The value displayed at `addr` (empty cells read as [`Value::Empty`]).
+    /// The value displayed at `addr` (empty cells read as [`Value::Empty`];
+    /// formula cells read their cached computed value).
     pub fn value(&self, addr: CellAddr) -> Value {
         self.cells.get(addr).cloned().unwrap_or(Value::Empty)
     }
 
-    /// Write one cell. Writing `Empty` clears the cell (the stores hold only
-    /// non-empty cells). Returns the previous value.
-    pub fn set_value(&mut self, addr: CellAddr, v: Value) -> Value {
+    /// Raw store write shared by the edit paths and the recompute path.
+    fn store_write(&mut self, addr: CellAddr, v: Value) -> Value {
         let old = if v.is_empty() {
             self.cells.remove(addr)
         } else {
@@ -97,21 +216,129 @@ impl Sheet {
         old.unwrap_or(Value::Empty)
     }
 
-    /// Type keyboard input into a cell, with spreadsheet literal recognition.
-    pub fn set_input(&mut self, addr: CellAddr, input: &str) -> Value {
-        self.set_value(addr, Value::from_input(input))
+    /// Overwrite a cell's *cached* value during recomputation: no WAL record
+    /// (computed values are derivable), no pending mark, the formula stays.
+    pub(crate) fn set_cached(&mut self, addr: CellAddr, v: Value) {
+        self.store_write(addr, v);
+    }
+
+    /// Write one literal cell. Writing `Empty` clears the cell (the stores
+    /// hold only non-empty cells). Replaces any formula at `addr`. Returns
+    /// the previous displayed value. Errors only on WAL I/O failure when the
+    /// sheet is durable.
+    pub fn set_value(&mut self, addr: CellAddr, v: Value) -> DsResult<Value> {
+        self.log_cell(addr, SheetCellContent::Value(v.clone()))?;
+        self.formulas.remove(&addr);
+        self.pending.cells.insert(addr);
+        Ok(self.store_write(addr, v))
+    }
+
+    /// Type keyboard input into a cell: `=`-prefixed input is parsed and
+    /// stored as a formula (unparseable source displays `#NAME?`), anything
+    /// else goes through spreadsheet literal recognition. Returns the value
+    /// the cell now displays.
+    ///
+    /// On a lone sheet the formula is evaluated once, immediately, against
+    /// this sheet (cross-sheet references read `#REF!`). Inside a workbook,
+    /// use [`crate::Workbook::set_input`] — it re-evaluates through the
+    /// cross-sheet dependency graph and recomputes dependents.
+    pub fn set_input(&mut self, addr: CellAddr, input: &str) -> DsResult<Value> {
+        if input.trim_start().starts_with('=') {
+            return self.set_formula(addr, input.trim());
+        }
+        let v = Value::from_input(input);
+        self.set_value(addr, v.clone())?;
+        Ok(v)
+    }
+
+    /// Store formula source at `addr` and evaluate it once against this
+    /// sheet. Returns the displayed value.
+    pub fn set_formula(&mut self, addr: CellAddr, src: &str) -> DsResult<Value> {
+        self.log_cell(addr, SheetCellContent::Formula(src.to_string()))?;
+        let ast = Formula::parse(src).ok();
+        let v = match &ast {
+            Some(f) => f.eval(&LocalCells(self)),
+            None => Value::Error(CellError::Name),
+        };
+        self.formulas.insert(
+            addr,
+            CellFormula {
+                src: src.to_string(),
+                ast,
+                stamp: self.tick(),
+            },
+        );
+        self.pending.cells.insert(addr);
+        self.store_write(addr, v.clone());
+        Ok(v)
+    }
+
+    /// The formula source at `addr`, if the cell holds one.
+    pub fn formula_text(&self, addr: CellAddr) -> Option<&str> {
+        self.formulas.get(&addr).map(|f| f.src.as_str())
+    }
+
+    /// Number of formula cells on this sheet.
+    pub fn formula_count(&self) -> usize {
+        self.formulas.len()
+    }
+
+    pub(crate) fn formula_ast(&self, addr: CellAddr) -> Option<&Formula> {
+        self.formulas.get(&addr).and_then(|f| f.ast.as_ref())
+    }
+
+    /// Positions of every formula cell, row-major.
+    pub(crate) fn formula_addrs(&self) -> Vec<CellAddr> {
+        self.formulas.keys().copied().collect()
+    }
+
+    /// Take (and clear) the edits recorded since the last recomputation.
+    pub(crate) fn take_pending(&mut self) -> PendingEdits {
+        std::mem::take(&mut self.pending)
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Fill a rectangular region from a row-major matrix starting at `at`.
-    pub fn set_region(&mut self, at: CellAddr, rows: &[Vec<Value>]) {
-        for (dr, row) in rows.iter().enumerate() {
-            for (dc, v) in row.iter().enumerate() {
-                self.set_value(
-                    CellAddr::new(at.row + dr as u32, at.col + dc as u32),
-                    v.clone(),
-                );
+    /// On a durable sheet the whole region logs as **one** WAL transaction —
+    /// one fsync instead of one per cell, and replay applies the region
+    /// atomically.
+    pub fn set_region(&mut self, at: CellAddr, rows: &[Vec<Value>]) -> DsResult<()> {
+        let wal = self.wal.clone();
+        let in_txn = match &wal {
+            Some(w) => {
+                w.begin()?;
+                true
+            }
+            None => false,
+        };
+        let result = (|| -> DsResult<()> {
+            for (dr, row) in rows.iter().enumerate() {
+                for (dc, v) in row.iter().enumerate() {
+                    self.set_value(
+                        CellAddr::new(at.row + dr as u32, at.col + dc as u32),
+                        v.clone(),
+                    )?;
+                }
+            }
+            Ok(())
+        })();
+        if in_txn {
+            let w = wal.as_ref().expect("wal present when in_txn");
+            match &result {
+                Ok(()) => w.commit()?,
+                // Mirror `Workbook::execute`'s convention: the cells that
+                // did apply are already logged — commit them so recovery
+                // rebuilds exactly what memory saw. The original error
+                // outranks a commit I/O error.
+                Err(_) => {
+                    let _ = w.commit();
+                }
             }
         }
+        result
     }
 
     /// Dense row-major matrix of a region (empty cells as `Empty`).
@@ -169,12 +396,60 @@ impl Sheet {
 
     // ---- structural edits -------------------------------------------------
 
+    /// Shift the formula cells themselves and every *self*-reference inside
+    /// them (`A1` and `ThisSheet!A1` alike) for a structural edit. References
+    /// from other sheets are the workbook's job at recompute time.
+    fn shift_formulas(&mut self, op: GridOp) {
+        let old = std::mem::take(&mut self.formulas);
+        for (addr, f) in old {
+            if let Some(new_addr) = op.map_addr(addr) {
+                self.formulas.insert(new_addr, f);
+            }
+            // Formulas on deleted rows/cols vanish with their cells.
+        }
+        let me = self.name.clone();
+        for f in self.formulas.values_mut() {
+            if let Some(ast) = &mut f.ast {
+                let applies = |s: &SheetRef| match s {
+                    SheetRef::Current => true,
+                    SheetRef::Named(n) => n.eq_ignore_ascii_case(&me),
+                };
+                if ast.adjust(op, &applies) {
+                    // Keep the stored source in sync with the rewritten AST.
+                    f.src = ast.to_string();
+                }
+            }
+        }
+        self.pending.ops.push((self.tick(), op));
+    }
+
+    /// Rewrite references this sheet's formulas hold into another (edited)
+    /// sheet: only `Named` qualifiers can point at a foreign sheet. Called by
+    /// the workbook when a *different* sheet has a structural edit.
+    /// Only formulas typed *before* the edit (`stamp < op_seq`) are
+    /// rewritten — later formulas already use post-edit coordinates.
+    pub(crate) fn adjust_foreign_refs(&mut self, op: GridOp, op_seq: u64, edited: &str) {
+        for f in self.formulas.values_mut() {
+            if f.stamp >= op_seq {
+                continue;
+            }
+            if let Some(ast) = &mut f.ast {
+                let applies = |s: &SheetRef| matches!(s, SheetRef::Named(n) if n.eq_ignore_ascii_case(edited));
+                if ast.adjust(op, &applies) {
+                    f.src = ast.to_string();
+                }
+            }
+        }
+    }
+
     /// Insert `count` blank rows at `at`: cells shift down, stable keys of
     /// existing rows are preserved, fresh keys appear for the new rows.
+    /// Formulas shift with their cells; self-references are rewritten.
     pub fn insert_rows(&mut self, at: u32, count: u32) -> DsResult<()> {
         if count == 0 {
             return Ok(());
         }
+        self.log_grid(GridEditKind::InsertRows, at, count)?;
         self.cells.insert_rows(at, count);
         self.ensure_rows(at as usize);
         for i in 0..count {
@@ -184,30 +459,48 @@ impl Sheet {
             // inserted display row gets a fresh key.
             self.rows.insert_row((at + i) as usize, key)?;
         }
+        self.shift_formulas(GridOp::InsertRows { at, count });
         Ok(())
     }
 
     /// Delete `count` rows at `at`: their cells vanish, rows below shift up,
-    /// their stable keys are retired.
+    /// their stable keys are retired. Self-references into the deleted span
+    /// become `#REF!`.
     pub fn delete_rows(&mut self, at: u32, count: u32) -> DsResult<()> {
         if count == 0 {
             return Ok(());
         }
+        self.log_grid(GridEditKind::DeleteRows, at, count)?;
         self.cells.delete_rows(at, count);
         for _ in 0..count {
             if (at as usize) < self.rows.row_count() {
                 self.rows.remove_row(at as usize)?;
             }
         }
+        self.shift_formulas(GridOp::DeleteRows { at, count });
         Ok(())
     }
 
-    pub fn insert_cols(&mut self, at: u32, count: u32) {
+    /// Insert `count` blank columns at `at`.
+    pub fn insert_cols(&mut self, at: u32, count: u32) -> DsResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.log_grid(GridEditKind::InsertCols, at, count)?;
         self.cells.insert_cols(at, count);
+        self.shift_formulas(GridOp::InsertCols { at, count });
+        Ok(())
     }
 
-    pub fn delete_cols(&mut self, at: u32, count: u32) {
+    /// Delete columns `[at, at + count)`.
+    pub fn delete_cols(&mut self, at: u32, count: u32) -> DsResult<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.log_grid(GridEditKind::DeleteCols, at, count)?;
         self.cells.delete_cols(at, count);
+        self.shift_formulas(GridOp::DeleteCols { at, count });
+        Ok(())
     }
 
     /// Parse-and-validate helper used by the workbook's A1 entry points.
@@ -219,7 +512,8 @@ impl Sheet {
     // ---- persistence (checkpoint format; see docs/STORAGE.md) -------------
 
     /// Serialize the sheet into the workbook snapshot stream: name, store
-    /// kind, the stable row keys in display order, and every non-empty cell.
+    /// kind, the stable row keys in display order, every non-empty cell
+    /// (formula cells store their cached value), and every formula source.
     pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
         use dataspread_relstore::codec::{encode_value, put_str, put_u32, put_u64};
         put_str(buf, &self.name);
@@ -247,10 +541,24 @@ impl Sheet {
             put_u32(buf, a.col);
             encode_value(buf, &v);
         }
+        // Formula sources (BTreeMap iteration is already row-major).
+        put_u64(buf, self.formulas.len() as u64);
+        for (a, f) in &self.formulas {
+            put_u32(buf, a.row);
+            put_u32(buf, a.col);
+            put_str(buf, &f.src);
+        }
     }
 
-    /// Rebuild a sheet from the snapshot stream.
-    pub(crate) fn decode(cur: &mut dataspread_relstore::codec::Cursor<'_>) -> DsResult<Sheet> {
+    /// Rebuild a sheet from the snapshot stream. Formula sources are
+    /// re-parsed (with stamp 0 — older than every live edit); cached values
+    /// come back from the cell section, so no evaluation happens here (the
+    /// workbook recomputes after recovery). `with_formulas` is false when
+    /// decoding a version-1 stream, which predates formula sections.
+    pub(crate) fn decode(
+        cur: &mut dataspread_relstore::codec::Cursor<'_>,
+        with_formulas: bool,
+    ) -> DsResult<Sheet> {
         let name = cur.str()?;
         let kind = match cur.u8()? {
             0 => StoreKind::Tiled,
@@ -278,6 +586,18 @@ impl Sheet {
             let v = cur.value()?;
             sheet.cells.set(CellAddr::new(row, col), v);
         }
+        if with_formulas {
+            let nformulas = cur.u64()? as usize;
+            for _ in 0..nformulas {
+                let row = cur.u32()?;
+                let col = cur.u32()?;
+                let src = cur.str()?;
+                let ast = Formula::parse(&src).ok();
+                sheet
+                    .formulas
+                    .insert(CellAddr::new(row, col), CellFormula { src, ast, stamp: 0 });
+            }
+        }
         Ok(sheet)
     }
 }
@@ -295,11 +615,41 @@ mod tests {
         for kind in [StoreKind::Tiled, StoreKind::Block, StoreKind::Naive] {
             let mut s = Sheet::new("S", kind);
             assert_eq!(s.value(a("B2")), Value::Empty);
-            s.set_input(a("B2"), "42");
+            s.set_input(a("B2"), "42").unwrap();
             assert_eq!(s.value(a("B2")), Value::Int(42));
-            s.set_value(a("B2"), Value::Empty);
+            s.set_value(a("B2"), Value::Empty).unwrap();
             assert_eq!(s.cell_count(), 0, "{kind:?} clears on Empty write");
         }
+    }
+
+    #[test]
+    fn formula_input_is_not_text() {
+        let mut s = Sheet::new("S", StoreKind::Tiled);
+        s.set_input(a("A1"), "2").unwrap();
+        s.set_input(a("A2"), "3").unwrap();
+        let v = s.set_input(a("A3"), "=A1+A2").unwrap();
+        assert_eq!(v, Value::Int(5));
+        assert_eq!(s.value(a("A3")), Value::Int(5));
+        assert_eq!(s.formula_text(a("A3")), Some("=A1+A2"));
+        // Unparseable formula input: #NAME?, never silent text.
+        let v = s.set_input(a("A4"), "=NOPE(").unwrap();
+        assert_eq!(v, Value::Error(CellError::Name));
+        assert_eq!(s.formula_text(a("A4")), Some("=NOPE("));
+        // Overwriting with a literal clears the formula.
+        s.set_input(a("A3"), "9").unwrap();
+        assert_eq!(s.formula_text(a("A3")), None);
+        assert_eq!(s.value(a("A3")), Value::Int(9));
+    }
+
+    #[test]
+    fn lone_sheet_resolves_own_name_only() {
+        let mut s = Sheet::new("Data", StoreKind::Tiled);
+        s.set_input(a("A1"), "4").unwrap();
+        assert_eq!(s.set_input(a("B1"), "=Data!A1*2").unwrap(), Value::Int(8));
+        assert_eq!(
+            s.set_input(a("B2"), "=Other!A1").unwrap(),
+            Value::Error(CellError::Ref)
+        );
     }
 
     #[test]
@@ -311,7 +661,8 @@ mod tests {
                 vec![Value::Int(1), Value::Int(2)],
                 vec![Value::Int(3), Value::Empty],
             ],
-        );
+        )
+        .unwrap();
         let m = s.region(Range::parse_a1("B2:C3").unwrap());
         assert_eq!(m[0], vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(m[1], vec![Value::Int(3), Value::Empty]);
@@ -320,8 +671,8 @@ mod tests {
     #[test]
     fn row_keys_survive_structural_edits() {
         let mut s = Sheet::new("S", StoreKind::Tiled);
-        s.set_input(a("A1"), "top");
-        s.set_input(a("A5"), "bottom");
+        s.set_input(a("A1"), "top").unwrap();
+        s.set_input(a("A5"), "bottom").unwrap();
         let k1 = s.row_key(0);
         let k5 = s.row_key(4);
         s.insert_rows(2, 3).unwrap();
@@ -334,26 +685,47 @@ mod tests {
     }
 
     #[test]
+    fn formulas_shift_with_structural_edits() {
+        let mut s = Sheet::new("S", StoreKind::Tiled);
+        s.set_input(a("A1"), "10").unwrap();
+        s.set_input(a("B5"), "=A1*2").unwrap();
+        s.insert_rows(2, 3).unwrap();
+        // The formula cell moved from B5 to B8; its ref to A1 is unchanged.
+        assert_eq!(s.formula_text(a("B5")), None);
+        assert_eq!(s.formula_text(a("B8")), Some("=A1*2"));
+        // Deleting row 1 breaks the reference.
+        s.delete_rows(0, 1).unwrap();
+        assert_eq!(s.formula_text(a("B7")), Some("=(#REF!*2)"));
+        // Deleting the formula's own row drops the formula.
+        s.delete_rows(6, 1).unwrap();
+        assert_eq!(s.formula_count(), 0);
+    }
+
+    #[test]
     fn encode_decode_round_trip() {
         for kind in [StoreKind::Tiled, StoreKind::Block, StoreKind::Naive] {
             let mut s = Sheet::new("Grid", kind);
-            s.set_input(a("A1"), "hello");
-            s.set_input(a("C7"), "3.5");
-            s.set_input(a("B2"), "#REF!");
+            s.set_input(a("A1"), "hello").unwrap();
+            s.set_input(a("C7"), "3.5").unwrap();
+            s.set_input(a("B2"), "#REF!").unwrap();
+            s.set_input(a("D1"), "=C7+1").unwrap();
             let k0 = s.row_key(0);
             s.insert_rows(1, 2).unwrap();
             let mut buf = Vec::new();
             s.encode(&mut buf);
             let mut cur = dataspread_relstore::codec::Cursor::new(&buf);
-            let back = Sheet::decode(&mut cur).unwrap();
+            let back = Sheet::decode(&mut cur, true).unwrap();
             assert!(cur.is_empty());
             assert_eq!(back.name(), "Grid");
             assert_eq!(back.store_kind(), kind);
-            // insert_rows(1, 2) shifted C7→C9 and B2→B4; A1 stayed put.
+            // insert_rows(1, 2) shifted C7→C9 and B2→B4; A1/D1 stayed put.
             assert_eq!(back.value(a("A1")), Value::text("hello"));
             assert_eq!(back.value(a("C9")), Value::Float(3.5));
             assert!(back.value(a("B4")).is_error());
             assert_eq!(back.value(a("C7")), Value::Empty);
+            // The formula survived with its shifted reference and cached value.
+            assert_eq!(back.formula_text(a("D1")), Some("=(C9+1)"));
+            assert_eq!(back.value(a("D1")), Value::Float(4.5));
             assert_eq!(back.cell_count(), s.cell_count());
             assert_eq!(back.row_of_key(k0), s.row_of_key(k0));
             assert_eq!(back.registered_rows(), s.registered_rows());

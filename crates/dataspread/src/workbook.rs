@@ -7,6 +7,8 @@
 //! paper calls the *interface manager*.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 use dataspread_relstore::{Catalog, ColumnDef, RowKey, Schema, StoreHandle};
 use dataspread_sql::ast::Statement;
@@ -14,6 +16,7 @@ use dataspread_sql::parser::{parse_statement, parse_statements};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{col_to_letters, CellAddr, DataType, DsError, DsResult, Range, Value};
 
+use crate::calc::CalcStats;
 use crate::engine::{self, QueryResult};
 use crate::exec::ExecOptions;
 use crate::sheet::{Sheet, StoreKind};
@@ -34,6 +37,11 @@ pub struct Workbook {
     pub(crate) exec_options: ExecOptions,
     /// Attached durable store, if any (see [`Workbook::save`]).
     pub(crate) store: Option<StoreHandle>,
+    /// Formula recomputation counters.
+    pub(crate) calc_stats: CalcStats,
+    /// Edit clock shared with every sheet: totally orders formula writes
+    /// and structural edits workbook-wide (see `calc::Workbook::flush_grid`).
+    pub(crate) clock: Arc<AtomicU64>,
 }
 
 impl Default for Workbook {
@@ -58,6 +66,8 @@ impl Workbook {
             default_store: kind,
             exec_options: ExecOptions::default(),
             store: None,
+            calc_stats: CalcStats::default(),
+            clock: Arc::new(AtomicU64::new(1)),
         };
         wb.add_sheet("Sheet1")
             .expect("fresh workbook accepts a sheet");
@@ -74,9 +84,22 @@ impl Workbook {
         if self.by_name.contains_key(&key) {
             return Err(DsError::Interface(format!("sheet `{name}` already exists")));
         }
-        self.sheets.push(Sheet::new(name, self.default_store));
+        let mut sheet = Sheet::new(name, self.default_store);
+        sheet.share_clock(Arc::clone(&self.clock));
+        self.sheets.push(sheet);
         let id = self.sheets.len() - 1;
         self.by_name.insert(key, id);
+        // The new name may resolve formerly broken `Name!ref` references.
+        if self.sheets.iter().any(|s| s.formula_count() > 0) {
+            self.flush_grid();
+            self.recompute_all();
+        }
+        // Adding a sheet is interface DDL: checkpoint so later WAL records
+        // naming this sheet always find it in the snapshot, and attach the
+        // log so its edits are durable from the first keystroke.
+        if self.store.is_some() {
+            self.checkpoint()?;
+        }
         Ok(SheetId(id))
     }
 
@@ -109,6 +132,94 @@ impl Workbook {
         self.current = id.0;
     }
 
+    // ---- grid edits (formula-aware, WAL-logged, recomputed) ---------------
+
+    /// Type input into a cell: literals are recognized, `=`-prefixed input
+    /// becomes a formula evaluated through the cross-sheet dependency graph.
+    /// Dependent formulas recompute incrementally before this returns; the
+    /// returned value is what the cell now displays.
+    pub fn set_input(&mut self, sheet: SheetId, addr: CellAddr, input: &str) -> DsResult<Value> {
+        self.sheets[sheet.0].set_input(addr, input)?;
+        self.flush_grid();
+        Ok(self.sheets[sheet.0].value(addr))
+    }
+
+    /// Write one literal cell value (replacing any formula there) and
+    /// recompute its dependents.
+    pub fn set_value(&mut self, sheet: SheetId, addr: CellAddr, v: Value) -> DsResult<Value> {
+        let old = self.sheets[sheet.0].set_value(addr, v)?;
+        self.flush_grid();
+        Ok(old)
+    }
+
+    /// Fill a rectangular region with literal values and recompute.
+    pub fn set_region(
+        &mut self,
+        sheet: SheetId,
+        at: CellAddr,
+        rows: &[Vec<Value>],
+    ) -> DsResult<()> {
+        self.sheets[sheet.0].set_region(at, rows)?;
+        self.flush_grid();
+        Ok(())
+    }
+
+    /// The value a cell displays, with any pending recomputation folded in.
+    pub fn cell(&mut self, sheet: SheetId, addr: CellAddr) -> Value {
+        self.flush_grid();
+        self.sheets[sheet.0].value(addr)
+    }
+
+    /// The formula source at a cell, if it holds one. Pending structural
+    /// rewrites are folded in first, so the source shown always matches the
+    /// formula that evaluates.
+    pub fn formula_text(&mut self, sheet: SheetId, addr: CellAddr) -> Option<&str> {
+        self.flush_grid();
+        self.sheets[sheet.0].formula_text(addr)
+    }
+
+    /// Insert blank rows: cells and formulas shift, references on every
+    /// sheet are rewritten, affected formulas recompute.
+    pub fn insert_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.sheets[sheet.0].insert_rows(at, count)?;
+        self.flush_grid();
+        Ok(())
+    }
+
+    /// Delete rows: references into the span become `#REF!`, ranges shrink,
+    /// affected formulas recompute.
+    pub fn delete_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.sheets[sheet.0].delete_rows(at, count)?;
+        self.flush_grid();
+        Ok(())
+    }
+
+    /// Insert blank columns (see [`Workbook::insert_rows`]).
+    pub fn insert_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.sheets[sheet.0].insert_cols(at, count)?;
+        self.flush_grid();
+        Ok(())
+    }
+
+    /// Delete columns (see [`Workbook::delete_rows`]).
+    pub fn delete_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.sheets[sheet.0].delete_cols(at, count)?;
+        self.flush_grid();
+        Ok(())
+    }
+
+    /// Force a full recomputation of every formula in the workbook.
+    pub fn recalculate(&mut self) {
+        self.flush_grid();
+        self.recompute_all();
+    }
+
+    /// Cumulative recomputation counters (how many formula evaluations the
+    /// incremental engine actually ran).
+    pub fn calc_stats(&self) -> CalcStats {
+        self.calc_stats
+    }
+
     // ---- relational side -------------------------------------------------
 
     pub fn catalog(&self) -> &Catalog {
@@ -117,6 +228,19 @@ impl Workbook {
 
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
+    }
+
+    /// Buffer-pool capacity (page frames) given to tables created from now
+    /// on. Persisted in the snapshot header by [`Workbook::save`] and
+    /// restored by [`Workbook::open`], so a reopened workbook keeps the
+    /// memory budget it was tuned with.
+    pub fn set_default_pool_capacity(&mut self, pages: usize) {
+        self.catalog.set_default_pool_capacity(pages);
+    }
+
+    /// The configured per-table buffer-pool capacity.
+    pub fn default_pool_capacity(&self) -> usize {
+        self.catalog.default_pool_capacity()
     }
 
     /// The executor strategy switches queries run under.
@@ -156,6 +280,9 @@ impl Workbook {
     }
 
     fn execute_stmt(&mut self, stmt: Statement) -> DsResult<QueryResult> {
+        // Fold pending grid edits first: RANGEVALUE/RANGETABLE must see
+        // computed formula results, not stale caches.
+        self.flush_grid();
         let is_dml = matches!(
             stmt,
             Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. }
@@ -220,8 +347,10 @@ impl Workbook {
     // ---- positional references ------------------------------------------
 
     /// The scalar at an A1 reference (`B2` or `Data!B2`) — the engine-side
-    /// implementation of `RANGEVALUE`.
-    pub fn range_value(&self, a1: &str) -> DsResult<Value> {
+    /// implementation of `RANGEVALUE`. Pending recomputation is folded in
+    /// first, so formula cells read their computed value.
+    pub fn range_value(&mut self, a1: &str) -> DsResult<Value> {
+        self.flush_grid();
         let ctx = SheetCtx {
             sheets: &self.sheets,
             by_name: &self.by_name,
@@ -234,7 +363,8 @@ impl Workbook {
     /// implementation of `RANGETABLE`. Header row is used for column names
     /// when every cell of the first row is non-blank text; otherwise columns
     /// are named by their sheet letters.
-    pub fn range_table(&self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+    pub fn range_table(&mut self, a1: &str) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+        self.flush_grid();
         let ctx = SheetCtx {
             sheets: &self.sheets,
             by_name: &self.by_name,
@@ -257,6 +387,8 @@ impl Workbook {
         table: &str,
         headers: bool,
     ) -> DsResult<usize> {
+        // Imported cells must be computed values, not stale formula caches.
+        self.flush_grid();
         let matrix = self.sheets[sheet.0].region(range);
         let (names, data) = if headers {
             if matrix.is_empty() {
@@ -329,7 +461,9 @@ impl Workbook {
             rows.push(row);
         }
         let height = rows.len().max(1) as u32;
-        self.sheets[sheet.0].set_region(at, &rows);
+        self.sheets[sheet.0].set_region(at, &rows)?;
+        // Formulas watching the exported region recompute now.
+        self.flush_grid();
         Ok(Range::from_bounds(
             at.row,
             at.col,
@@ -544,7 +678,7 @@ mod tests {
     fn range_value_reads_live_cells() {
         let mut wb = Workbook::new();
         let s1 = wb.current_sheet();
-        wb.sheet_mut(s1).set_input(a("B2"), "42");
+        wb.sheet_mut(s1).set_input(a("B2"), "42").unwrap();
         assert_eq!(wb.range_value("B2").unwrap(), Value::Int(42));
         assert_eq!(wb.range_value("Sheet1!B2").unwrap(), Value::Int(42));
         assert_eq!(wb.range_value("Z99").unwrap(), Value::Empty);
@@ -556,7 +690,7 @@ mod tests {
     fn range_value_refuses_error_cells() {
         let mut wb = Workbook::new();
         let s1 = wb.current_sheet();
-        wb.sheet_mut(s1).set_input(a("A1"), "#REF!");
+        wb.sheet_mut(s1).set_input(a("A1"), "#REF!").unwrap();
         assert!(wb.range_value("A1").is_err());
     }
 
@@ -564,13 +698,15 @@ mod tests {
     fn range_table_header_inference() {
         let mut wb = Workbook::new();
         let s1 = wb.current_sheet();
-        wb.sheet_mut(s1).set_region(
-            a("A1"),
-            &[
-                vec![Value::text("id"), Value::text("name")],
-                vec![Value::Int(1), Value::text("ada")],
-            ],
-        );
+        wb.sheet_mut(s1)
+            .set_region(
+                a("A1"),
+                &[
+                    vec![Value::text("id"), Value::text("name")],
+                    vec![Value::Int(1), Value::text("ada")],
+                ],
+            )
+            .unwrap();
         let (cols, rows) = wb.range_table("A1:B2").unwrap();
         assert_eq!(cols, vec!["id", "name"]);
         assert_eq!(rows, vec![vec![Value::Int(1), Value::text("ada")]]);
@@ -584,14 +720,16 @@ mod tests {
     fn import_infers_schema_and_order() {
         let mut wb = Workbook::new();
         let s1 = wb.current_sheet();
-        wb.sheet_mut(s1).set_region(
-            a("A1"),
-            &[
-                vec![Value::text("id"), Value::text("score")],
-                vec![Value::Int(1), Value::Float(3.5)],
-                vec![Value::Int(2), Value::Int(4)],
-            ],
-        );
+        wb.sheet_mut(s1)
+            .set_region(
+                a("A1"),
+                &[
+                    vec![Value::text("id"), Value::text("score")],
+                    vec![Value::Int(1), Value::Float(3.5)],
+                    vec![Value::Int(2), Value::Int(4)],
+                ],
+            )
+            .unwrap();
         let n = wb
             .import_region(s1, Range::parse_a1("A1:B3").unwrap(), "scores", true)
             .unwrap();
@@ -612,14 +750,16 @@ mod tests {
     fn export_writes_grid() {
         let mut wb = Workbook::new();
         let s1 = wb.current_sheet();
-        wb.sheet_mut(s1).set_region(
-            a("A1"),
-            &[
-                vec![Value::text("x")],
-                vec![Value::Int(7)],
-                vec![Value::Int(8)],
-            ],
-        );
+        wb.sheet_mut(s1)
+            .set_region(
+                a("A1"),
+                &[
+                    vec![Value::text("x")],
+                    vec![Value::Int(7)],
+                    vec![Value::Int(8)],
+                ],
+            )
+            .unwrap();
         wb.import_region(s1, Range::parse_a1("A1:A3").unwrap(), "t", true)
             .unwrap();
         let out = wb.add_sheet("Out").unwrap();

@@ -35,7 +35,7 @@ fn build_workbook(kind: StoreKind) -> Workbook {
             Value::Int(50 + i),
         ]);
     }
-    wb.sheet_mut(s).set_region(a("A1"), &region);
+    wb.sheet_mut(s).set_region(a("A1"), &region).unwrap();
     let n = wb.import_region(s, r("A1:C51"), "students", true).unwrap();
     assert_eq!(n, 50);
     wb
@@ -47,7 +47,7 @@ fn import_sql_positional_insert_window_vertical_path() {
     let s = wb.current_sheet();
 
     // -- 2. SQL over the imported table, parameterized by a live cell. ------
-    wb.sheet_mut(s).set_input(a("E1"), "95");
+    wb.sheet_mut(s).set_input(a("E1"), "95").unwrap();
     let (cols, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -56,7 +56,7 @@ fn import_sql_positional_insert_window_vertical_path() {
     assert_eq!(rows[0][0], Value::text("student49"));
 
     // Editing the cell re-parameterizes the same SQL — the sheet is live.
-    wb.sheet_mut(s).set_input(a("E1"), "97");
+    wb.sheet_mut(s).set_input(a("E1"), "97").unwrap();
     let (_, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -162,14 +162,16 @@ fn rangetable_join_under_every_store() {
         let mut wb = build_workbook(kind);
         let s = wb.current_sheet();
         // A bonus sheet region keyed by student id.
-        wb.sheet_mut(s).set_region(
-            a("E1"),
-            &[
-                vec![Value::text("id"), Value::text("bonus")],
-                vec![Value::Int(3), Value::Int(5)],
-                vec![Value::Int(7), Value::Int(9)],
-            ],
-        );
+        wb.sheet_mut(s)
+            .set_region(
+                a("E1"),
+                &[
+                    vec![Value::text("id"), Value::text("bonus")],
+                    vec![Value::Int(3), Value::Int(5)],
+                    vec![Value::Int(7), Value::Int(9)],
+                ],
+            )
+            .unwrap();
         let (_, rows) = wb
             .query(
                 "SELECT name, score + bonus FROM students NATURAL JOIN RANGETABLE(E1:F3)

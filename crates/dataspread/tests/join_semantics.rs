@@ -315,7 +315,8 @@ fn rangetable_scan_is_column_bounded() {
         rows.push((0..COLS).map(|c| Value::Int(r * COLS + c)).collect());
     }
     wb.sheet_mut(s)
-        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows);
+        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows)
+        .unwrap();
     let region = format!("A1:{}{}", col_to_letters(COLS as u32 - 1), DATA_ROWS + 1);
 
     let (_, wide) = wb
@@ -361,7 +362,8 @@ fn count_star_over_rangetable_reads_no_data_blocks() {
         rows.push(vec![Value::Int(r), Value::Int(r * 2)]);
     }
     wb.sheet_mut(s)
-        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows);
+        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows)
+        .unwrap();
 
     wb.sheet(s).store().stats().reset();
     let (_, n) = wb.query("SELECT COUNT(*) FROM RANGETABLE(A1:B65)").unwrap();

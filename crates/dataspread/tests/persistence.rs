@@ -41,8 +41,8 @@ fn build_workbook() -> Workbook {
     )
     .unwrap();
     let s = wb.current_sheet();
-    wb.sheet_mut(s).set_input(a("B1"), "90");
-    wb.sheet_mut(s).set_input(a("A1"), "cutoff:");
+    wb.sheet_mut(s).set_input(a("B1"), "90").unwrap();
+    wb.sheet_mut(s).set_input(a("A1"), "cutoff:").unwrap();
     wb
 }
 
@@ -139,14 +139,16 @@ fn import_region_is_durable() {
     let dir = tmp_dir("import");
     let mut wb = Workbook::with_store(StoreKind::Block);
     let s = wb.current_sheet();
-    wb.sheet_mut(s).set_region(
-        a("A1"),
-        &[
-            vec![Value::text("k"), Value::text("v")],
-            vec![Value::Int(1), Value::text("one")],
-            vec![Value::Int(2), Value::text("two")],
-        ],
-    );
+    wb.sheet_mut(s)
+        .set_region(
+            a("A1"),
+            &[
+                vec![Value::text("k"), Value::text("v")],
+                vec![Value::Int(1), Value::text("one")],
+                vec![Value::Int(2), Value::text("two")],
+            ],
+        )
+        .unwrap();
     wb.save(&dir).unwrap();
     wb.import_region(s, Range::parse_a1("A1:B3").unwrap(), "kv", true)
         .unwrap();
@@ -254,6 +256,192 @@ fn open_missing_or_corrupt_store_errors_cleanly() {
     raw[64 + 16 + 2] ^= 0x40;
     std::fs::write(&data, &raw).unwrap();
     assert!(Workbook::open(&dir).is_err(), "corrupt page file detected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sheet_edits_survive_crash_without_checkpoint() {
+    let dir = tmp_dir("sheetedits");
+    let mut wb = build_workbook();
+    wb.save(&dir).unwrap();
+    // Post-checkpoint grid edits: literals, a formula, and a structural
+    // edit — durable via the WAL alone, no checkpoint follows.
+    let s = wb.current_sheet();
+    wb.set_input(s, a("D1"), "10").unwrap();
+    wb.set_input(s, a("D2"), "32").unwrap();
+    let v = wb.set_input(s, a("D3"), "=SUM(D1:D2)").unwrap();
+    assert_eq!(v, Value::Int(42));
+    wb.sheet_mut(s).set_input(a("E1"), "direct").unwrap(); // raw-path edit logs too
+    wb.insert_rows(s, 0, 2).unwrap(); // shifts D1:D3 → D3:D5
+    wb.set_value(s, a("F9"), Value::Bool(true)).unwrap();
+
+    let crashed = tmp_dir("sheetedits-crashed");
+    std::fs::create_dir_all(&crashed).unwrap();
+    for f in [DATA_FILE, WAL_FILE] {
+        std::fs::copy(dir.join(f), crashed.join(f)).unwrap();
+    }
+    drop(wb); // crash
+
+    let mut wb = Workbook::open(&crashed).unwrap();
+    let s = wb.current_sheet();
+    assert_eq!(wb.cell(s, a("D3")), Value::Int(10));
+    assert_eq!(wb.cell(s, a("D4")), Value::Int(32));
+    assert_eq!(wb.cell(s, a("D5")), Value::Int(42), "formula recomputed");
+    assert_eq!(wb.formula_text(s, a("D5")), Some("=SUM(D3:D4)"));
+    assert_eq!(wb.cell(s, a("E3")), Value::text("direct"));
+    assert_eq!(
+        wb.cell(s, a("F9")),
+        Value::Bool(true),
+        "edit after the shift"
+    );
+    // The dependency graph is live after recovery: edit a precedent.
+    wb.set_input(s, a("D3"), "100").unwrap();
+    assert_eq!(wb.cell(s, a("D5")), Value::Int(132));
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&crashed).unwrap();
+}
+
+#[test]
+fn formula_cells_survive_save_open() {
+    let dir = tmp_dir("formulasave");
+    let mut wb = build_workbook();
+    let s = wb.current_sheet();
+    wb.set_input(s, a("C1"), "=RANGEVALUE").ok(); // not a formula fn: stays #NAME?
+    wb.set_input(s, a("C2"), "=B1*2").unwrap(); // B1 = 90 from build_workbook
+    wb.set_input(s, a("C3"), "=C2+C9").unwrap();
+    wb.save(&dir).unwrap();
+    drop(wb);
+
+    let mut wb = Workbook::open(&dir).unwrap();
+    let s = wb.current_sheet();
+    assert_eq!(wb.formula_text(s, a("C2")), Some("=B1*2"));
+    assert_eq!(wb.cell(s, a("C2")), Value::Int(180));
+    assert_eq!(wb.cell(s, a("C3")), Value::Int(180));
+    assert!(wb.cell(s, a("C1")).is_error(), "unparseable stays an error");
+    assert_eq!(wb.formula_text(s, a("C1")), Some("=RANGEVALUE"));
+    // Still incremental after reopen.
+    wb.set_input(s, a("B1"), "10").unwrap();
+    assert_eq!(wb.cell(s, a("C2")), Value::Int(20));
+    // And visible to SQL.
+    let (_, rows) = wb.query("SELECT RANGEVALUE(C2)").unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(20)]]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sheet_edit_wal_truncation_recovers_a_prefix() {
+    // Crash injection: chop the WAL at random byte boundaries; recovery must
+    // reconstruct the state after some *prefix* of the committed edits —
+    // never a mixture, never garbage.
+    let base = tmp_dir("sheettorn");
+    let mut wb = build_workbook();
+    wb.save(&base).unwrap();
+    let s = wb.current_sheet();
+    // Each edit is one auto-committed WAL transaction.
+    let edits: Vec<(&str, &str)> = vec![
+        ("D1", "5"),
+        ("D2", "=D1*10"),
+        ("D1", "7"),
+        ("D3", "hello"),
+        ("D2", "=D1+1"),
+    ];
+    // Expected cell states after each prefix of edits.
+    let probe = ["D1", "D2", "D3"];
+    let mut expected: Vec<Vec<Value>> = Vec::new();
+    {
+        let mut model = build_workbook();
+        let ms = model.current_sheet();
+        expected.push(probe.iter().map(|p| model.cell(ms, a(p))).collect());
+        for (cell, input) in &edits {
+            model.set_input(ms, a(cell), input).unwrap();
+            expected.push(probe.iter().map(|p| model.cell(ms, a(p))).collect());
+        }
+    }
+    for (cell, input) in &edits {
+        wb.set_input(s, a(cell), input).unwrap();
+    }
+    drop(wb);
+
+    let wal_bytes = std::fs::read(base.join(WAL_FILE)).unwrap();
+    let mut rng = dataspread_testkit::Rng::new(0x7E57);
+    for trial in 0..30 {
+        let cut = rng.usize_in(0, wal_bytes.len() + 1);
+        let dir = tmp_dir(&format!("sheettorn-{trial}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::copy(base.join(DATA_FILE), dir.join(DATA_FILE)).unwrap();
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes[..cut]).unwrap();
+        let mut wb = Workbook::open(&dir).unwrap();
+        let s = wb.current_sheet();
+        let state: Vec<Value> = probe.iter().map(|p| wb.cell(s, a(p))).collect();
+        assert!(
+            expected.contains(&state),
+            "cut {cut}: recovered state {state:?} is not a prefix state"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn replayed_formulas_typed_after_structural_edits_keep_coordinates() {
+    // Crash recovery replays the WAL tail as one batch. A formula logged
+    // AFTER a structural edit already refers to post-edit coordinates; the
+    // recovery flush must not shift it a second time.
+    let dir = tmp_dir("replayorder");
+    let mut wb = build_workbook();
+    let data = {
+        wb.save(&dir).unwrap();
+        wb.add_sheet("Data").unwrap() // checkpoints (durable)
+    };
+    let s = wb.current_sheet();
+    wb.set_input(data, a("A5"), "9").unwrap();
+    wb.insert_rows(data, 0, 1).unwrap(); // A5 → A6
+    wb.set_input(s, a("B1"), "=Data!A6").unwrap(); // post-shift coordinates
+    assert_eq!(wb.cell(s, a("B1")), Value::Int(9));
+
+    let crashed = tmp_dir("replayorder-crashed");
+    std::fs::create_dir_all(&crashed).unwrap();
+    for f in [DATA_FILE, WAL_FILE] {
+        std::fs::copy(dir.join(f), crashed.join(f)).unwrap();
+    }
+    drop(wb);
+
+    let mut wb = Workbook::open(&crashed).unwrap();
+    let s = wb.current_sheet();
+    assert_eq!(
+        wb.formula_text(s, a("B1")),
+        Some("=Data!A6"),
+        "recovery must not double-shift a formula typed after the edit"
+    );
+    assert_eq!(wb.cell(s, a("B1")), Value::Int(9));
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&crashed).unwrap();
+}
+
+#[test]
+fn pool_capacity_survives_reopen() {
+    let dir = tmp_dir("poolcap");
+    let mut wb = Workbook::new();
+    wb.set_default_pool_capacity(7);
+    wb.execute("CREATE TABLE tuned (x INT)").unwrap();
+    assert_eq!(
+        wb.catalog().get("tuned").unwrap().pool().capacity(),
+        7,
+        "configured capacity applies to tables created via SQL"
+    );
+    wb.save(&dir).unwrap();
+    drop(wb);
+
+    let mut wb = Workbook::open(&dir).unwrap();
+    assert_eq!(
+        wb.default_pool_capacity(),
+        7,
+        "capacity persisted in the snapshot header"
+    );
+    assert_eq!(wb.catalog().get("tuned").unwrap().pool().capacity(), 7);
+    // Tables created after reopening inherit the restored budget.
+    wb.execute("CREATE TABLE later (y INT)").unwrap();
+    assert_eq!(wb.catalog().get("later").unwrap().pool().capacity(), 7);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -12,20 +12,44 @@ use crate::table::{GroupPolicy, Table};
 pub const DEFAULT_POLICY: GroupPolicy = GroupPolicy::Hybrid { max_group_width: 4 };
 
 /// A named collection of tables.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     /// Keyed by lower-cased name (SQL identifiers are case-insensitive).
     tables: HashMap<String, Table>,
+    /// Buffer-pool capacity (page frames) given to tables created through
+    /// this catalog. Workbook-configurable and persisted in the snapshot, so
+    /// a reopened store keeps the memory budget it was tuned with.
+    default_pool_pages: usize,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
-        Catalog::default()
+        Catalog {
+            tables: HashMap::new(),
+            default_pool_pages: crate::table::DEFAULT_POOL_PAGES,
+        }
     }
 
     fn key(name: &str) -> String {
         name.to_ascii_lowercase()
+    }
+
+    /// Buffer-pool capacity new tables are created with.
+    pub fn default_pool_capacity(&self) -> usize {
+        self.default_pool_pages
+    }
+
+    /// Set the buffer-pool capacity for tables created from now on (existing
+    /// tables keep their pools). Clamped to at least one frame.
+    pub fn set_default_pool_capacity(&mut self, pages: usize) {
+        self.default_pool_pages = pages.max(1);
     }
 
     /// Create a table with the default (hybrid) layout.
@@ -47,8 +71,10 @@ impl Catalog {
         if self.tables.contains_key(&k) {
             return Err(DsError::Schema(format!("table `{name}` already exists")));
         }
-        self.tables
-            .insert(k.clone(), Table::new(name, schema, policy));
+        self.tables.insert(
+            k.clone(),
+            Table::with_pool_capacity(name, schema, policy, self.default_pool_pages),
+        );
         Ok(self.tables.get_mut(&k).unwrap())
     }
 

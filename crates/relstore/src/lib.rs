@@ -46,6 +46,6 @@ pub use pager::{PageFile, PageFileSnapshot, PageFileStats};
 pub use schema::{ColumnDef, KeyTuple, Schema};
 pub use snapshot::{load_catalog, save_catalog, LoadedCatalog, StoreHandle};
 pub use table::{GroupPolicy, RowIter, Table, TableStats};
-pub use wal::{WalOp, WalRecord, WalWriter};
+pub use wal::{GridEditKind, SheetCellContent, WalOp, WalRecord, WalWriter};
 
 pub use dataspread_posindex::RowKey;

@@ -71,8 +71,12 @@ pub struct LoadedCatalog {
     pub extra_meta: Vec<u8>,
     /// Generation of the checkpoint the catalog was decoded from.
     pub generation: u64,
-    /// Committed WAL operations replayed on top of the checkpoint.
+    /// Committed *table* WAL operations replayed on top of the checkpoint.
     pub replayed: usize,
+    /// Committed interface-layer (sheet) operations, in commit order. The
+    /// relational layer cannot apply these; the engine replays them against
+    /// its decoded sheets.
+    pub sheet_ops: Vec<crate::wal::WalOp>,
 }
 
 /// Best-effort directory fsync so a rename survives power loss.
@@ -160,10 +164,12 @@ pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
     // generation means its effects are already folded into the snapshot; a
     // missing or unreadable header means there is nothing to replay.
     let mut replayed = 0;
+    let mut sheet_ops = Vec::new();
     if let Some(scan) = scan_wal(dir.join(WAL_FILE))? {
         if scan.generation == generation {
             let ops = committed_ops(&scan);
             replayed = apply_committed(&mut catalog, &ops)?;
+            sheet_ops = ops.into_iter().filter(|op| op.is_sheet_op()).collect();
         } else if scan.generation > generation {
             return Err(DsError::Storage(format!(
                 "wal generation {} is newer than snapshot generation {generation}",
@@ -176,6 +182,7 @@ pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
         extra_meta,
         generation,
         replayed,
+        sheet_ops,
     })
 }
 

@@ -43,8 +43,57 @@ const TAG_INSERT: u8 = 3;
 const TAG_UPDATE_CELL: u8 = 4;
 const TAG_UPDATE_ROW: u8 = 5;
 const TAG_DELETE: u8 = 6;
+const TAG_SHEET_CELL: u8 = 7;
+const TAG_SHEET_GRID: u8 = 8;
 
-/// One logical redo operation against a named table.
+/// What a logged sheet-cell write holds: the *logical input*, not the
+/// computed display value — a literal, or formula source text that the
+/// engine re-parses (and re-evaluates) on replay.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SheetCellContent {
+    /// A literal value; `Value::Empty` clears the cell.
+    Value(Value),
+    /// Formula source text (`=`-prefixed).
+    Formula(String),
+}
+
+/// A structural grid edit on a sheet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridEditKind {
+    /// Insert rows at `at`.
+    InsertRows,
+    /// Delete rows `[at, at + count)`.
+    DeleteRows,
+    /// Insert columns at `at`.
+    InsertCols,
+    /// Delete columns `[at, at + count)`.
+    DeleteCols,
+}
+
+impl GridEditKind {
+    fn code(self) -> u8 {
+        match self {
+            GridEditKind::InsertRows => 0,
+            GridEditKind::DeleteRows => 1,
+            GridEditKind::InsertCols => 2,
+            GridEditKind::DeleteCols => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> DsResult<Self> {
+        Ok(match c {
+            0 => GridEditKind::InsertRows,
+            1 => GridEditKind::DeleteRows,
+            2 => GridEditKind::InsertCols,
+            3 => GridEditKind::DeleteCols,
+            other => return Err(DsError::Storage(format!("wal: bad grid edit kind {other}"))),
+        })
+    }
+}
+
+/// One logical redo operation against a named table — or, for the two
+/// `Sheet*` variants, against a named sheet of the interface layer (replayed
+/// by the engine, not by [`apply_committed`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum WalOp {
     /// A row inserted at display position `pos` with storage key `key`.
@@ -85,6 +134,36 @@ pub enum WalOp {
         /// Row key.
         key: RowKey,
     },
+    /// One grid cell written on a sheet (interface side).
+    SheetCell {
+        /// Target sheet name.
+        sheet: String,
+        /// Zero-based display row.
+        row: u32,
+        /// Zero-based display column.
+        col: u32,
+        /// The logical input written.
+        content: SheetCellContent,
+    },
+    /// A structural row/column edit on a sheet.
+    SheetGrid {
+        /// Target sheet name.
+        sheet: String,
+        /// Which structural edit.
+        edit: GridEditKind,
+        /// Zero-based row/column position of the edit.
+        at: u32,
+        /// Number of rows/columns inserted or deleted.
+        count: u32,
+    },
+}
+
+impl WalOp {
+    /// Is this an interface-layer (sheet) operation? Sheet ops are skipped by
+    /// [`apply_committed`] and surfaced to the engine for replay instead.
+    pub fn is_sheet_op(&self) -> bool {
+        matches!(self, WalOp::SheetCell { .. } | WalOp::SheetGrid { .. })
+    }
 }
 
 /// One framed WAL record: a transaction marker or an operation.
@@ -166,6 +245,41 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
                 put_str(&mut buf, table);
                 put_u64(&mut buf, *key);
             }
+            WalOp::SheetCell {
+                sheet,
+                row,
+                col,
+                content,
+            } => {
+                buf.push(TAG_SHEET_CELL);
+                put_u64(&mut buf, *txn);
+                put_str(&mut buf, sheet);
+                put_u32(&mut buf, *row);
+                put_u32(&mut buf, *col);
+                match content {
+                    SheetCellContent::Value(v) => {
+                        buf.push(0);
+                        encode_value(&mut buf, v);
+                    }
+                    SheetCellContent::Formula(src) => {
+                        buf.push(1);
+                        put_str(&mut buf, src);
+                    }
+                }
+            }
+            WalOp::SheetGrid {
+                sheet,
+                edit,
+                at,
+                count,
+            } => {
+                buf.push(TAG_SHEET_GRID);
+                put_u64(&mut buf, *txn);
+                put_str(&mut buf, sheet);
+                buf.push(edit.code());
+                put_u32(&mut buf, *at);
+                put_u32(&mut buf, *count);
+            }
         },
     }
     buf
@@ -231,6 +345,44 @@ fn decode_record(payload: &[u8]) -> DsResult<WalRecord> {
             WalRecord::Op {
                 txn,
                 op: WalOp::Delete { table, key },
+            }
+        }
+        TAG_SHEET_CELL => {
+            let sheet = cur.str()?;
+            let row = cur.u32()?;
+            let col = cur.u32()?;
+            let content = match cur.u8()? {
+                0 => SheetCellContent::Value(cur.value()?),
+                1 => SheetCellContent::Formula(cur.str()?),
+                other => {
+                    return Err(DsError::Storage(format!(
+                        "wal: bad sheet cell content kind {other}"
+                    )))
+                }
+            };
+            WalRecord::Op {
+                txn,
+                op: WalOp::SheetCell {
+                    sheet,
+                    row,
+                    col,
+                    content,
+                },
+            }
+        }
+        TAG_SHEET_GRID => {
+            let sheet = cur.str()?;
+            let edit = GridEditKind::from_code(cur.u8()?)?;
+            let at = cur.u32()?;
+            let count = cur.u32()?;
+            WalRecord::Op {
+                txn,
+                op: WalOp::SheetGrid {
+                    sheet,
+                    edit,
+                    at,
+                    count,
+                },
             }
         }
         other => return Err(DsError::Storage(format!("wal: bad record tag {other}"))),
@@ -465,12 +617,15 @@ pub fn committed_ops(scan: &WalScan) -> Vec<WalOp> {
     committed
 }
 
-/// Replay committed redo operations against a catalog restored from the
-/// matching checkpoint. Returns the number of operations applied.
+/// Replay committed *table* redo operations against a catalog restored from
+/// the matching checkpoint. Sheet operations ([`WalOp::is_sheet_op`]) are
+/// skipped — the interface layer replays those against its decoded sheets.
+/// Returns the number of table operations applied.
 ///
 /// Tables must *not* have a WAL attached during replay (a freshly decoded
 /// snapshot does not), or the recovery would re-log itself.
 pub fn apply_committed(catalog: &mut Catalog, ops: &[WalOp]) -> DsResult<usize> {
+    let mut applied = 0;
     for op in ops {
         match op {
             WalOp::Insert {
@@ -499,9 +654,11 @@ pub fn apply_committed(catalog: &mut Catalog, ops: &[WalOp]) -> DsResult<usize> 
             WalOp::Delete { table, key } => {
                 catalog.get_mut(table)?.delete_row(*key)?;
             }
+            WalOp::SheetCell { .. } | WalOp::SheetGrid { .. } => continue,
         }
+        applied += 1;
     }
-    Ok(ops.len())
+    Ok(applied)
 }
 
 #[cfg(test)]
@@ -551,6 +708,33 @@ mod tests {
                 op: WalOp::Delete {
                     table: "x".into(),
                     key: 2,
+                },
+            },
+            WalRecord::Op {
+                txn: 2,
+                op: WalOp::SheetCell {
+                    sheet: "Sheet1".into(),
+                    row: 3,
+                    col: 1,
+                    content: SheetCellContent::Value(Value::Int(7)),
+                },
+            },
+            WalRecord::Op {
+                txn: 2,
+                op: WalOp::SheetCell {
+                    sheet: "Data".into(),
+                    row: 0,
+                    col: 0,
+                    content: SheetCellContent::Formula("=SUM(A1:B2)".into()),
+                },
+            },
+            WalRecord::Op {
+                txn: 2,
+                op: WalOp::SheetGrid {
+                    sheet: "Sheet1".into(),
+                    edit: GridEditKind::DeleteRows,
+                    at: 4,
+                    count: 2,
                 },
             },
         ] {

@@ -179,12 +179,20 @@ impl Value {
     }
 
     /// Parse user keyboard input the way a spreadsheet does: numbers and
-    /// booleans are recognized, everything else is text. (Formulae — strings
-    /// starting with `=` — are the caller's business.)
+    /// booleans are recognized, everything else is text.
+    ///
+    /// Formula input (`=…`) is **not** a literal and cannot be represented as
+    /// a `Value`: formula-capable layers (`Sheet::set_input` and above) must
+    /// intercept the `=` prefix and route it through the formula parser
+    /// before calling this. If formula input does reach this literal parser,
+    /// it yields `#NAME?` — never silent text that would round-trip as a lie.
     pub fn from_input(s: &str) -> Value {
         let t = s.trim();
         if t.is_empty() {
             return Value::Empty;
+        }
+        if t.starts_with('=') {
+            return Value::Error(CellError::Name);
         }
         if let Ok(i) = t.parse::<i64>() {
             return Value::Int(i);
@@ -402,6 +410,17 @@ mod tests {
         assert_eq!(Value::from_input(""), Value::Empty);
         assert_eq!(Value::from_input("  "), Value::Empty);
         assert_eq!(Value::from_input("#REF!"), Value::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn from_input_never_stores_formulae_as_text() {
+        // The literal parser cannot hold a formula; layers with a formula
+        // engine intercept `=` first. Reaching here is #NAME?, not text.
+        assert_eq!(
+            Value::from_input("=SUM(A1:B2)"),
+            Value::Error(CellError::Name)
+        );
+        assert_eq!(Value::from_input(" =A1 "), Value::Error(CellError::Name));
     }
 
     #[test]
