@@ -1,0 +1,82 @@
+//! Binding-layer sync throughput: how fast the hybrid data-model layer
+//! (paper §2.1 TOM/ROM/COM) keeps a table-bound region and its backing
+//! table consistent at 100k rows.
+//!
+//! Run with `cargo bench -p dataspread --bench bind`. Arms:
+//!
+//! * `sheet_to_table/edit` — one bound-cell edit: routed `UPDATE`-one-
+//!   attribute DML plus the single-cell mirror write (the interactive
+//!   keystroke path; must NOT pay O(region)).
+//! * `table_to_sheet/insert` — one SQL `INSERT` followed by the post-
+//!   statement sync: a full region diff against the grown table (the bulk
+//!   propagation path; pays O(region) per statement today — the derived
+//!   cells/s figure is the sync scan rate).
+//! * `table_to_sheet/noop` — the post-statement sync when nothing changed
+//!   (version-counter early-out; should be ~free).
+//!
+//! Each arm also prints a `BENCH_JSON` line (machine-readable results, see
+//! `dataspread_testkit::report_json`).
+
+use std::time::Duration;
+
+use dataspread::{BindModel, Workbook};
+use dataspread_testkit::{bench, black_box, report_json, Rng};
+use dataspread_types::{CellAddr, Value};
+
+const TARGET: Duration = Duration::from_millis(200);
+const ROWS: usize = 100_000;
+
+fn workbook_with_bound_table() -> Workbook {
+    let mut wb = Workbook::new();
+    wb.execute("CREATE TABLE big (a INT, b INT)").unwrap();
+    {
+        let t = wb.catalog_mut().get_mut("big").unwrap();
+        for i in 0..ROWS as i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+        }
+    }
+    let s = wb.current_sheet();
+    wb.bind_table(s, CellAddr::new(0, 0), "big", BindModel::Rom)
+        .unwrap();
+    wb
+}
+
+fn main() {
+    println!("bind: two-way sync over a {ROWS}-row ROM-bound region");
+    let mut wb = workbook_with_bound_table();
+    let s = wb.current_sheet();
+
+    // Interactive path: a bound-cell edit is routed DML + one mirror write.
+    let mut rng = Rng::new(0xB17D);
+    let mut next = 0i64;
+    let m = bench("bind/sheet_to_table/edit", TARGET, || {
+        let row = rng.index(ROWS) as u32;
+        let col = rng.u32_in(0, 2);
+        next += 1;
+        black_box(
+            wb.set_value(s, CellAddr::new(row, col), Value::Int(next))
+                .unwrap(),
+        );
+    });
+    report_json("bind/sheet_to_table/edit", ROWS, &m);
+
+    // Bulk propagation: INSERT + full-region diff refresh.
+    let m = bench("bind/table_to_sheet/insert", TARGET, || {
+        next += 1;
+        wb.execute(&format!("INSERT INTO big VALUES ({next}, {next})"))
+            .unwrap();
+    });
+    let rows_now = wb.catalog().get("big").unwrap().row_count();
+    let cells_per_iter = (rows_now * 2) as f64;
+    println!(
+        "    region diff rate: {:.1}M cells/s over {rows_now} rows",
+        cells_per_iter / m.per_iter_ns() * 1e3
+    );
+    report_json("bind/table_to_sheet/insert", ROWS, &m);
+
+    // The early-out: sync with an unchanged table is a version compare.
+    let m = bench("bind/table_to_sheet/noop", TARGET, || {
+        wb.sync_bindings().unwrap();
+    });
+    report_json("bind/table_to_sheet/noop", ROWS, &m);
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p dataspread --example demo`.
 
-use dataspread::{StoreKind, Workbook};
+use dataspread::{BindModel, StoreKind, Workbook};
 use dataspread_types::{CellAddr, Range, Value};
 
 fn a(s: &str) -> CellAddr {
@@ -102,6 +102,34 @@ fn main() {
     wb.set_input(out, a("F1"), "=F2").unwrap();
     wb.set_input(out, a("F2"), "=F1").unwrap();
     println!("cyclic F1=F2, F2=F1 -> {}", wb.cell(out, a("F1")));
+
+    // Hybrid data models (paper §2.1): bind a region to a table — the grid
+    // and the relation become two views of one store.
+    let live = wb.add_sheet("Live").unwrap();
+    wb.bind_table(live, a("A1"), "students", BindModel::Tom)
+        .unwrap();
+    wb.set_input(live, a("F1"), "=SUM(C2:C20)").unwrap();
+    println!(
+        "
+bound `students` at Live!A1 (TOM); =SUM over the score column = {}",
+        wb.cell(live, a("F1"))
+    );
+    // Grid -> table: a bound-cell edit is UPDATE DML.
+    wb.set_input(live, a("C2"), "99").unwrap();
+    let (_, rows) = wb
+        .query("SELECT name FROM students WHERE score = 99")
+        .unwrap();
+    println!("Live!C2 := 99 -> SELECT ... WHERE score = 99: {rows:?}");
+    // Table -> grid: SQL INSERT grows the region, the SUM recomputes.
+    wb.execute("INSERT INTO students VALUES (7, 'barbara', 90)")
+        .unwrap();
+    println!(
+        "INSERT -> region grew to row {}, SUM = {}  (VLOOKUP 7 -> {})",
+        wb.binding_rect(wb.binding_ids()[0]).unwrap().end.row + 1,
+        wb.cell(live, a("F1")),
+        wb.set_input(live, a("F2"), "=VLOOKUP(7,A2:C20,2,FALSE)")
+            .unwrap(),
+    );
 
     // Error surfaces, as a user would hit them.
     for bad in [

@@ -72,6 +72,7 @@
 //! assert_eq!(window[1].1[0], Value::text("edsger"));
 //! ```
 
+pub mod bind;
 pub mod calc;
 pub mod engine;
 pub mod exec;
@@ -80,6 +81,7 @@ pub mod sheet;
 pub mod view;
 pub mod workbook;
 
+pub use bind::{BindModel, BindingMeta};
 pub use calc::CalcStats;
 pub use engine::QueryResult;
 pub use exec::ExecOptions;

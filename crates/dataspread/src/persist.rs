@@ -7,8 +7,8 @@
 //! (tables, schemas, pages) is checkpointed by
 //! [`dataspread_relstore::snapshot`]; this module contributes the
 //! engine-level metadata riding in the snapshot's `extra_meta` stream:
-//! every sheet's cells and stable row keys, the current-sheet pointer, and
-//! the default store kind.
+//! every sheet's cells and stable row keys, the current-sheet pointer, the
+//! default store kind, and the table-binding registry.
 //!
 //! Durability boundaries after [`Workbook::save`] attaches the store:
 //!
@@ -19,8 +19,13 @@
 //!   structural row/column edits — are WAL-logged at edit time as logical
 //!   inputs and replayed on [`Workbook::open`], which then recomputes
 //!   every formula. They survive a crash between checkpoints.
-//! * **SQL DDL**, [`Workbook::import_region`], and [`Workbook::add_sheet`]
-//!   trigger an automatic checkpoint.
+//! * **`CREATE TABLE`/`DROP TABLE`** are WAL-logged as DDL redo records;
+//!   **`ALTER TABLE`**, [`Workbook::import_region`], and
+//!   [`Workbook::add_sheet`] trigger an automatic checkpoint.
+//! * **Bindings** ([`Workbook::bind_table`]) are WAL-logged at
+//!   create/drop and checkpointed in the workbook metadata (version 3);
+//!   the mirror cells they render are derivable and re-rendered from the
+//!   recovered tables on [`Workbook::open`].
 //! * Direct [`Workbook::catalog_mut`] DDL (e.g. `create_table`) is *not*
 //!   auto-persisted — call [`Workbook::save`] or [`Workbook::checkpoint`]
 //!   afterwards.
@@ -34,15 +39,18 @@ use dataspread_relstore::wal::{GridEditKind, SheetCellContent, WalOp};
 use dataspread_relstore::{Catalog, PageFile};
 use dataspread_types::{CellAddr, DsError, DsResult};
 
+use crate::bind::BindingRegistry;
 use crate::calc::CalcStats;
 use crate::exec::ExecOptions;
 use crate::sheet::{Sheet, StoreKind};
 use crate::workbook::Workbook;
 
 /// Version byte of the workbook metadata stream. Version 2 added the
-/// default buffer-pool capacity and per-sheet formula sections; version 1
-/// streams are still readable (they decode with defaults and no formulas).
-const WB_META_VERSION: u8 = 2;
+/// default buffer-pool capacity and per-sheet formula sections; version 3
+/// added the binding section (table-bound regions). Version 1 and 2 streams
+/// are still readable (they decode with defaults, no formulas, and no
+/// bindings respectively).
+const WB_META_VERSION: u8 = 3;
 
 /// The highest checkpoint generation evidenced on disk at `dir` — from the
 /// page file or a leftover WAL, whichever is newer (0 when neither is
@@ -72,6 +80,25 @@ pub(crate) fn encode_workbook_meta(wb: &Workbook) -> Vec<u8> {
     put_u32(&mut buf, wb.sheets.len() as u32);
     for sheet in &wb.sheets {
         sheet.encode(&mut buf);
+    }
+    // Version 3: the binding section (id watermark + every binding's
+    // durable metadata + the rectangle its mirror cells occupy in the
+    // snapshot — recovery needs it to clear ghost rows when WAL replay
+    // shrinks the backing table below the checkpointed extent).
+    put_u64(&mut buf, wb.bindings.next_id);
+    put_u32(&mut buf, wb.bindings.bindings.len() as u32);
+    for b in &wb.bindings.bindings {
+        b.meta.encode(&mut buf);
+        match b.rendered_rect(wb) {
+            Some(r) => {
+                buf.push(1);
+                put_u32(&mut buf, r.start.row);
+                put_u32(&mut buf, r.start.col);
+                put_u32(&mut buf, r.end.row);
+                put_u32(&mut buf, r.end.col);
+            }
+            None => buf.push(0),
+        }
     }
     buf
 }
@@ -112,6 +139,33 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
         by_name.insert(sheet.name().to_ascii_lowercase(), i);
         sheets.push(sheet);
     }
+    // Version 3: bindings (registered with a forced first refresh — the
+    // caller re-renders every region from the recovered tables).
+    let mut bindings = BindingRegistry::default();
+    if version >= 3 {
+        let next_id = cur.u64()?;
+        let nbind = cur.u32()? as usize;
+        for _ in 0..nbind {
+            bindings.register(dataspread_relstore::BindingMeta::decode(&mut cur)?);
+            let rect = match cur.u8()? {
+                0 => None,
+                _ => Some(dataspread_types::Range::from_bounds(
+                    cur.u32()?,
+                    cur.u32()?,
+                    cur.u32()?,
+                    cur.u32()?,
+                )),
+            };
+            // The rect the checkpointed mirror cells occupy: the refresh
+            // after WAL replay diffs (and shrink-clears) against it.
+            bindings
+                .bindings
+                .last_mut()
+                .expect("just registered")
+                .last_rect = rect;
+        }
+        bindings.next_id = bindings.next_id.max(next_id);
+    }
     if !cur.is_empty() {
         return Err(DsError::Storage("workbook snapshot: trailing bytes".into()));
     }
@@ -132,6 +186,7 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
         store: None,
         calc_stats: CalcStats::default(),
         clock,
+        bindings,
     })
 }
 
@@ -194,25 +249,31 @@ impl Workbook {
         let loaded = load_catalog(&dir)?;
         let generation = loaded.generation;
         let mut wb = decode_workbook_meta(&loaded.extra_meta, loaded.catalog)?;
-        // Replay committed sheet edits on top of the decoded sheets (the
-        // relational ops were already replayed by `load_catalog`). The
-        // sheets are detached here, so replay does not re-log itself; the
-        // shared edit clock stamps replayed formulas and structural edits
-        // in replay order, so the flush below rewrites references with the
-        // same temporal semantics as the original execution.
-        for op in &loaded.sheet_ops {
-            wb.apply_sheet_op(op)?;
+        // Replay committed engine ops — sheet edits and binding
+        // create/drop — on top of the decoded state (the relational ops,
+        // including CREATE/DROP TABLE DDL records, were already replayed by
+        // `load_catalog`). The sheets are detached here, so replay does not
+        // re-log itself; the shared edit clock stamps replayed formulas and
+        // structural edits in replay order, so the flush below rewrites
+        // references with the same temporal semantics as the original
+        // execution.
+        for op in &loaded.engine_ops {
+            wb.apply_engine_op(op)?;
         }
-        // One recomputation pass folds the replayed edits in (snapshot
-        // caches are fresh — checkpoints flush before encoding).
+        // Re-render every bound region from the recovered tables (mirror
+        // cells are never WAL-logged — they are derivable), then fold the
+        // replayed edits into one recomputation pass (snapshot caches are
+        // fresh — checkpoints flush before encoding).
+        wb.sync_bindings()?;
         wb.flush_grid();
         // Fold the replayed tail into a fresh checkpoint + empty WAL.
         wb.checkpoint_into(dir, generation + 1)?;
         Ok(wb)
     }
 
-    /// Apply one replayed sheet operation to the decoded (detached) sheets.
-    fn apply_sheet_op(&mut self, op: &WalOp) -> DsResult<()> {
+    /// Apply one replayed engine operation — a sheet edit or a binding
+    /// create/drop — to the decoded (detached) state.
+    fn apply_engine_op(&mut self, op: &WalOp) -> DsResult<()> {
         let sheet = match op {
             WalOp::SheetCell { sheet, .. } | WalOp::SheetGrid { sheet, .. } => {
                 self.sheet_id(sheet).map_err(|_| {
@@ -220,6 +281,14 @@ impl Workbook {
                         "wal recovery: sheet `{sheet}` not in the checkpoint"
                     ))
                 })?
+            }
+            WalOp::BindCreate { meta } => {
+                self.bindings.register(meta.clone());
+                return Ok(());
+            }
+            WalOp::BindDrop { id } => {
+                self.bindings.remove(*id);
+                return Ok(());
             }
             _ => return Ok(()), // table ops were applied by load_catalog
         };

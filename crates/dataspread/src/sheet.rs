@@ -222,6 +222,16 @@ impl Sheet {
         self.store_write(addr, v);
     }
 
+    /// Write one mirror cell of a table-bound region: no WAL record (the
+    /// binding re-renders from the recovered table), but the edit is marked
+    /// pending so formulas watching the region recompute, and any formula at
+    /// the address is displaced (bound cells cannot hold formulas).
+    pub(crate) fn write_bound(&mut self, addr: CellAddr, v: Value) {
+        self.formulas.remove(&addr);
+        self.pending.cells.insert(addr);
+        self.store_write(addr, v);
+    }
+
     /// Write one literal cell. Writing `Empty` clears the cell (the stores
     /// hold only non-empty cells). Replaces any formula at `addr`. Returns
     /// the previous displayed value. Errors only on WAL I/O failure when the
@@ -333,6 +343,40 @@ impl Sheet {
                 // did apply are already logged — commit them so recovery
                 // rebuilds exactly what memory saw. The original error
                 // outranks a commit I/O error.
+                Err(_) => {
+                    let _ = w.commit();
+                }
+            }
+        }
+        result
+    }
+
+    /// Write a list of literal cells as **one** WAL transaction (one fsync),
+    /// like [`Sheet::set_region`] but for an arbitrary cell set — the
+    /// workbook batches the unbound remainder of a partially-bound region
+    /// write through this.
+    pub fn set_cells(&mut self, writes: &[(CellAddr, Value)]) -> DsResult<()> {
+        let wal = self.wal.clone();
+        let in_txn = match &wal {
+            Some(w) => {
+                w.begin()?;
+                true
+            }
+            None => false,
+        };
+        let result = (|| -> DsResult<()> {
+            for (addr, v) in writes {
+                self.set_value(*addr, v.clone())?;
+            }
+            Ok(())
+        })();
+        if in_txn {
+            let w = wal.as_ref().expect("wal present when in_txn");
+            match &result {
+                Ok(()) => w.commit()?,
+                // Same convention as `set_region`: applied cells are
+                // already logged — commit them so recovery rebuilds what
+                // memory saw; the original error outranks commit I/O.
                 Err(_) => {
                     let _ = w.commit();
                 }

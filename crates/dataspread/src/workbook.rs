@@ -16,6 +16,7 @@ use dataspread_sql::parser::{parse_statement, parse_statements};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{col_to_letters, CellAddr, DataType, DsError, DsResult, Range, Value};
 
+use crate::bind::BindingRegistry;
 use crate::calc::CalcStats;
 use crate::engine::{self, QueryResult};
 use crate::exec::ExecOptions;
@@ -42,6 +43,8 @@ pub struct Workbook {
     /// Edit clock shared with every sheet: totally orders formula writes
     /// and structural edits workbook-wide (see `calc::Workbook::flush_grid`).
     pub(crate) clock: Arc<AtomicU64>,
+    /// Table-bound sheet regions (paper §2.1 TOM/ROM/COM; see `crate::bind`).
+    pub(crate) bindings: BindingRegistry,
 }
 
 impl Default for Workbook {
@@ -68,6 +71,7 @@ impl Workbook {
             store: None,
             calc_stats: CalcStats::default(),
             clock: Arc::new(AtomicU64::new(1)),
+            bindings: BindingRegistry::default(),
         };
         wb.add_sheet("Sheet1")
             .expect("fresh workbook accepts a sheet");
@@ -139,6 +143,16 @@ impl Workbook {
     /// Dependent formulas recompute incrementally before this returns; the
     /// returned value is what the cell now displays.
     pub fn set_input(&mut self, sheet: SheetId, addr: CellAddr, input: &str) -> DsResult<Value> {
+        if let Some(bi) = self.binding_index_at(sheet, addr) {
+            if input.trim_start().starts_with('=') {
+                return Err(DsError::Interface(
+                    "a table-bound cell cannot hold a formula".into(),
+                ));
+            }
+            self.bound_set_value(bi, sheet, addr, Value::from_input(input))?;
+            self.flush_grid();
+            return Ok(self.sheets[sheet.0].value(addr));
+        }
         self.sheets[sheet.0].set_input(addr, input)?;
         self.flush_grid();
         Ok(self.sheets[sheet.0].value(addr))
@@ -147,7 +161,10 @@ impl Workbook {
     /// Write one literal cell value (replacing any formula there) and
     /// recompute its dependents.
     pub fn set_value(&mut self, sheet: SheetId, addr: CellAddr, v: Value) -> DsResult<Value> {
-        let old = self.sheets[sheet.0].set_value(addr, v)?;
+        let old = match self.binding_index_at(sheet, addr) {
+            Some(bi) => self.bound_set_value(bi, sheet, addr, v)?,
+            None => self.sheets[sheet.0].set_value(addr, v)?,
+        };
         self.flush_grid();
         Ok(old)
     }
@@ -159,7 +176,34 @@ impl Workbook {
         at: CellAddr,
         rows: &[Vec<Value>],
     ) -> DsResult<()> {
-        self.sheets[sheet.0].set_region(at, rows)?;
+        // Fast path when no cell of the target rectangle is bound; else
+        // route cell by cell so bound cells become table DML.
+        let width = rows.iter().map(Vec::len).max().unwrap_or(0) as u32;
+        let height = rows.len() as u32;
+        let routed = width > 0
+            && height > 0
+            && Range::from_bounds(at.row, at.col, at.row + height - 1, at.col + width - 1)
+                .iter_cells()
+                .any(|a| self.binding_index_at(sheet, a).is_some());
+        if routed {
+            // Bound cells become table DML one by one; the unbound
+            // remainder still batches into a single WAL transaction.
+            let mut plain: Vec<(CellAddr, Value)> = Vec::new();
+            for (dr, row) in rows.iter().enumerate() {
+                for (dc, v) in row.iter().enumerate() {
+                    let addr = CellAddr::new(at.row + dr as u32, at.col + dc as u32);
+                    match self.binding_index_at(sheet, addr) {
+                        Some(bi) => {
+                            self.bound_set_value(bi, sheet, addr, v.clone())?;
+                        }
+                        None => plain.push((addr, v.clone())),
+                    }
+                }
+            }
+            self.sheets[sheet.0].set_cells(&plain)?;
+        } else {
+            self.sheets[sheet.0].set_region(at, rows)?;
+        }
         self.flush_grid();
         Ok(())
     }
@@ -181,7 +225,12 @@ impl Workbook {
     /// Insert blank rows: cells and formulas shift, references on every
     /// sheet are rewritten, affected formulas recompute.
     pub fn insert_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        // Insertions inside a bound region become positional inserts of
+        // empty tuples on the backing table; validate the schema accepts
+        // them before the grid moves.
+        self.validate_insert_rows(sheet.0, at)?;
         self.sheets[sheet.0].insert_rows(at, count)?;
+        self.bindings_after_insert_rows(sheet.0, at, count)?;
         self.flush_grid();
         Ok(())
     }
@@ -189,7 +238,11 @@ impl Workbook {
     /// Delete rows: references into the span become `#REF!`, ranges shrink,
     /// affected formulas recompute.
     pub fn delete_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        // Deletions overlapping a bound region delete the covered tuples
+        // from the backing table; plan against pre-edit coordinates.
+        let plan = self.plan_delete_rows(sheet.0, at, count);
         self.sheets[sheet.0].delete_rows(at, count)?;
+        self.apply_delete_rows_plan(sheet.0, plan)?;
         self.flush_grid();
         Ok(())
     }
@@ -197,13 +250,16 @@ impl Workbook {
     /// Insert blank columns (see [`Workbook::insert_rows`]).
     pub fn insert_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
         self.sheets[sheet.0].insert_cols(at, count)?;
+        self.bindings_after_insert_cols(sheet.0, at, count)?;
         self.flush_grid();
         Ok(())
     }
 
     /// Delete columns (see [`Workbook::delete_rows`]).
     pub fn delete_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        let plan = self.plan_delete_cols(sheet.0, at, count);
         self.sheets[sheet.0].delete_cols(at, count)?;
+        self.apply_delete_cols_plan(sheet.0, plan)?;
         self.flush_grid();
         Ok(())
     }
@@ -262,8 +318,13 @@ impl Workbook {
     ///
     /// With a durable store attached ([`Workbook::save`]), each DML
     /// statement runs as one WAL transaction — durable when `execute`
-    /// returns `Ok` — and each successful DDL statement triggers a
-    /// checkpoint (schema changes are snapshot-persisted, not logged).
+    /// returns `Ok`. Successful `CREATE TABLE`/`DROP TABLE` append DDL
+    /// redo records to the WAL; `ALTER TABLE` triggers a checkpoint
+    /// (schema changes of existing tables are snapshot-persisted).
+    ///
+    /// After each DML/DDL statement the binding layer re-syncs: regions
+    /// bound to a changed table re-render and their dependent formulas
+    /// recompute (see [`Workbook::bind_table`]).
     pub fn execute(&mut self, sql: &str) -> DsResult<QueryResult> {
         let stmt = parse_statement(sql)?;
         self.execute_stmt(stmt)
@@ -293,6 +354,10 @@ impl Workbook {
                 | Statement::DropTable { .. }
                 | Statement::AlterTable { .. }
         );
+        // Capture what the post-statement hooks need before the statement is
+        // consumed: CREATE/DROP TABLE ride the WAL (no checkpoint) when they
+        // actually create/drop, and column DDL adjusts binding metadata.
+        let ddl_info = self.capture_ddl_info(&stmt);
         // One WAL transaction per DML statement: the attached tables append
         // redo records as they mutate; commit (fsync) seals the statement.
         let in_txn = if is_dml {
@@ -328,10 +393,110 @@ impl Workbook {
                 }
             }
         }
-        if is_ddl && result.is_ok() && self.store.is_some() {
-            self.checkpoint()?;
+        if result.is_ok() {
+            self.after_statement(&ddl_info)?;
+            if is_dml || is_ddl {
+                // Table-side changes flow back into bound regions, and the
+                // formulas watching them recompute.
+                self.sync_bindings()?;
+                self.flush_grid();
+            }
+            if matches!(ddl_info, DdlInfo::Alter { .. }) && self.store.is_some() {
+                // ALTER TABLE is still checkpoint-persisted (schema changes
+                // of existing tables are snapshot state, not logged — except
+                // the CREATE-carried schema).
+                self.checkpoint()?;
+            }
         }
         result
+    }
+
+    /// Pre-execution snapshot of the DDL facts the post-statement hooks
+    /// need (whether a CREATE/DROP will actually happen, which column an
+    /// ALTER touches).
+    fn capture_ddl_info(&self, stmt: &Statement) -> DdlInfo {
+        match stmt {
+            Statement::CreateTable { name, .. } => DdlInfo::Create {
+                table: name.clone(),
+                existed: self.catalog.contains(name),
+            },
+            Statement::DropTable { name, .. } => DdlInfo::Drop {
+                table: name.clone(),
+                existed: self.catalog.contains(name),
+            },
+            Statement::AlterTable { name, action } => DdlInfo::Alter {
+                table: name.clone(),
+                dropped_col: match action {
+                    dataspread_sql::ast::AlterAction::DropColumn(c) => self
+                        .catalog
+                        .get(name)
+                        .ok()
+                        .and_then(|t| t.schema().index_of(c))
+                        .map(|i| i as u32),
+                    _ => None,
+                },
+                added_col: matches!(action, dataspread_sql::ast::AlterAction::AddColumn { .. }),
+            },
+            _ => DdlInfo::None,
+        }
+    }
+
+    /// Post-statement hooks: WAL-log successful CREATE/DROP TABLE (the DDL
+    /// redo records that replace the old forced checkpoint), attach fresh
+    /// tables to the durable store, and adjust binding column metadata for
+    /// ALTER TABLE.
+    fn after_statement(&mut self, info: &DdlInfo) -> DsResult<()> {
+        match info {
+            DdlInfo::Create { table, existed } => {
+                if !existed {
+                    if let Some(store) = self.store.clone() {
+                        let t = self.catalog.get(table)?;
+                        let schema = t.schema().clone();
+                        let pool_pages = t.pool().capacity() as u64;
+                        store
+                            .wal
+                            .log(dataspread_relstore::wal::WalOp::CreateTable {
+                                table: table.clone(),
+                                schema,
+                                pool_pages,
+                            })?;
+                        // The new table logs its DML through the same WAL.
+                        store.attach_all(&mut self.catalog);
+                    }
+                }
+            }
+            DdlInfo::Drop { table, existed } => {
+                if *existed {
+                    if let Some(store) = &self.store {
+                        store.wal.log(dataspread_relstore::wal::WalOp::DropTable {
+                            table: table.clone(),
+                        })?;
+                    }
+                    // Bindings on the dropped table are detached (values
+                    // frozen) by the sync_bindings pass that follows.
+                }
+            }
+            DdlInfo::Alter {
+                table,
+                dropped_col,
+                added_col,
+            } => {
+                if let Some(idx) = dropped_col {
+                    let emptied = self.bindings.on_column_dropped(table, *idx);
+                    for id in emptied {
+                        self.detach_binding_clear(id)?;
+                    }
+                }
+                if *added_col {
+                    if let Ok(t) = self.catalog.get(table) {
+                        let idx = (t.schema().width() - 1) as u32;
+                        self.bindings.on_column_added(table, idx, None);
+                    }
+                }
+            }
+            DdlInfo::None => {}
+        }
+        Ok(())
     }
 
     /// Execute and demand a row set (convenience for queries).
@@ -483,7 +648,11 @@ impl Workbook {
         pos: usize,
         row: Vec<Value>,
     ) -> DsResult<RowKey> {
-        self.catalog.get_mut(table)?.insert_at(pos, row)
+        let key = self.catalog.get_mut(table)?.insert_at(pos, row)?;
+        // Bound regions displaying this table grow by one row.
+        self.sync_bindings()?;
+        self.flush_grid();
+        Ok(key)
     }
 
     /// Fetch the window of rows displayed at `[pos, pos + count)` — the query
@@ -496,6 +665,27 @@ impl Workbook {
     ) -> DsResult<Vec<(RowKey, Vec<Value>)>> {
         self.catalog.get(table)?.scan_window(pos, count)
     }
+}
+
+/// What the post-statement hooks need to know about a DDL statement,
+/// captured before execution consumes it.
+enum DdlInfo {
+    Create {
+        table: String,
+        existed: bool,
+    },
+    Drop {
+        table: String,
+        existed: bool,
+    },
+    Alter {
+        table: String,
+        /// Schema index of a `DROP COLUMN` target (resolved pre-execution).
+        dropped_col: Option<u32>,
+        /// Whether the action is `ADD COLUMN`.
+        added_col: bool,
+    },
+    None,
 }
 
 /// The header rule: a region's first row names its columns when every cell

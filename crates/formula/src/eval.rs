@@ -233,7 +233,121 @@ impl Acc {
     }
 }
 
+/// `VLOOKUP(needle, table_range, col_index, [approximate])`: find `needle`
+/// in the first column of `table_range` and return the row's value at
+/// 1-based `col_index`. The optional fourth argument selects approximate
+/// matching (default `TRUE`, spreadsheet convention: the last row whose
+/// first-column value is ≤ the needle, assuming sorted input); `FALSE`
+/// demands an exact match. No hit is `#N/A`; a bad column index is `#VALUE!`
+/// below 1 and `#REF!` past the range width.
+fn vlookup(args: &[Expr], cells: &dyn CellProvider) -> Value {
+    let needle = eval(&args[0], cells);
+    if let Some(e) = needle.as_error() {
+        return Value::Error(e);
+    }
+    let (sheet, range) = match eval_arg(&args[1], cells) {
+        Arg::Cells(s, r) => (s, r),
+        Arg::Scalar(v) => {
+            return Value::Error(v.as_error().unwrap_or(CellError::Value));
+        }
+    };
+    let col = match eval(&args[2], cells).coerce_i64() {
+        Ok(i) => i,
+        Err(e) => return Value::Error(e),
+    };
+    if col < 1 {
+        return Value::Error(CellError::Value);
+    }
+    if col as u64 > u64::from(range.width()) {
+        return Value::Error(CellError::Ref);
+    }
+    let approximate = match args.get(3) {
+        Some(a) => match eval(a, cells).coerce_bool() {
+            Ok(b) => b,
+            Err(e) => return Value::Error(e),
+        },
+        None => true,
+    };
+    let result_col = range.start.col + (col - 1) as u32;
+    let mut best: Option<u32> = None;
+    for row in range.start.row..=range.end.row {
+        let key = match cells.cell_value(&sheet, CellAddr::new(row, range.start.col)) {
+            Ok(v) => v,
+            Err(e) => return Value::Error(e),
+        };
+        if let Some(e) = key.as_error() {
+            return Value::Error(e);
+        }
+        if key.is_empty() {
+            continue;
+        }
+        match key.compare(&needle) {
+            Some(std::cmp::Ordering::Equal) => {
+                best = Some(row);
+                break;
+            }
+            Some(std::cmp::Ordering::Less) if approximate => best = Some(row),
+            _ => {}
+        }
+    }
+    match best {
+        Some(row) => match cells.cell_value(&sheet, CellAddr::new(row, result_col)) {
+            Ok(v) => v,
+            Err(e) => Value::Error(e),
+        },
+        None => Value::Error(CellError::Na),
+    }
+}
+
+/// `CONCAT(a, b, …)`: concatenate every argument's text. Range arguments
+/// contribute each non-empty cell in row-major order; any error propagates.
+fn concat(args: &[Expr], cells: &dyn CellProvider) -> Value {
+    let mut out = String::new();
+    for arg in args {
+        let as_cells = match arg {
+            Expr::Cell(c) => Some((c.sheet.clone(), dataspread_types::Range::cell(c.addr))),
+            _ => match eval_arg(arg, cells) {
+                Arg::Cells(sheet, range) => Some((sheet, range)),
+                Arg::Scalar(v) => {
+                    if let Some(e) = v.as_error() {
+                        return Value::Error(e);
+                    }
+                    match v.coerce_text() {
+                        Ok(t) => out.push_str(&t),
+                        Err(e) => return Value::Error(e),
+                    }
+                    None
+                }
+            },
+        };
+        if let Some((sheet, range)) = as_cells {
+            for addr in range.iter_cells() {
+                let v = match cells.cell_value(&sheet, addr) {
+                    Ok(v) => v,
+                    Err(e) => return Value::Error(e),
+                };
+                if let Some(e) = v.as_error() {
+                    return Value::Error(e);
+                }
+                if v.is_empty() {
+                    continue;
+                }
+                match v.coerce_text() {
+                    Ok(t) => out.push_str(&t),
+                    Err(e) => return Value::Error(e),
+                }
+            }
+        }
+    }
+    Value::Text(out)
+}
+
 fn call(f: Func, args: &[Expr], cells: &dyn CellProvider) -> Value {
+    match f {
+        Func::Vlookup => return vlookup(args, cells),
+        Func::Concat => return concat(args, cells),
+        _ => {}
+    }
     if f == Func::If {
         // Lazy: only the taken branch is evaluated.
         let cond = eval(&args[0], cells);
@@ -317,7 +431,7 @@ fn call(f: Func, args: &[Expr], cells: &dyn CellProvider) -> Value {
         }
         Func::Min => acc.min.unwrap_or(Value::Int(0)),
         Func::Max => acc.max.unwrap_or(Value::Int(0)),
-        Func::If => unreachable!("handled above"),
+        Func::If | Func::Vlookup | Func::Concat => unreachable!("handled above"),
     }
 }
 
@@ -454,6 +568,86 @@ mod tests {
         // …but a direct literal argument coerces, and bad text errors.
         assert_eq!(run("=SUM(\"12\")", &g), Value::Float(12.0));
         assert_eq!(run("=SUM(\"abc\")", &g), Value::Error(CellError::Value));
+    }
+
+    #[test]
+    fn vlookup_exact_and_approximate() {
+        let mut g = Grid::default();
+        g.set("A1", 10)
+            .set("B1", "ten")
+            .set("A2", 20)
+            .set("B2", "twenty")
+            .set("A3", 30)
+            .set("B3", "thirty");
+        // Exact match.
+        assert_eq!(run("=VLOOKUP(20,A1:B3,2,FALSE)", &g), Value::text("twenty"));
+        assert_eq!(
+            run("=VLOOKUP(25,A1:B3,2,FALSE)", &g),
+            Value::Error(CellError::Na)
+        );
+        // Approximate (default): last key ≤ needle.
+        assert_eq!(run("=VLOOKUP(25,A1:B3,2)", &g), Value::text("twenty"));
+        assert_eq!(run("=VLOOKUP(99,A1:B3,2)", &g), Value::text("thirty"));
+        assert_eq!(
+            run("=VLOOKUP(5,A1:B3,2)", &g),
+            Value::Error(CellError::Na),
+            "needle below every key"
+        );
+        // Column 1 returns the key itself; text keys compare caselessly.
+        assert_eq!(run("=VLOOKUP(30,A1:B3,1,FALSE)", &g), Value::Int(30));
+        g.set("A4", "Zed").set("B4", 4);
+        assert_eq!(run("=VLOOKUP(\"zed\",A1:B4,2,FALSE)", &g), Value::Int(4));
+        // Bad column index: #VALUE! below 1, #REF! past the width.
+        assert_eq!(
+            run("=VLOOKUP(10,A1:B3,0,FALSE)", &g),
+            Value::Error(CellError::Value)
+        );
+        assert_eq!(
+            run("=VLOOKUP(10,A1:B3,3,FALSE)", &g),
+            Value::Error(CellError::Ref)
+        );
+        // A scalar where the table range belongs is #VALUE!.
+        assert_eq!(
+            run("=VLOOKUP(10,5,1,FALSE)", &g),
+            Value::Error(CellError::Value)
+        );
+        // Empty keys are skipped, not matched.
+        assert_eq!(
+            run("=VLOOKUP(0,C1:D3,2,FALSE)", &g),
+            Value::Error(CellError::Na)
+        );
+    }
+
+    #[test]
+    fn vlookup_propagates_errors() {
+        let mut g = Grid::default();
+        g.set("A1", Value::Error(CellError::Div0)).set("B1", 1);
+        assert_eq!(
+            run("=VLOOKUP(1,A1:B1,2,FALSE)", &g),
+            Value::Error(CellError::Div0)
+        );
+        assert_eq!(
+            run("=VLOOKUP(A1,C1:D2,2,FALSE)", &g),
+            Value::Error(CellError::Div0),
+            "error needle propagates"
+        );
+    }
+
+    #[test]
+    fn concat_joins_scalars_and_ranges() {
+        let mut g = Grid::default();
+        g.set("A1", "a").set("A2", 2).set("A3", true);
+        assert_eq!(run("=CONCAT(A1:A3)", &g), Value::text("a2TRUE"));
+        assert_eq!(
+            run("=CONCAT(\"x\",A1,\"-\",A2)", &g),
+            Value::text("xa-2"),
+            "scalars and refs interleave"
+        );
+        // CONCATENATE alias; empties are skipped.
+        assert_eq!(run("=CONCATENATE(A1,Z9,A2)", &g), Value::text("a2"));
+        // Errors poison the result.
+        g.set("A2", Value::Error(CellError::Ref));
+        assert_eq!(run("=CONCAT(A1:A3)", &g), Value::Error(CellError::Ref));
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * references: `A1`, `$A$1`, `B2:D10`, `Sheet2!A1`, `Data!$A$1:C9`
 //! * operators: `+ - * / ^` (unary minus binds tighter than `^`, as in
 //!   spreadsheets: `-2^2 = 4`), `&` concatenation, `= <> < <= > >=`
-//! * functions: `SUM`, `AVG`/`AVERAGE`, `MIN`, `MAX`, `COUNT`, `IF`
+//! * functions: `SUM`, `AVG`/`AVERAGE`, `MIN`, `MAX`, `COUNT`, `IF`,
+//!   `VLOOKUP`, `CONCAT`/`CONCATENATE`
 //!
 //! Structural grid edits (insert/delete rows/columns) rewrite references via
 //! [`Formula::adjust`]; a reference whose target is deleted collapses to the
@@ -77,6 +78,8 @@ pub enum Func {
     Max,
     Count,
     If,
+    Vlookup,
+    Concat,
 }
 
 impl Func {
@@ -89,6 +92,8 @@ impl Func {
             "MAX" => Func::Max,
             "COUNT" => Func::Count,
             "IF" => Func::If,
+            "VLOOKUP" => Func::Vlookup,
+            "CONCAT" | "CONCATENATE" => Func::Concat,
             _ => return None,
         })
     }
@@ -101,6 +106,8 @@ impl Func {
             Func::Max => "MAX",
             Func::Count => "COUNT",
             Func::If => "IF",
+            Func::Vlookup => "VLOOKUP",
+            Func::Concat => "CONCAT",
         }
     }
 
@@ -108,6 +115,7 @@ impl Func {
     pub fn arity(self) -> std::ops::RangeInclusive<usize> {
         match self {
             Func::If => 2..=3,
+            Func::Vlookup => 3..=4,
             _ => 1..=255,
         }
     }

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binding;
 pub mod bufferpool;
 pub mod catalog;
 pub mod codec;
@@ -39,6 +40,7 @@ pub mod snapshot;
 pub mod table;
 pub mod wal;
 
+pub use binding::{BindModel, BindingMeta};
 pub use bufferpool::{BufferPool, PageRef, PoolSnapshot, PoolStats};
 pub use catalog::{Catalog, DEFAULT_POLICY};
 pub use page::{Page, PAGE_SIZE};

@@ -171,6 +171,51 @@ impl Schema {
         })
     }
 
+    /// Serialize the schema (columns then pkey indices) — the layout shared
+    /// by the table checkpoint section and the `CREATE TABLE` WAL record.
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        use crate::codec::{put_str, put_u16};
+        put_u16(buf, self.width() as u16);
+        for c in &self.columns {
+            put_str(buf, &c.name);
+            buf.push(dtype_code(c.dtype));
+            buf.push(c.nullable as u8);
+        }
+        put_u16(buf, self.pkey.len() as u16);
+        for &i in &self.pkey {
+            put_u16(buf, i as u16);
+        }
+    }
+
+    /// Decode a schema serialized by [`Schema::encode`].
+    pub(crate) fn decode(cur: &mut crate::codec::Cursor<'_>) -> DsResult<Schema> {
+        let ncols = cur.u16()? as usize;
+        let mut defs = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let cname = cur.str()?;
+            let dtype = dtype_from_code(cur.u8()?)?;
+            let nullable = cur.u8()? != 0;
+            let mut def = ColumnDef::new(cname, dtype);
+            def.nullable = nullable;
+            defs.push(def);
+        }
+        let npk = cur.u16()? as usize;
+        let mut pk_names = Vec::with_capacity(npk);
+        for _ in 0..npk {
+            let i = cur.u16()? as usize;
+            if i >= defs.len() {
+                return Err(DsError::Storage("schema: pkey index out of range".into()));
+            }
+            pk_names.push(defs[i].name.clone());
+        }
+        let mut schema = Schema::new(defs)?;
+        if !pk_names.is_empty() {
+            let names: Vec<&str> = pk_names.iter().map(String::as_str).collect();
+            schema = schema.with_pkey(&names)?;
+        }
+        Ok(schema)
+    }
+
     /// Extract the primary-key tuple from a conforming row.
     pub fn key_of(&self, row: &[Value]) -> Option<KeyTuple> {
         if self.pkey.is_empty() {
@@ -237,6 +282,29 @@ impl Schema {
         self.columns[i].name = to.to_string();
         Ok(i)
     }
+}
+
+/// On-disk code of a [`DataType`] (shared by snapshots and WAL records).
+pub(crate) fn dtype_code(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Any => 4,
+    }
+}
+
+/// Inverse of [`dtype_code`].
+pub(crate) fn dtype_from_code(c: u8) -> DsResult<DataType> {
+    Ok(match c {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Any,
+        other => return Err(DsError::Storage(format!("snapshot: bad dtype {other}"))),
+    })
 }
 
 impl fmt::Display for Schema {

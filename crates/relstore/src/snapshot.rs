@@ -73,10 +73,11 @@ pub struct LoadedCatalog {
     pub generation: u64,
     /// Committed *table* WAL operations replayed on top of the checkpoint.
     pub replayed: usize,
-    /// Committed interface-layer (sheet) operations, in commit order. The
-    /// relational layer cannot apply these; the engine replays them against
-    /// its decoded sheets.
-    pub sheet_ops: Vec<crate::wal::WalOp>,
+    /// Committed engine-layer operations (sheet edits, binding
+    /// create/drop), in commit order. The relational layer cannot apply
+    /// these; the engine replays them against its decoded sheets and
+    /// binding registry.
+    pub engine_ops: Vec<crate::wal::WalOp>,
 }
 
 /// Best-effort directory fsync so a rename survives power loss.
@@ -164,12 +165,12 @@ pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
     // generation means its effects are already folded into the snapshot; a
     // missing or unreadable header means there is nothing to replay.
     let mut replayed = 0;
-    let mut sheet_ops = Vec::new();
+    let mut engine_ops = Vec::new();
     if let Some(scan) = scan_wal(dir.join(WAL_FILE))? {
         if scan.generation == generation {
             let ops = committed_ops(&scan);
             replayed = apply_committed(&mut catalog, &ops)?;
-            sheet_ops = ops.into_iter().filter(|op| op.is_sheet_op()).collect();
+            engine_ops = ops.into_iter().filter(|op| op.is_engine_op()).collect();
         } else if scan.generation > generation {
             return Err(DsError::Storage(format!(
                 "wal generation {} is newer than snapshot generation {generation}",
@@ -182,7 +183,7 @@ pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
         extra_meta,
         generation,
         replayed,
-        sheet_ops,
+        engine_ops,
     })
 }
 

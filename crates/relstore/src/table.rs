@@ -146,6 +146,10 @@ pub struct Table {
     wal: Option<Arc<WalWriter>>,
     /// Page file receiving dirty-eviction write-backs when attached.
     pager: Option<Arc<PageFile>>,
+    /// In-memory mutation counter: bumped by every DML and schema change, so
+    /// observers (the engine's binding layer) can skip work when a table has
+    /// not changed. Not persisted — restarts reset it to zero.
+    version: u64,
 }
 
 impl Table {
@@ -179,6 +183,7 @@ impl Table {
             pool: BufferPool::new(pool_pages),
             wal: None,
             pager: None,
+            version: 0,
         };
         t.rebuild_col_group();
         t
@@ -216,6 +221,13 @@ impl Table {
     /// Number of rows.
     pub fn row_count(&self) -> usize {
         self.order.len()
+    }
+
+    /// Mutation counter: bumped by every successful DML and schema change.
+    /// Observers compare versions to skip refreshing from an unchanged
+    /// table. In-memory only; reopening a store resets it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Logical page-touch counters.
@@ -445,6 +457,7 @@ impl Table {
             pos: pos as u64,
             row,
         })?;
+        self.version += 1;
         Ok(key)
     }
 
@@ -546,6 +559,7 @@ impl Table {
             col: col as u32,
             value: frag[off].clone(),
         })?;
+        self.version += 1;
         Ok(old)
     }
 
@@ -586,6 +600,7 @@ impl Table {
             key,
             row,
         })?;
+        self.version += 1;
         Ok(())
     }
 
@@ -613,6 +628,7 @@ impl Table {
             table: self.name.clone(),
             key,
         })?;
+        self.version += 1;
         Ok(pos)
     }
 
@@ -742,6 +758,7 @@ impl Table {
             }
         }
         self.rebuild_col_group();
+        self.version += 1;
         Ok(())
     }
 
@@ -774,12 +791,14 @@ impl Table {
             }
         }
         self.rebuild_col_group();
+        self.version += 1;
         Ok(())
     }
 
     /// `ALTER TABLE RENAME COLUMN` — metadata only under every layout.
     pub fn rename_column(&mut self, from: &str, to: &str) -> DsResult<()> {
         self.schema.rename_column(from, to)?;
+        self.version += 1;
         Ok(())
     }
 
@@ -857,17 +876,9 @@ impl Table {
         }
         put_u64(buf, self.next_key);
         put_u64(buf, self.pool.capacity() as u64);
-        // Schema: columns then pkey indices.
-        put_u16(buf, self.schema.width() as u16);
-        for c in self.schema.columns() {
-            put_str(buf, &c.name);
-            buf.push(dtype_code(c.dtype));
-            buf.push(c.nullable as u8);
-        }
-        put_u16(buf, self.schema.pkey().len() as u16);
-        for &i in self.schema.pkey() {
-            put_u16(buf, i as u16);
-        }
+        // Schema: columns then pkey indices (layout shared with the WAL's
+        // CREATE TABLE record).
+        self.schema.encode(buf);
         // Presentation order.
         let order = self.order.to_vec();
         put_u64(buf, order.len() as u64);
@@ -924,30 +935,7 @@ impl Table {
         };
         let next_key = cur.u64()?;
         let pool_pages = (cur.u64()? as usize).max(1);
-        let ncols = cur.u16()? as usize;
-        let mut defs = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            let cname = cur.str()?;
-            let dtype = dtype_from_code(cur.u8()?)?;
-            let nullable = cur.u8()? != 0;
-            let mut def = ColumnDef::new(cname, dtype);
-            def.nullable = nullable;
-            defs.push(def);
-        }
-        let npk = cur.u16()? as usize;
-        let mut pk_names = Vec::with_capacity(npk);
-        for _ in 0..npk {
-            let i = cur.u16()? as usize;
-            if i >= defs.len() {
-                return Err(DsError::Storage("snapshot: pkey index out of range".into()));
-            }
-            pk_names.push(defs[i].name.clone());
-        }
-        let mut schema = Schema::new(defs)?;
-        if !pk_names.is_empty() {
-            let names: Vec<&str> = pk_names.iter().map(String::as_str).collect();
-            schema = schema.with_pkey(&names)?;
-        }
+        let schema = Schema::decode(cur)?;
         let norder = cur.u64()? as usize;
         let mut order_keys = Vec::with_capacity(norder);
         for _ in 0..norder {
@@ -999,6 +987,7 @@ impl Table {
             pool: BufferPool::new(pool_pages),
             wal: None,
             pager: None,
+            version: 0,
         };
         t.rebuild_col_group();
         // Rebuild the primary-key index from the restored rows.
@@ -1016,29 +1005,6 @@ impl Table {
         }
         Ok(t)
     }
-}
-
-fn dtype_code(d: dataspread_types::DataType) -> u8 {
-    use dataspread_types::DataType::*;
-    match d {
-        Bool => 0,
-        Int => 1,
-        Float => 2,
-        Text => 3,
-        Any => 4,
-    }
-}
-
-fn dtype_from_code(c: u8) -> DsResult<dataspread_types::DataType> {
-    use dataspread_types::DataType::*;
-    Ok(match c {
-        0 => Bool,
-        1 => Int,
-        2 => Float,
-        3 => Text,
-        4 => Any,
-        other => return Err(DsError::Storage(format!("snapshot: bad dtype {other}"))),
-    })
 }
 
 /// Streaming row iterator over a [`Table`] in presentation order; reads only

@@ -24,9 +24,11 @@ use std::sync::Mutex;
 use dataspread_posindex::RowKey;
 use dataspread_types::{DsError, DsResult, Value};
 
+use crate::binding::BindingMeta;
 use crate::catalog::Catalog;
 use crate::codec::{encode_value, io_err, put_str, put_u16, put_u32, put_u64, Cursor};
 use crate::crc::crc32;
+use crate::schema::Schema;
 
 /// Magic bytes opening a WAL file: `"DSWL"`.
 pub const WAL_MAGIC: [u8; 4] = *b"DSWL";
@@ -45,6 +47,10 @@ const TAG_UPDATE_ROW: u8 = 5;
 const TAG_DELETE: u8 = 6;
 const TAG_SHEET_CELL: u8 = 7;
 const TAG_SHEET_GRID: u8 = 8;
+const TAG_BIND_CREATE: u8 = 9;
+const TAG_BIND_DROP: u8 = 10;
+const TAG_CREATE_TABLE: u8 = 11;
+const TAG_DROP_TABLE: u8 = 12;
 
 /// What a logged sheet-cell write holds: the *logical input*, not the
 /// computed display value — a literal, or formula source text that the
@@ -156,6 +162,33 @@ pub enum WalOp {
         /// Number of rows/columns inserted or deleted.
         count: u32,
     },
+    /// A table binding registered on a sheet region (engine-replayed).
+    BindCreate {
+        /// The full binding description.
+        meta: BindingMeta,
+    },
+    /// A table binding removed (engine-replayed).
+    BindDrop {
+        /// Id of the dropped binding.
+        id: u64,
+    },
+    /// `CREATE TABLE`: the DDL redo record that lets table creation ride the
+    /// log instead of forcing a checkpoint.
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// The schema the table was created with.
+        schema: Schema,
+        /// Buffer-pool capacity (frames) the table was created with —
+        /// replay restores it directly, because the workbook's configured
+        /// default is not yet decoded when the WAL replays.
+        pool_pages: u64,
+    },
+    /// `DROP TABLE` (DDL redo record).
+    DropTable {
+        /// Dropped table name.
+        table: String,
+    },
 }
 
 impl WalOp {
@@ -163,6 +196,13 @@ impl WalOp {
     /// [`apply_committed`] and surfaced to the engine for replay instead.
     pub fn is_sheet_op(&self) -> bool {
         matches!(self, WalOp::SheetCell { .. } | WalOp::SheetGrid { .. })
+    }
+
+    /// Is this an engine-layer operation — a sheet edit or a binding
+    /// create/drop? Engine ops are skipped by [`apply_committed`] and
+    /// surfaced to the engine for replay in commit order.
+    pub fn is_engine_op(&self) -> bool {
+        self.is_sheet_op() || matches!(self, WalOp::BindCreate { .. } | WalOp::BindDrop { .. })
     }
 }
 
@@ -280,6 +320,32 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
                 put_u32(&mut buf, *at);
                 put_u32(&mut buf, *count);
             }
+            WalOp::BindCreate { meta } => {
+                buf.push(TAG_BIND_CREATE);
+                put_u64(&mut buf, *txn);
+                meta.encode(&mut buf);
+            }
+            WalOp::BindDrop { id } => {
+                buf.push(TAG_BIND_DROP);
+                put_u64(&mut buf, *txn);
+                put_u64(&mut buf, *id);
+            }
+            WalOp::CreateTable {
+                table,
+                schema,
+                pool_pages,
+            } => {
+                buf.push(TAG_CREATE_TABLE);
+                put_u64(&mut buf, *txn);
+                put_str(&mut buf, table);
+                schema.encode(&mut buf);
+                put_u64(&mut buf, *pool_pages);
+            }
+            WalOp::DropTable { table } => {
+                buf.push(TAG_DROP_TABLE);
+                put_u64(&mut buf, *txn);
+                put_str(&mut buf, table);
+            }
         },
     }
     buf
@@ -385,6 +451,33 @@ fn decode_record(payload: &[u8]) -> DsResult<WalRecord> {
                 },
             }
         }
+        TAG_BIND_CREATE => WalRecord::Op {
+            txn,
+            op: WalOp::BindCreate {
+                meta: BindingMeta::decode(&mut cur)?,
+            },
+        },
+        TAG_BIND_DROP => WalRecord::Op {
+            txn,
+            op: WalOp::BindDrop { id: cur.u64()? },
+        },
+        TAG_CREATE_TABLE => {
+            let table = cur.str()?;
+            let schema = Schema::decode(&mut cur)?;
+            let pool_pages = cur.u64()?;
+            WalRecord::Op {
+                txn,
+                op: WalOp::CreateTable {
+                    table,
+                    schema,
+                    pool_pages,
+                },
+            }
+        }
+        TAG_DROP_TABLE => WalRecord::Op {
+            txn,
+            op: WalOp::DropTable { table: cur.str()? },
+        },
         other => return Err(DsError::Storage(format!("wal: bad record tag {other}"))),
     };
     if !cur.is_empty() {
@@ -617,10 +710,11 @@ pub fn committed_ops(scan: &WalScan) -> Vec<WalOp> {
     committed
 }
 
-/// Replay committed *table* redo operations against a catalog restored from
-/// the matching checkpoint. Sheet operations ([`WalOp::is_sheet_op`]) are
-/// skipped — the interface layer replays those against its decoded sheets.
-/// Returns the number of table operations applied.
+/// Replay committed *table* redo operations — DML and `CREATE`/`DROP TABLE`
+/// DDL — against a catalog restored from the matching checkpoint. Engine
+/// operations ([`WalOp::is_engine_op`]: sheet edits and binding
+/// create/drop) are skipped — the engine replays those against its decoded
+/// sheets. Returns the number of table operations applied.
 ///
 /// Tables must *not* have a WAL attached during replay (a freshly decoded
 /// snapshot does not), or the recovery would re-log itself.
@@ -654,7 +748,26 @@ pub fn apply_committed(catalog: &mut Catalog, ops: &[WalOp]) -> DsResult<usize> 
             WalOp::Delete { table, key } => {
                 catalog.get_mut(table)?.delete_row(*key)?;
             }
-            WalOp::SheetCell { .. } | WalOp::SheetGrid { .. } => continue,
+            WalOp::CreateTable {
+                table,
+                schema,
+                pool_pages,
+            } => {
+                let t = crate::table::Table::with_pool_capacity(
+                    table.clone(),
+                    schema.clone(),
+                    crate::catalog::DEFAULT_POLICY,
+                    (*pool_pages as usize).max(1),
+                );
+                catalog.insert_table(t)?;
+            }
+            WalOp::DropTable { table } => {
+                catalog.drop_table(table)?;
+            }
+            WalOp::SheetCell { .. }
+            | WalOp::SheetGrid { .. }
+            | WalOp::BindCreate { .. }
+            | WalOp::BindDrop { .. } => continue,
         }
         applied += 1;
     }
@@ -735,6 +848,45 @@ mod tests {
                     edit: GridEditKind::DeleteRows,
                     at: 4,
                     count: 2,
+                },
+            },
+            WalRecord::Op {
+                txn: 3,
+                op: WalOp::BindCreate {
+                    meta: BindingMeta {
+                        id: 5,
+                        sheet: "Sheet1".into(),
+                        table: "t".into(),
+                        row: 2,
+                        col: 3,
+                        model: crate::binding::BindModel::Tom,
+                        cols: vec![0, 1, 2],
+                    },
+                },
+            },
+            WalRecord::Op {
+                txn: 3,
+                op: WalOp::BindDrop { id: 5 },
+            },
+            WalRecord::Op {
+                txn: 4,
+                op: WalOp::CreateTable {
+                    table: "fresh".into(),
+                    schema: Schema::new(vec![
+                        crate::schema::ColumnDef::new("id", dataspread_types::DataType::Int)
+                            .not_null(),
+                        crate::schema::ColumnDef::new("name", dataspread_types::DataType::Text),
+                    ])
+                    .unwrap()
+                    .with_pkey(&["id"])
+                    .unwrap(),
+                    pool_pages: 64,
+                },
+            },
+            WalRecord::Op {
+                txn: 4,
+                op: WalOp::DropTable {
+                    table: "fresh".into(),
                 },
             },
         ] {
