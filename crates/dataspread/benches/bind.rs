@@ -30,7 +30,7 @@ fn workbook_with_bound_table() -> Workbook {
     let mut wb = Workbook::new();
     wb.execute("CREATE TABLE big (a INT, b INT)").unwrap();
     {
-        let t = wb.catalog_mut().get_mut("big").unwrap();
+        let mut t = wb.catalog_mut().get_mut("big").unwrap();
         for i in 0..ROWS as i64 {
             t.insert(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
         }

@@ -1,0 +1,254 @@
+//! Experiment C-conc: the concurrent engine under parallel load.
+//!
+//! Run with `cargo bench -p dataspread --bench concurrent`. Three sections:
+//!
+//! 1. **Scan scaling** — N reader threads (1/2/4/8) scan snapshots of a
+//!    1M-row table concurrently. Each iteration is one full-table snapshot
+//!    scan; `ns_per_iter` is wall time divided by *aggregate* completed
+//!    scans, so perfect scaling halves it per thread doubling — on a host
+//!    with cores to scale onto (the `cpus` field in the summary line). On a
+//!    single-core host the signal is instead that aggregate throughput
+//!    stays ~flat as readers are added: snapshot scans share no lock, so
+//!    extra readers time-slice without convoying.
+//! 2. **HTAP mix** — 4 snapshot readers over the hot table while 2 shard
+//!    writers append to disjoint tables; both sides report throughput.
+//! 3. **Group commit** — 8 concurrent auto-committing writers against a
+//!    durable store; reports commits, fsyncs, and the commits/fsync batch
+//!    factor (bar: ≥4).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dataspread::{SharedWorkbook, Workbook};
+use dataspread_testkit::{black_box, report_json, Measurement};
+use dataspread_types::Value;
+
+const SCAN_ROWS: usize = 1_000_000;
+const TARGET: Duration = Duration::from_millis(400);
+/// A single 1M-row scan takes hundreds of ms; give the scaling arms enough
+/// wall time to complete several aggregate iterations per thread count.
+const SCAN_TARGET: Duration = Duration::from_millis(2_000);
+
+fn build_shared(scan_rows: usize) -> SharedWorkbook {
+    let mut wb = Workbook::new();
+    wb.execute_script(
+        "CREATE TABLE big (id INT, v INT);
+         CREATE TABLE w0 (id INT, v INT);
+         CREATE TABLE w1 (id INT, v INT);",
+    )
+    .unwrap();
+    {
+        let mut t = wb.catalog_mut().get_mut("big").unwrap();
+        let mut batch = Vec::with_capacity(10_000);
+        for i in 0..scan_rows as i64 {
+            batch.push(vec![Value::Int(i), Value::Int(i * 10)]);
+            if batch.len() == 10_000 {
+                t.insert_many(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            t.insert_many(batch).unwrap();
+        }
+    }
+    SharedWorkbook::new(wb)
+}
+
+/// One full scan of the snapshot: sum the value column.
+fn scan_once(shared: &SharedWorkbook) -> i64 {
+    let snap = shared.read(|s| s.table_snapshot("big").unwrap());
+    let mut sum = 0i64;
+    for r in snap.into_iter_sparse(Some(&[1])) {
+        if let Value::Int(v) = r.unwrap().1[1] {
+            sum += v;
+        }
+    }
+    sum
+}
+
+/// N threads scan concurrently for `TARGET`; returns (aggregate scans, wall).
+fn parallel_scans(shared: &SharedWorkbook, threads: usize) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let sh = shared.clone();
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    black_box(scan_once(&sh));
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    thread::sleep(SCAN_TARGET);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    Measurement {
+        iters: total.load(Ordering::Relaxed).max(1),
+        total: start.elapsed(),
+    }
+}
+
+fn section_scan_scaling(shared: &SharedWorkbook) -> (f64, f64) {
+    println!("-- scan scaling: N snapshot readers over {SCAN_ROWS} rows --");
+    let mut base = 0.0;
+    let mut at4 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let m = parallel_scans(shared, threads);
+        let scans_per_sec = m.iters as f64 / m.total.as_secs_f64();
+        println!(
+            "  {threads} reader(s): {scans_per_sec:.1} scans/s aggregate ({:.1} ms/scan effective)",
+            m.per_iter_ns() / 1e6
+        );
+        report_json(&format!("concurrent_scan/t{threads}"), SCAN_ROWS, &m);
+        if threads == 1 {
+            base = scans_per_sec;
+        }
+        if threads == 4 {
+            at4 = scans_per_sec;
+        }
+    }
+    (base, at4)
+}
+
+fn section_htap(shared: &SharedWorkbook) {
+    println!("-- HTAP mix: 4 snapshot readers + 2 disjoint shard writers --");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scans = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let sh = shared.clone();
+        let stop = Arc::clone(&stop);
+        let scans = Arc::clone(&scans);
+        handles.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                black_box(scan_once(&sh));
+                scans.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for w in 0..2i64 {
+        let sh = shared.clone();
+        let stop = Arc::clone(&stop);
+        let writes = Arc::clone(&writes);
+        let table = if w == 0 { "w0" } else { "w1" };
+        handles.push(thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                sh.with_table_mut(table, |t| t.insert(vec![Value::Int(i), Value::Int(i * 10)]))
+                    .unwrap();
+                writes.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+    thread::sleep(TARGET);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall = start.elapsed();
+    let scan_m = Measurement {
+        iters: scans.load(Ordering::Relaxed).max(1),
+        total: wall,
+    };
+    let write_m = Measurement {
+        iters: writes.load(Ordering::Relaxed).max(1),
+        total: wall,
+    };
+    println!(
+        "  readers: {:.1} scans/s; writers: {:.0} inserts/s (neither side starves)",
+        scan_m.iters as f64 / wall.as_secs_f64(),
+        write_m.iters as f64 / wall.as_secs_f64()
+    );
+    report_json("concurrent_htap/read", SCAN_ROWS, &scan_m);
+    report_json("concurrent_htap/write", write_m.iters as usize, &write_m);
+}
+
+fn section_group_commit() {
+    println!("-- group commit: 8 auto-committing writers on disjoint shards --");
+    let dir = std::env::temp_dir().join(format!("dsp-bench-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const WRITERS: i64 = 8;
+    const OPS: i64 = 250;
+    let mut wb = Workbook::new();
+    for w in 0..WRITERS {
+        wb.execute(&format!("CREATE TABLE gc{w} (id INT, v INT)"))
+            .unwrap();
+    }
+    wb.save(&dir).unwrap();
+    let shared = SharedWorkbook::new(wb);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let sh = shared.clone();
+            // Disjoint shards: the only thing these writers contend on is
+            // the shared WAL — exactly the group-commit scenario.
+            let table = format!("gc{w}");
+            thread::spawn(move || {
+                for seq in 0..OPS {
+                    let id = w * 1_000_000 + seq;
+                    sh.with_table_mut(&table, |t| {
+                        t.insert(vec![Value::Int(id), Value::Int(id * 10)])
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall = start.elapsed();
+    let wb = shared.try_into_inner().expect("last handle");
+    let stats = wb.group_commit_stats().unwrap();
+    let batch = stats.commits as f64 / stats.fsyncs.max(1) as f64;
+    let m = Measurement {
+        iters: (WRITERS * OPS) as u64,
+        total: wall,
+    };
+    println!(
+        "  {} commits over {} fsyncs -> {batch:.1} commits/fsync ({:.0} durable ops/s)",
+        stats.commits,
+        stats.fsyncs,
+        m.iters as f64 / wall.as_secs_f64()
+    );
+    report_json("concurrent_group_commit/ops", m.iters as usize, &m);
+    println!(
+        "BENCH_JSON {{\"bench\":\"concurrent_group_commit/batch\",\"rows\":{},\"ns_per_iter\":{:.1},\"iters\":{},\"commits\":{},\"fsyncs\":{},\"commits_per_fsync\":{batch:.2}}}",
+        m.iters,
+        m.per_iter_ns(),
+        m.iters,
+        stats.commits,
+        stats.fsyncs,
+    );
+    drop(wb);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let cpus = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== concurrent engine benchmarks ({cpus} cpu(s)) ==");
+    let shared = build_shared(SCAN_ROWS);
+    let (base, at4) = section_scan_scaling(&shared);
+    section_htap(&shared);
+    section_group_commit();
+    let speedup = at4 / base;
+    println!("summary: 4-thread scan speedup {speedup:.2}x over 1 thread on {cpus} cpu(s)");
+    println!(
+        "BENCH_JSON {{\"bench\":\"concurrent_scan/speedup_t4\",\"rows\":{SCAN_ROWS},\"ns_per_iter\":{:.1},\"iters\":1,\"speedup_t4\":{speedup:.2},\"cpus\":{cpus}}}",
+        1e9 / base.max(1e-9)
+    );
+}

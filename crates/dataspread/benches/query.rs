@@ -40,7 +40,7 @@ fn workbook(n: usize) -> Workbook {
     let keys = (n / 10).max(1) as u64;
     let mut rng = Rng::new(0xC0_1A);
     for table in ["l", "r"] {
-        let t = wb.catalog_mut().get_mut(table).unwrap();
+        let mut t = wb.catalog_mut().get_mut(table).unwrap();
         for _ in 0..n {
             t.insert(vec![
                 Value::Int(rng.below(keys) as i64),

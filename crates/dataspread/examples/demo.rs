@@ -15,24 +15,24 @@ fn main() {
     let sheet = wb.current_sheet();
 
     // A grade book typed straight onto the grid.
-    wb.sheet_mut(sheet)
-        .set_region(
-            a("A1"),
-            &[
-                vec![Value::text("id"), Value::text("name"), Value::text("score")],
-                vec![Value::Int(1), Value::text("ada"), Value::Int(91)],
-                vec![Value::Int(2), Value::text("alan"), Value::Int(87)],
-                vec![Value::Int(3), Value::text("grace"), Value::Int(95)],
-            ],
-        )
-        .unwrap();
+    wb.set_region(
+        sheet,
+        a("A1"),
+        &[
+            vec![Value::text("id"), Value::text("name"), Value::text("score")],
+            vec![Value::Int(1), Value::text("ada"), Value::Int(91)],
+            vec![Value::Int(2), Value::text("alan"), Value::Int(87)],
+            vec![Value::Int(3), Value::text("grace"), Value::Int(95)],
+        ],
+    )
+    .unwrap();
     let n = wb
         .import_region(sheet, Range::parse_a1("A1:C4").unwrap(), "students", true)
         .unwrap();
     println!("imported {n} rows into `students`");
 
     // The cutoff lives in a cell; SQL reads it live.
-    wb.sheet_mut(sheet).set_input(a("E1"), "90").unwrap();
+    wb.set_input(sheet, a("E1"), "90").unwrap();
     let (cols, rows) = wb
         .query("SELECT name, score FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -43,7 +43,7 @@ fn main() {
     }
 
     // Edit the cell, same query, new answer.
-    wb.sheet_mut(sheet).set_input(a("E1"), "94").unwrap();
+    wb.set_input(sheet, a("E1"), "94").unwrap();
     let (_, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1)")
         .unwrap();
@@ -62,16 +62,16 @@ fn main() {
     }
 
     // Aggregation + a RANGETABLE join against a second region.
-    wb.sheet_mut(sheet)
-        .set_region(
-            a("G1"),
-            &[
-                vec![Value::text("id"), Value::text("bonus")],
-                vec![Value::Int(1), Value::Int(4)],
-                vec![Value::Int(3), Value::Int(2)],
-            ],
-        )
-        .unwrap();
+    wb.set_region(
+        sheet,
+        a("G1"),
+        &[
+            vec![Value::text("id"), Value::text("bonus")],
+            vec![Value::Int(1), Value::Int(4)],
+            vec![Value::Int(3), Value::Int(2)],
+        ],
+    )
+    .unwrap();
     let (_, rows) = wb
         .query(
             "SELECT name, score + bonus AS total

@@ -22,8 +22,7 @@ fn main() {
         // ---- session 1: build, save, then WAL-only DML ------------------
         let mut wb = Workbook::new();
         let sheet = wb.current_sheet();
-        wb.sheet_mut(sheet)
-            .set_input(CellAddr::parse_a1("B1").unwrap(), "90")
+        wb.set_input(sheet, CellAddr::parse_a1("B1").unwrap(), "90")
             .unwrap();
         wb.execute("CREATE TABLE students (id INT PRIMARY KEY, name TEXT, score REAL)")
             .unwrap();

@@ -210,6 +210,7 @@ impl Workbook {
             }
             cols.push(i as u32);
         }
+        drop(t);
         self.bind_with_cols(sheet, at, table, BindModel::Com, cols)
     }
 
@@ -228,6 +229,7 @@ impl Workbook {
         }
         let t = self.catalog.get(table)?;
         let table = t.name().to_string(); // canonical casing
+        drop(t);
         let sheet_name = self.sheets[sheet.0].name().to_string();
         let meta = BindingMeta {
             id: self.bindings.next_id,
@@ -365,11 +367,12 @@ impl Workbook {
                     ))
                 }
             };
-            let t = self.catalog.get_mut(&meta.table)?;
+            let mut t = self.catalog.get_mut(&meta.table)?;
             let old_name = t.schema().column(ci).name.clone();
             if !old_name.eq_ignore_ascii_case(&new_name) {
                 t.rename_column(&old_name, &new_name)?;
             }
+            drop(t);
             self.refresh_binding_slot(bi, true)?;
             // A rename is DDL: schema changes persist via checkpoint.
             if self.store.is_some() {
@@ -378,7 +381,7 @@ impl Workbook {
             return Ok(old);
         }
         let pos = (addr.row - meta.row) as usize - meta.model.has_header() as usize;
-        let t = self.catalog.get_mut(&meta.table)?;
+        let mut t = self.catalog.get_mut(&meta.table)?;
         let key = t.key_at(pos).ok_or_else(|| {
             DsError::Interface(format!("bound row {pos} is gone from `{}`", meta.table))
         })?;
@@ -387,6 +390,7 @@ impl Workbook {
         // conformed value directly instead of re-rendering the region.
         let conformed = t.get_row_project(key, &[ci])?.swap_remove(0);
         let version = t.version();
+        drop(t);
         self.sheets[sheet.0].write_bound(addr, conformed);
         let own_id = self.bindings.bindings[bi].meta.id;
         self.bindings.bindings[bi].seen_version = version;
@@ -436,7 +440,7 @@ impl Workbook {
             if !meta.sheet.eq_ignore_ascii_case(&name) {
                 continue;
             }
-            let t = match self.catalog.get_mut(&meta.table) {
+            let mut t = match self.catalog.get_mut(&meta.table) {
                 Ok(t) => t,
                 Err(_) => continue, // vanished table: sync_bindings detaches
             };
@@ -551,7 +555,7 @@ impl Workbook {
                 continue;
             };
             let table = self.bindings.bindings[i].meta.table.clone();
-            if let Ok(t) = self.catalog.get_mut(&table) {
+            if let Ok(mut t) = self.catalog.get_mut(&table) {
                 for key in doomed {
                     // Two bindings of one table can doom the same key;
                     // delete it once.
@@ -622,7 +626,7 @@ impl Workbook {
                 }
                 for k in 0..count {
                     let idx = {
-                        let t = self.catalog.get_mut(&meta.table)?;
+                        let mut t = self.catalog.get_mut(&meta.table)?;
                         let col_name = fresh_column_name(t.schema(), at + k);
                         t.add_column(
                             dataspread_relstore::ColumnDef::new(col_name, DataType::Any),
@@ -736,7 +740,7 @@ impl Workbook {
             let table = self.bindings.bindings[i].meta.table.clone();
             for name in &plan.drop_names {
                 let idx = {
-                    let t = self.catalog.get_mut(&table)?;
+                    let mut t = self.catalog.get_mut(&table)?;
                     let idx = t
                         .schema()
                         .index_of(name)

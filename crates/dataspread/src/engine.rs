@@ -174,7 +174,7 @@ fn run_insert(
             run_select(&ctx, sel)?.1
         }
     };
-    let t = catalog.get_mut(table)?;
+    let mut t = catalog.get_mut(table)?;
     let width = t.schema().width();
     let positions: Option<Vec<usize>> = match columns {
         Some(names) => {
@@ -275,7 +275,7 @@ fn run_update(
         }
         updates
     };
-    let t = catalog.get_mut(table)?;
+    let mut t = catalog.get_mut(table)?;
     let n = updates.len();
     for (key, row) in updates {
         t.update_row(key, row)?;
@@ -314,7 +314,7 @@ fn run_delete(
         }
         doomed
     };
-    let t = catalog.get_mut(table)?;
+    let mut t = catalog.get_mut(table)?;
     let n = doomed.len();
     for key in doomed {
         t.delete_row(key)?;

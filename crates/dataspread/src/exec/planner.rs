@@ -22,7 +22,7 @@
 
 use std::collections::HashSet;
 
-use dataspread_relstore::Table;
+use dataspread_relstore::TableSnapshot;
 use dataspread_sql::ast::{JoinConstraint, JoinKind, TableExpr};
 use dataspread_sql::expr::{bind, ColInfo};
 use dataspread_sql::planner::{cols_of, extract_equi_keys, remap_cols, split_conjuncts};
@@ -58,11 +58,14 @@ impl Used {
 /// One node of the FROM-tree plan. Every node carries `filters` applied to
 /// its *output* rows — for leaves that is the pushed-down scan filter, for
 /// joins the post-join leftovers that could not sink further.
-pub(crate) enum Plan<'a> {
+pub(crate) enum Plan {
     /// `SELECT` without `FROM`: one anonymous empty row.
     Dual,
+    /// Leaf scan over an owned [`TableSnapshot`] taken at plan time: every
+    /// `SELECT` reads a consistent per-table snapshot and never blocks (or
+    /// is blocked by) writers for the duration of the scan.
     TableScan {
-        table: &'a Table,
+        snap: TableSnapshot,
         filters: Vec<BExpr>,
         used: Used,
     },
@@ -77,12 +80,12 @@ pub(crate) enum Plan<'a> {
         rows: Vec<Vec<Value>>,
         filters: Vec<BExpr>,
     },
-    Join(Box<JoinPlan<'a>>),
+    Join(Box<JoinPlan>),
 }
 
-pub(crate) struct JoinPlan<'a> {
-    left: Plan<'a>,
-    right: Plan<'a>,
+pub(crate) struct JoinPlan {
+    left: Plan,
+    right: Plan,
     left_width: usize,
     right_width: usize,
     kind: JoinKind,
@@ -111,15 +114,14 @@ pub(crate) enum Strategy {
 // ---- pass 1: tree construction -------------------------------------------
 
 /// Plan a FROM tree, returning the plan and its output schema.
-pub(crate) fn plan_from<'a>(
-    ctx: &ExecCtx<'a>,
-    te: &TableExpr,
-) -> DsResult<(Plan<'a>, Vec<ColInfo>)> {
+pub(crate) fn plan_from(ctx: &ExecCtx<'_>, te: &TableExpr) -> DsResult<(Plan, Vec<ColInfo>)> {
     match te {
         TableExpr::Named { name, alias } => {
-            let table = ctx.catalog.get(name)?;
+            // Take the snapshot under a briefly-held read lock; the scan
+            // itself runs lock-free against the snapshot.
+            let snap = ctx.catalog.get(name)?.snapshot();
             let q = alias.as_deref().unwrap_or(name);
-            let cols = table
+            let cols = snap
                 .schema()
                 .columns()
                 .iter()
@@ -127,7 +129,7 @@ pub(crate) fn plan_from<'a>(
                 .collect();
             Ok((
                 Plan::TableScan {
-                    table,
+                    snap,
                     filters: Vec::new(),
                     used: Used::Cols(HashSet::new()),
                 },
@@ -173,13 +175,13 @@ pub(crate) fn plan_from<'a>(
     }
 }
 
-fn plan_join<'a>(
-    ctx: &ExecCtx<'a>,
+fn plan_join(
+    ctx: &ExecCtx<'_>,
     left: &TableExpr,
     right: &TableExpr,
     kind: JoinKind,
     constraint: &JoinConstraint,
-) -> DsResult<(Plan<'a>, Vec<ColInfo>)> {
+) -> DsResult<(Plan, Vec<ColInfo>)> {
     let (mut lp, lcols) = plan_from(ctx, left)?;
     let (mut rp, rcols) = plan_from(ctx, right)?;
     let lw = lcols.len();
@@ -325,7 +327,7 @@ fn natural_pairs(lcols: &[ColInfo], rcols: &[ColInfo]) -> DsResult<Vec<(usize, u
 
 // ---- pass 2: WHERE pushdown ----------------------------------------------
 
-impl Plan<'_> {
+impl Plan {
     /// Install `pred` — bound against this node's output columns and
     /// referencing at least one of them — as deep in the tree as it can
     /// legally go. Always succeeds: the fallback is this node's own output
@@ -489,7 +491,7 @@ impl Plan<'_> {
     }
 }
 
-impl JoinPlan<'_> {
+impl JoinPlan {
     /// Which child, and which of its columns, output column `i` comes from.
     fn child_of(&self, i: usize) -> (Side, usize) {
         let concat = match &self.emit {
@@ -507,14 +509,14 @@ impl JoinPlan<'_> {
 // ---- stream construction -------------------------------------------------
 
 /// Turn a plan into its operator pipeline.
-pub(crate) fn build<'a>(plan: Plan<'a>, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>> {
+pub(crate) fn build<'a>(plan: Plan, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>> {
     Ok(match plan {
         Plan::Dual => Box::new(std::iter::once(Ok(Vec::new()))),
         Plan::TableScan {
-            table,
+            snap,
             filters,
             used,
-        } => filtered(table_scan(table, &used), filters),
+        } => filtered(table_scan(snap, &used), filters),
         Plan::RangeScan {
             a1,
             width,
@@ -587,7 +589,7 @@ mod tests {
 
     /// Plan one SELECT's FROM tree, run WHERE pushdown + the hash upgrade,
     /// and hand the join root to `check`.
-    fn plan_and_upgrade(sql: &str, check: impl FnOnce(&JoinPlan<'_>)) {
+    fn plan_and_upgrade(sql: &str, check: impl FnOnce(&JoinPlan)) {
         let mut catalog = Catalog::new();
         catalog
             .create_table(

@@ -1,6 +1,6 @@
 //! Leaf operators: streaming scans and the filter adapter.
 
-use dataspread_relstore::Table;
+use dataspread_relstore::TableSnapshot;
 use dataspread_sql::expr::BExpr;
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{DsResult, Value};
@@ -8,15 +8,17 @@ use dataspread_types::{DsResult, Value};
 use super::planner::Used;
 use super::{passes, RowStream};
 
-/// Stream a table in presentation order. With a concrete used-column set
-/// the scan reads only the attribute groups covering it (unused slots come
-/// back [`Value::Empty`], so column indices stay valid upstream).
-pub(crate) fn table_scan<'a>(table: &'a Table, used: &Used) -> RowStream<'a> {
+/// Stream a table snapshot in presentation order. With a concrete
+/// used-column set the scan reads only the attribute groups covering it
+/// (unused slots come back [`Value::Empty`], so column indices stay valid
+/// upstream). The iterator owns the snapshot, so the stream is `'static`:
+/// the query runs entirely against the plan-time state, off the lock.
+pub(crate) fn table_scan(snap: TableSnapshot, used: &Used) -> RowStream<'static> {
     let it = match used {
-        Used::All => table.iter_rows_sparse(None),
+        Used::All => snap.into_iter_sparse(None),
         Used::Cols(set) => {
             let cols: Vec<usize> = set.iter().copied().collect();
-            table.iter_rows_sparse(Some(&cols))
+            snap.into_iter_sparse(Some(&cols))
         }
     };
     Box::new(it.map(|r| r.map(|(_, row)| row)))

@@ -74,6 +74,7 @@
 
 pub mod bind;
 pub mod calc;
+pub mod concurrent;
 pub mod engine;
 pub mod exec;
 pub mod persist;
@@ -83,6 +84,7 @@ pub mod workbook;
 
 pub use bind::{BindModel, BindingMeta};
 pub use calc::CalcStats;
+pub use concurrent::{ReadSession, SharedWorkbook, WorkbookSnapshot};
 pub use engine::QueryResult;
 pub use exec::ExecOptions;
 pub use sheet::{Sheet, StoreKind};

@@ -339,7 +339,7 @@ impl Workbook {
         self.flush_grid();
         let wb_meta = encode_workbook_meta(self);
         let handle = save_catalog(&dir, &self.catalog, &wb_meta, generation)?;
-        handle.attach_all(&mut self.catalog);
+        handle.attach_all(&self.catalog);
         // Sheets log their grid edits through the same WAL.
         for sheet in &mut self.sheets {
             sheet.attach_wal(Arc::clone(&handle.wal));

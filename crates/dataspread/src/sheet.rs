@@ -39,7 +39,7 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
-    fn build(self) -> Box<dyn CellStore<Value>> {
+    fn build(self) -> Box<dyn CellStore<Value> + Send + Sync> {
         match self {
             StoreKind::Tiled => Box::new(TiledGrid::new(TileConfig::default())),
             StoreKind::Block => Box::new(BlockGrid::new(BlockConfig::default())),
@@ -81,7 +81,7 @@ impl PendingEdits {
 pub struct Sheet {
     name: String,
     kind: StoreKind,
-    cells: Box<dyn CellStore<Value>>,
+    cells: Box<dyn CellStore<Value> + Send + Sync>,
     /// Formula cells, keyed by position (row-major order for deterministic
     /// snapshots). The cell store holds their cached values.
     formulas: BTreeMap<CellAddr, CellFormula>,

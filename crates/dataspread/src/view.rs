@@ -120,32 +120,33 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let t = c.get_mut("t").unwrap();
+        let mut t = c.get_mut("t").unwrap();
         for i in 0..n {
             t.insert(vec![Value::Int(i), Value::text(format!("r{i}"))])
                 .unwrap();
         }
+        drop(t);
         c
     }
 
     #[test]
     fn counted_and_dense_views_agree() {
-        let mut c = table_with(20);
-        let mut counted = TableView::counted(c.get("t").unwrap()).unwrap();
+        let c = table_with(20);
+        let mut counted = TableView::counted(&c.get("t").unwrap()).unwrap();
         // A second catalog so each view owns its table's mutations.
-        let mut c2 = table_with(20);
-        let mut dense = TableView::dense(c2.get("t").unwrap()).unwrap();
+        let c2 = table_with(20);
+        let mut dense = TableView::dense(&c2.get("t").unwrap()).unwrap();
 
         let mid = vec![Value::Int(99), Value::text("middle")];
         counted
-            .insert_row_at(c.get_mut("t").unwrap(), 10, mid.clone())
+            .insert_row_at(&mut c.get_mut("t").unwrap(), 10, mid.clone())
             .unwrap();
         dense
-            .insert_row_at(c2.get_mut("t").unwrap(), 10, mid)
+            .insert_row_at(&mut c2.get_mut("t").unwrap(), 10, mid)
             .unwrap();
 
-        let w1 = counted.window(c.get("t").unwrap(), 8, 5).unwrap();
-        let w2 = dense.window(c2.get("t").unwrap(), 8, 5).unwrap();
+        let w1 = counted.window(&c.get("t").unwrap(), 8, 5).unwrap();
+        let w2 = dense.window(&c2.get("t").unwrap(), 8, 5).unwrap();
         let v1: Vec<&Vec<Value>> = w1.iter().map(|(_, r)| r).collect();
         let v2: Vec<&Vec<Value>> = w2.iter().map(|(_, r)| r).collect();
         assert_eq!(v1, v2);
@@ -154,21 +155,21 @@ mod tests {
 
     #[test]
     fn delete_shifts_window() {
-        let mut c = table_with(10);
-        let mut view = TableView::counted(c.get("t").unwrap()).unwrap();
-        view.delete_row_at(c.get_mut("t").unwrap(), 0).unwrap();
+        let c = table_with(10);
+        let mut view = TableView::counted(&c.get("t").unwrap()).unwrap();
+        view.delete_row_at(&mut c.get_mut("t").unwrap(), 0).unwrap();
         assert_eq!(view.row_count(), 9);
-        let w = view.window(c.get("t").unwrap(), 0, 2).unwrap();
+        let w = view.window(&c.get("t").unwrap(), 0, 2).unwrap();
         assert_eq!(w[0].1[0], Value::Int(1));
         assert_eq!(c.get("t").unwrap().row_count(), 9, "table row deleted too");
     }
 
     #[test]
     fn out_of_bounds_insert_rejected() {
-        let mut c = table_with(3);
-        let mut view = TableView::counted(c.get("t").unwrap()).unwrap();
+        let c = table_with(3);
+        let mut view = TableView::counted(&c.get("t").unwrap()).unwrap();
         let err = view.insert_row_at(
-            c.get_mut("t").unwrap(),
+            &mut c.get_mut("t").unwrap(),
             7,
             vec![Value::Int(9), Value::text("x")],
         );

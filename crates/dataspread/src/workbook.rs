@@ -118,7 +118,21 @@ impl Workbook {
         &self.sheets[id.0]
     }
 
-    pub fn sheet_mut(&mut self, id: SheetId) -> &mut Sheet {
+    /// Raw mutable access to a sheet, bypassing the workbook's edit pipeline.
+    ///
+    /// Crate-internal on purpose: edits made through the returned `&mut
+    /// Sheet` skip binding routing (a write landing on a table-bound cell
+    /// will NOT become table DML) and leave formula recomputation pending
+    /// until the next workbook-level operation calls `flush_grid`. External
+    /// callers use the logged, recomputing APIs instead —
+    /// [`Workbook::set_input`], [`Workbook::set_value`],
+    /// [`Workbook::set_region`], and the structural-edit methods.
+    ///
+    /// Invariant for in-crate users: never write through this handle into a
+    /// cell covered by a table binding, and follow batches of raw edits with
+    /// `flush_grid` (every public mutating entry point already does).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn sheet_mut(&mut self, id: SheetId) -> &mut Sheet {
         &mut self.sheets[id.0]
     }
 
@@ -450,9 +464,10 @@ impl Workbook {
             DdlInfo::Create { table, existed } => {
                 if !existed {
                     if let Some(store) = self.store.clone() {
-                        let t = self.catalog.get(table)?;
-                        let schema = t.schema().clone();
-                        let pool_pages = t.pool().capacity() as u64;
+                        let (schema, pool_pages) = {
+                            let t = self.catalog.get(table)?;
+                            (t.schema().clone(), t.pool().capacity() as u64)
+                        };
                         store
                             .wal
                             .log(dataspread_relstore::wal::WalOp::CreateTable {
@@ -461,7 +476,7 @@ impl Workbook {
                                 pool_pages,
                             })?;
                         // The new table logs its DML through the same WAL.
-                        store.attach_all(&mut self.catalog);
+                        store.attach_all(&self.catalog);
                     }
                 }
             }
@@ -577,7 +592,7 @@ impl Workbook {
         }
         let schema = Schema::new(cols)?;
         self.catalog.create_table(table, schema)?;
-        let t = self.catalog.get_mut(table)?;
+        let mut t = self.catalog.get_mut(table)?;
         let mut n = 0;
         for row in data {
             let clean: Vec<Value> = row
@@ -593,6 +608,7 @@ impl Workbook {
             t.insert(clean)?;
             n += 1;
         }
+        drop(t);
         // A new table is DDL: with a store attached, persist it (and its
         // imported rows) via checkpoint, like CREATE TABLE through SQL.
         if self.store.is_some() {
@@ -625,6 +641,7 @@ impl Workbook {
         for (_, row) in t.scan()? {
             rows.push(row);
         }
+        drop(t);
         let height = rows.len().max(1) as u32;
         self.sheets[sheet.0].set_region(at, &rows)?;
         // Formulas watching the exported region recompute now.
@@ -723,6 +740,18 @@ pub(crate) struct SheetCtx<'a> {
     sheets: &'a [Sheet],
     by_name: &'a HashMap<String, usize>,
     current: usize,
+}
+
+impl Workbook {
+    /// A borrowed resolver over this workbook's sheets (read-only side of
+    /// the query path; see [`crate::concurrent::ReadSession`]).
+    pub(crate) fn sheet_ctx(&self) -> SheetCtx<'_> {
+        SheetCtx {
+            sheets: &self.sheets,
+            by_name: &self.by_name,
+            current: self.current,
+        }
+    }
 }
 
 impl<'a> SheetCtx<'a> {

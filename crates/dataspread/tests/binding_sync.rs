@@ -398,6 +398,7 @@ fn insert_cols_inside_region_adds_table_column() {
     wb.insert_cols(s, 1, 1).unwrap();
     let t = wb.catalog().get("t").unwrap();
     assert_eq!(t.schema().width(), 3, "grid column became a table column");
+    drop(t);
     let meta = wb.binding_meta(id).unwrap();
     assert_eq!(meta.cols, vec![0, 2, 1], "spliced into display order");
     assert_eq!(wb.cell(s, a("A1")), Value::text("a"));

@@ -35,7 +35,7 @@ fn build_workbook(kind: StoreKind) -> Workbook {
             Value::Int(50 + i),
         ]);
     }
-    wb.sheet_mut(s).set_region(a("A1"), &region).unwrap();
+    wb.set_region(s, a("A1"), &region).unwrap();
     let n = wb.import_region(s, r("A1:C51"), "students", true).unwrap();
     assert_eq!(n, 50);
     wb
@@ -47,7 +47,7 @@ fn import_sql_positional_insert_window_vertical_path() {
     let s = wb.current_sheet();
 
     // -- 2. SQL over the imported table, parameterized by a live cell. ------
-    wb.sheet_mut(s).set_input(a("E1"), "95").unwrap();
+    wb.set_input(s, a("E1"), "95").unwrap();
     let (cols, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -56,7 +56,7 @@ fn import_sql_positional_insert_window_vertical_path() {
     assert_eq!(rows[0][0], Value::text("student49"));
 
     // Editing the cell re-parameterizes the same SQL — the sheet is live.
-    wb.sheet_mut(s).set_input(a("E1"), "97").unwrap();
+    wb.set_input(s, a("E1"), "97").unwrap();
     let (_, rows) = wb
         .query("SELECT name FROM students WHERE score > RANGEVALUE(E1) ORDER BY score DESC")
         .unwrap();
@@ -111,20 +111,20 @@ fn window_after_positional_insert_matches_under_both_indexes() {
     let mut wb_counted = build_workbook(StoreKind::Tiled);
     let mut wb_dense = build_workbook(StoreKind::Block);
 
-    let mut counted = TableView::counted(wb_counted.catalog().get("students").unwrap()).unwrap();
-    let mut dense = TableView::dense(wb_dense.catalog().get("students").unwrap()).unwrap();
+    let mut counted = TableView::counted(&wb_counted.catalog().get("students").unwrap()).unwrap();
+    let mut dense = TableView::dense(&wb_dense.catalog().get("students").unwrap()).unwrap();
 
     let wedge = vec![Value::Int(900), Value::text("wedge"), Value::Int(0)];
     counted
         .insert_row_at(
-            wb_counted.catalog_mut().get_mut("students").unwrap(),
+            &mut wb_counted.catalog_mut().get_mut("students").unwrap(),
             25,
             wedge.clone(),
         )
         .unwrap();
     dense
         .insert_row_at(
-            wb_dense.catalog_mut().get_mut("students").unwrap(),
+            &mut wb_dense.catalog_mut().get_mut("students").unwrap(),
             25,
             wedge,
         )
@@ -132,10 +132,10 @@ fn window_after_positional_insert_matches_under_both_indexes() {
 
     for (pos, count) in [(0, 5), (23, 6), (48, 10)] {
         let w1 = counted
-            .window(wb_counted.catalog().get("students").unwrap(), pos, count)
+            .window(&wb_counted.catalog().get("students").unwrap(), pos, count)
             .unwrap();
         let w2 = dense
-            .window(wb_dense.catalog().get("students").unwrap(), pos, count)
+            .window(&wb_dense.catalog().get("students").unwrap(), pos, count)
             .unwrap();
         let v1: Vec<&Vec<Value>> = w1.iter().map(|(_, row)| row).collect();
         let v2: Vec<&Vec<Value>> = w2.iter().map(|(_, row)| row).collect();
@@ -146,7 +146,7 @@ fn window_after_positional_insert_matches_under_both_indexes() {
     }
     assert_eq!(
         counted
-            .window(wb_counted.catalog().get("students").unwrap(), 25, 1)
+            .window(&wb_counted.catalog().get("students").unwrap(), 25, 1)
             .unwrap()[0]
             .1[0],
         Value::Int(900)
@@ -162,16 +162,16 @@ fn rangetable_join_under_every_store() {
         let mut wb = build_workbook(kind);
         let s = wb.current_sheet();
         // A bonus sheet region keyed by student id.
-        wb.sheet_mut(s)
-            .set_region(
-                a("E1"),
-                &[
-                    vec![Value::text("id"), Value::text("bonus")],
-                    vec![Value::Int(3), Value::Int(5)],
-                    vec![Value::Int(7), Value::Int(9)],
-                ],
-            )
-            .unwrap();
+        wb.set_region(
+            s,
+            a("E1"),
+            &[
+                vec![Value::text("id"), Value::text("bonus")],
+                vec![Value::Int(3), Value::Int(5)],
+                vec![Value::Int(7), Value::Int(9)],
+            ],
+        )
+        .unwrap();
         let (_, rows) = wb
             .query(
                 "SELECT name, score + bonus FROM students NATURAL JOIN RANGETABLE(E1:F3)

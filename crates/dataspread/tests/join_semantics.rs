@@ -221,7 +221,7 @@ fn rand_key(rng: &mut Rng) -> Value {
 }
 
 fn fill(wb: &mut Workbook, table: &str, rng: &mut Rng, rows: usize) {
-    let t = wb.catalog_mut().get_mut(table).unwrap();
+    let mut t = wb.catalog_mut().get_mut(table).unwrap();
     for _ in 0..rows {
         let k = rand_key(rng);
         let v = Value::Int(rng.i64().rem_euclid(6));
@@ -314,8 +314,7 @@ fn rangetable_scan_is_column_bounded() {
     for r in 0..DATA_ROWS {
         rows.push((0..COLS).map(|c| Value::Int(r * COLS + c)).collect());
     }
-    wb.sheet_mut(s)
-        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows)
+    wb.set_region(s, CellAddr::parse_a1("A1").unwrap(), &rows)
         .unwrap();
     let region = format!("A1:{}{}", col_to_letters(COLS as u32 - 1), DATA_ROWS + 1);
 
@@ -361,8 +360,7 @@ fn count_star_over_rangetable_reads_no_data_blocks() {
     for r in 0..64i64 {
         rows.push(vec![Value::Int(r), Value::Int(r * 2)]);
     }
-    wb.sheet_mut(s)
-        .set_region(CellAddr::parse_a1("A1").unwrap(), &rows)
+    wb.set_region(s, CellAddr::parse_a1("A1").unwrap(), &rows)
         .unwrap();
 
     wb.sheet(s).store().stats().reset();

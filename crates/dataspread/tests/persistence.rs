@@ -41,8 +41,8 @@ fn build_workbook() -> Workbook {
     )
     .unwrap();
     let s = wb.current_sheet();
-    wb.sheet_mut(s).set_input(a("B1"), "90").unwrap();
-    wb.sheet_mut(s).set_input(a("A1"), "cutoff:").unwrap();
+    wb.set_input(s, a("B1"), "90").unwrap();
+    wb.set_input(s, a("A1"), "cutoff:").unwrap();
     wb
 }
 
@@ -139,16 +139,16 @@ fn import_region_is_durable() {
     let dir = tmp_dir("import");
     let mut wb = Workbook::with_store(StoreKind::Block);
     let s = wb.current_sheet();
-    wb.sheet_mut(s)
-        .set_region(
-            a("A1"),
-            &[
-                vec![Value::text("k"), Value::text("v")],
-                vec![Value::Int(1), Value::text("one")],
-                vec![Value::Int(2), Value::text("two")],
-            ],
-        )
-        .unwrap();
+    wb.set_region(
+        s,
+        a("A1"),
+        &[
+            vec![Value::text("k"), Value::text("v")],
+            vec![Value::Int(1), Value::text("one")],
+            vec![Value::Int(2), Value::text("two")],
+        ],
+    )
+    .unwrap();
     wb.save(&dir).unwrap();
     wb.import_region(s, Range::parse_a1("A1:B3").unwrap(), "kv", true)
         .unwrap();
@@ -271,7 +271,7 @@ fn sheet_edits_survive_crash_without_checkpoint() {
     wb.set_input(s, a("D2"), "32").unwrap();
     let v = wb.set_input(s, a("D3"), "=SUM(D1:D2)").unwrap();
     assert_eq!(v, Value::Int(42));
-    wb.sheet_mut(s).set_input(a("E1"), "direct").unwrap(); // raw-path edit logs too
+    wb.set_input(s, a("E1"), "direct").unwrap(); // raw-path edit logs too
     wb.insert_rows(s, 0, 2).unwrap(); // shifts D1:D3 → D3:D5
     wb.set_value(s, a("F9"), Value::Bool(true)).unwrap();
 

@@ -30,44 +30,45 @@ pub use naive::NaiveGrid;
 pub use rtree::{RTree, Rect};
 pub use tiled::{TileConfig, TiledGrid};
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dataspread_types::{CellAddr, Range};
 
-/// Block-level access counters. Reads are counted on `&self` paths, hence the
-/// interior mutability. "Block" means tile ([`TiledGrid`]), proximity block
+/// Block-level access counters. Reads are counted on `&self` paths, hence
+/// the interior mutability — atomics (relaxed), so a store can be shared
+/// across threads. "Block" means tile ([`TiledGrid`]), proximity block
 /// ([`BlockGrid`]), or individual cell ([`NaiveGrid`] — per-cell storage *is*
 /// its block granularity).
 #[derive(Debug, Default)]
 pub struct StoreStats {
-    blocks_read: Cell<u64>,
-    blocks_written: Cell<u64>,
-    cells_scanned: Cell<u64>,
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+    cells_scanned: AtomicU64,
 }
 
 impl StoreStats {
     pub fn blocks_read(&self) -> u64 {
-        self.blocks_read.get()
+        self.blocks_read.load(Ordering::Relaxed)
     }
     pub fn blocks_written(&self) -> u64 {
-        self.blocks_written.get()
+        self.blocks_written.load(Ordering::Relaxed)
     }
     pub fn cells_scanned(&self) -> u64 {
-        self.cells_scanned.get()
+        self.cells_scanned.load(Ordering::Relaxed)
     }
     pub fn reset(&self) {
-        self.blocks_read.set(0);
-        self.blocks_written.set(0);
-        self.cells_scanned.set(0);
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.cells_scanned.store(0, Ordering::Relaxed);
     }
     pub(crate) fn add_read(&self, n: u64) {
-        self.blocks_read.set(self.blocks_read.get() + n);
+        self.blocks_read.fetch_add(n, Ordering::Relaxed);
     }
     pub(crate) fn add_write(&self, n: u64) {
-        self.blocks_written.set(self.blocks_written.get() + n);
+        self.blocks_written.fetch_add(n, Ordering::Relaxed);
     }
     pub(crate) fn add_scanned(&self, n: u64) {
-        self.cells_scanned.set(self.cells_scanned.get() + n);
+        self.cells_scanned.fetch_add(n, Ordering::Relaxed);
     }
 }
 

@@ -23,7 +23,7 @@ type NodeId = usize;
 /// multiple and the tree ≤ 4 levels deep up to ~16M rows.
 pub const DEFAULT_FANOUT: usize = 64;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum NodeKind {
     Leaf {
         keys: Vec<RowKey>,
@@ -40,14 +40,14 @@ enum NodeKind {
     Free,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Node {
     parent: Option<NodeId>,
     kind: NodeKind,
 }
 
 /// The counted B-tree. See the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CountedBtree {
     arena: Vec<Node>,
     free: Vec<NodeId>,

@@ -42,12 +42,12 @@ pub mod wal;
 
 pub use binding::{BindModel, BindingMeta};
 pub use bufferpool::{BufferPool, PageRef, PoolSnapshot, PoolStats};
-pub use catalog::{Catalog, DEFAULT_POLICY};
+pub use catalog::{Catalog, TableRef, TableRefMut, TableShard, DEFAULT_POLICY};
 pub use page::{Page, PAGE_SIZE};
 pub use pager::{PageFile, PageFileSnapshot, PageFileStats};
 pub use schema::{ColumnDef, KeyTuple, Schema};
 pub use snapshot::{load_catalog, save_catalog, LoadedCatalog, StoreHandle};
-pub use table::{GroupPolicy, RowIter, Table, TableStats};
-pub use wal::{GridEditKind, SheetCellContent, WalOp, WalRecord, WalWriter};
+pub use table::{GroupPolicy, RowIter, SnapRowIter, Table, TableSnapshot, TableStats};
+pub use wal::{GridEditKind, GroupCommitStats, SheetCellContent, WalOp, WalRecord, WalWriter};
 
 pub use dataspread_posindex::RowKey;

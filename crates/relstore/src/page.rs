@@ -23,7 +23,7 @@ enum Slot {
 }
 
 /// A slotted heap page.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Page {
     data: Vec<u8>,
     slots: Vec<Slot>,

@@ -54,9 +54,12 @@ pub struct StoreHandle {
 
 impl StoreHandle {
     /// Attach every table in `catalog` to this store's WAL and pager.
-    pub fn attach_all(&self, catalog: &mut Catalog) {
-        for t in catalog.tables_mut() {
-            t.attach_durability(Arc::clone(&self.wal), Arc::clone(&self.pager));
+    pub fn attach_all(&self, catalog: &Catalog) {
+        for shard in catalog.shards() {
+            shard
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .attach_durability(Arc::clone(&self.wal), Arc::clone(&self.pager));
         }
     }
 }
@@ -210,7 +213,7 @@ mod tests {
         .with_pkey(&["id"])
         .unwrap();
         c.create_table("people", schema).unwrap();
-        let t = c.get_mut("people").unwrap();
+        let mut t = c.get_mut("people").unwrap();
         for i in 0..50 {
             t.insert(vec![
                 Value::Int(i),
@@ -219,6 +222,7 @@ mod tests {
             ])
             .unwrap();
         }
+        drop(t);
         c
     }
 
@@ -248,12 +252,12 @@ mod tests {
     #[test]
     fn wal_tail_replays_on_load() {
         let dir = tmp_dir("replay");
-        let mut cat = build_catalog();
+        let cat = build_catalog();
         let handle = save_catalog(&dir, &cat, b"", 1).unwrap();
-        handle.attach_all(&mut cat);
+        handle.attach_all(&cat);
 
         // Post-checkpoint DML, each auto-committed through the WAL.
-        let t = cat.get_mut("people").unwrap();
+        let mut t = cat.get_mut("people").unwrap();
         let k = t
             .insert(vec![Value::Int(100), Value::text("late"), Value::Empty])
             .unwrap();
@@ -261,6 +265,7 @@ mod tests {
         let victim = t.key_at(0).unwrap();
         t.delete_row(victim).unwrap();
         let reference = t.scan().unwrap();
+        drop(t);
         drop(cat);
 
         let loaded = load_catalog(&dir).unwrap();
@@ -311,10 +316,10 @@ mod tests {
         ))
         .unwrap();
         let handle = save_catalog(&dir, &cat, b"", 1).unwrap();
-        handle.attach_all(&mut cat);
+        handle.attach_all(&cat);
         // One transaction around the batch: one fsync at commit.
         handle.wal.begin().unwrap();
-        let t = cat.get_mut("t").unwrap();
+        let mut t = cat.get_mut("t").unwrap();
         for i in 0..2000 {
             t.insert(vec![Value::Int(i)]).unwrap();
         }
@@ -327,6 +332,7 @@ mod tests {
             "every modeled write-back must be real bytes: {physical:?} vs {modeled:?}"
         );
         // Scratch frames never confuse recovery: the committed WAL replays.
+        drop(t);
         drop(cat);
         let loaded = load_catalog(&dir).unwrap();
         assert_eq!(loaded.replayed, 2000);

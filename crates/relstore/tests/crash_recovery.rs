@@ -53,7 +53,7 @@ fn random_value(rng: &mut Rng) -> Value {
 /// Apply one random mutation through the normal table API (each is one WAL
 /// redo record). Inserts dominate so the table grows.
 fn random_op(rng: &mut Rng, catalog: &mut Catalog) {
-    let t = catalog.get_mut("t").unwrap();
+    let mut t = catalog.get_mut("t").unwrap();
     let n = t.row_count();
     match rng.weighted(&[4, 2, 2, 1]) {
         0 => {
@@ -110,7 +110,7 @@ fn build_history(
             .unwrap();
     }
     let handle = save_catalog(dir, &catalog, b"", 1).unwrap();
-    handle.attach_all(&mut catalog);
+    handle.attach_all(&catalog);
     let mut states = vec![fingerprint(&catalog)];
     for _ in 0..txns {
         handle.wal.begin().unwrap();

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Capture BENCH_JSON lines from one bench target into a trajectory file.
+#
+# Usage:
+#   scripts/capture_bench.sh <bench-name> [out-file]
+#
+# Examples:
+#   scripts/capture_bench.sh concurrent BENCH_6.json
+#   scripts/capture_bench.sh query            # prints to stdout
+#
+# Every bench prints machine-readable lines prefixed `BENCH_JSON `; this
+# script runs the bench in release mode, strips the prefix, and writes one
+# JSON object per line (JSONL). Commit the result as BENCH_<pr>.json so the
+# numbers travel with the change that produced them.
+
+set -euo pipefail
+
+bench="${1:?usage: capture_bench.sh <bench-name> [out-file]}"
+out="${2:-}"
+
+raw=$(cargo bench -p dataspread --bench "$bench" 2>&1) || {
+    echo "$raw" >&2
+    exit 1
+}
+
+json=$(printf '%s\n' "$raw" | grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //')
+if [ -z "$json" ]; then
+    echo "error: bench '$bench' emitted no BENCH_JSON lines" >&2
+    exit 1
+fi
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$json" > "$out"
+    echo "wrote $(printf '%s\n' "$json" | wc -l | tr -d ' ') records to $out" >&2
+else
+    printf '%s\n' "$json"
+fi
