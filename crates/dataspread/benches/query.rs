@@ -61,6 +61,7 @@ fn pools(wb: &Workbook) -> PoolSnapshot {
         misses: l.misses + r.misses,
         evictions: l.evictions + r.evictions,
         dirty_writebacks: l.dirty_writebacks + r.dirty_writebacks,
+        write_back_errors: l.write_back_errors + r.write_back_errors,
     }
 }
 

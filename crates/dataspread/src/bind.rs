@@ -222,6 +222,7 @@ impl Workbook {
         model: BindModel,
         cols: Vec<u32>,
     ) -> DsResult<u64> {
+        self.ensure_writable()?;
         if cols.is_empty() {
             return Err(DsError::Interface(
                 "a binding needs at least one column".into(),
@@ -276,6 +277,7 @@ impl Workbook {
     /// literal cells (WAL-logged when durable, so the freeze survives a
     /// crash). The backing table is untouched.
     pub fn unbind(&mut self, id: u64) -> DsResult<()> {
+        self.ensure_writable()?;
         let i = self
             .bindings
             .index_of(id)

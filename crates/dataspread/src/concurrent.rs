@@ -236,8 +236,19 @@ impl SharedWorkbook {
         f: impl FnOnce(&mut Table) -> DsResult<R>,
     ) -> DsResult<R> {
         let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        // Reject before taking the shard lock: once the engine is read-only
+        // every write path must fail without mutating in-memory state.
+        g.ensure_writable()?;
         let mut t = g.catalog().get_mut(table)?;
         f(&mut t)
+    }
+
+    /// The engine's current health, under the workbook read lock. Health is
+    /// derived from the attached WAL's poison state, so every clone of this
+    /// handle observes a degradation the instant it happens.
+    pub fn health(&self) -> crate::workbook::EngineHealth {
+        let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        g.health()
     }
 
     /// Take a [`WorkbookSnapshot`] under the workbook read lock.

@@ -89,7 +89,7 @@ pub use engine::QueryResult;
 pub use exec::ExecOptions;
 pub use sheet::{Sheet, StoreKind};
 pub use view::TableView;
-pub use workbook::{SheetId, Workbook};
+pub use workbook::{EngineHealth, SheetId, Workbook};
 
 // Re-export the layer crates so downstream users need only one dependency.
 pub use dataspread_formula as formula;

@@ -34,8 +34,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dataspread_relstore::codec::{put_u32, put_u64, Cursor};
-use dataspread_relstore::snapshot::{self, load_catalog, save_catalog, DATA_FILE};
-use dataspread_relstore::wal::{GridEditKind, SheetCellContent, WalOp};
+use dataspread_relstore::snapshot::{self, load_catalog_with, save_catalog_with, DATA_FILE};
+use dataspread_relstore::vfs::{os_vfs, Vfs};
+use dataspread_relstore::wal::{scan_wal_with, GridEditKind, SheetCellContent, WalOp};
 use dataspread_relstore::{Catalog, PageFile};
 use dataspread_types::{CellAddr, DsError, DsResult};
 
@@ -55,11 +56,11 @@ const WB_META_VERSION: u8 = 3;
 /// The highest checkpoint generation evidenced on disk at `dir` — from the
 /// page file or a leftover WAL, whichever is newer (0 when neither is
 /// readable, i.e. a genuinely fresh store).
-fn on_disk_generation(dir: &Path) -> u64 {
-    let pf = PageFile::open(dir.join(DATA_FILE))
+fn on_disk_generation(vfs: &Arc<dyn Vfs>, dir: &Path) -> u64 {
+    let pf = PageFile::open_with(vfs, dir.join(DATA_FILE))
         .map(|pf| pf.generation())
         .unwrap_or(0);
-    let wal = dataspread_relstore::wal::scan_wal(dir.join(snapshot::WAL_FILE))
+    let wal = scan_wal_with(vfs, dir.join(snapshot::WAL_FILE))
         .ok()
         .flatten()
         .map(|scan| scan.generation)
@@ -209,6 +210,30 @@ impl Workbook {
     /// ```
     pub fn save(&mut self, dir: impl AsRef<Path>) -> DsResult<()> {
         let dir = dir.as_ref().to_path_buf();
+        // Saving back into the attached directory must go through the same
+        // VFS that directory was opened with (the fault suites depend on
+        // this); a fresh directory defaults to the real filesystem.
+        let vfs = match &self.store {
+            Some(store) if store.dir == dir => Arc::clone(&store.vfs),
+            _ => os_vfs(),
+        };
+        self.save_with_vfs(dir, vfs)
+    }
+
+    /// [`Workbook::save`] against an explicit [`Vfs`] — the hook the
+    /// fault-injection suites use to persist through an injecting VFS.
+    pub fn save_with_vfs(&mut self, dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> DsResult<()> {
+        let dir = dir.as_ref().to_path_buf();
+        // A read-only engine must not re-checkpoint its own directory: the
+        // checkpoint would fold un-acked in-memory state into a durable
+        // snapshot and attach a fresh (unpoisoned) WAL, silently clearing
+        // the degradation. Saving into a *different* directory stays legal —
+        // that is the salvage path (see `docs/FAULTS.md`).
+        if let Some(store) = &self.store {
+            if store.dir == dir {
+                self.ensure_writable()?;
+            }
+        }
         // The generation must exceed whatever was ever written to `dir`:
         // regressing it would let a crash in the rename→WAL-reset window
         // leave a stale WAL that recovery mistakes for current (or rejects
@@ -216,9 +241,9 @@ impl Workbook {
         // directory, read the watermark off the disk itself.
         let base = match &self.store {
             Some(store) if store.dir == dir => store.generation,
-            _ => on_disk_generation(&dir),
+            _ => on_disk_generation(&vfs, &dir),
         };
-        self.checkpoint_into(dir, base + 1)
+        self.checkpoint_into(dir, base + 1, &vfs)
     }
 
     /// Reopen a workbook from a store directory: load the last checkpoint,
@@ -245,8 +270,15 @@ impl Workbook {
     /// # std::fs::remove_dir_all(&dir).unwrap();
     /// ```
     pub fn open(dir: impl AsRef<Path>) -> DsResult<Workbook> {
+        Workbook::open_with_vfs(dir, os_vfs())
+    }
+
+    /// [`Workbook::open`] against an explicit [`Vfs`] — used by the fault
+    /// suites to recover from an in-memory crash image and assert exactly
+    /// the committed prefix survives.
+    pub fn open_with_vfs(dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> DsResult<Workbook> {
         let dir = dir.as_ref().to_path_buf();
-        let loaded = load_catalog(&dir)?;
+        let loaded = load_catalog_with(&vfs, &dir)?;
         let generation = loaded.generation;
         let mut wb = decode_workbook_meta(&loaded.extra_meta, loaded.catalog)?;
         // Replay committed engine ops — sheet edits and binding
@@ -267,7 +299,7 @@ impl Workbook {
         wb.sync_bindings()?;
         wb.flush_grid();
         // Fold the replayed tail into a fresh checkpoint + empty WAL.
-        wb.checkpoint_into(dir, generation + 1)?;
+        wb.checkpoint_into(dir, generation + 1, &vfs)?;
         Ok(wb)
     }
 
@@ -322,23 +354,68 @@ impl Workbook {
 
     /// Rewrite the snapshot and reset the WAL at the attached store
     /// directory. Errors if no store is attached.
+    ///
+    /// Pre-rename failures (tmp snapshot write, the rename itself) roll
+    /// back cleanly — the old snapshot and WAL stay authoritative — so the
+    /// checkpoint is retried a few times with a short backoff before the
+    /// error is surfaced. A failure *after* the rename poisons the WAL
+    /// (see `docs/FAULTS.md`); the engine is read-only and retrying is
+    /// pointless, so those errors return immediately.
     pub fn checkpoint(&mut self) -> DsResult<()> {
-        let (dir, generation) = match &self.store {
-            Some(store) => (store.dir.clone(), store.generation + 1),
+        // Same rule as `save_with_vfs`: a degraded engine never rewrites
+        // the directory it is degraded on.
+        self.ensure_writable()?;
+        let (dir, generation, vfs) = match &self.store {
+            Some(store) => (
+                store.dir.clone(),
+                store.generation + 1,
+                Arc::clone(&store.vfs),
+            ),
             None => {
                 return Err(DsError::Storage(
                     "workbook has no durable store; call save(path) first".into(),
                 ))
             }
         };
-        self.checkpoint_into(dir, generation)
+        let mut last = None;
+        for delay_ms in [0u64, 1, 5] {
+            if delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            }
+            match self.checkpoint_into(dir.clone(), generation, &vfs) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if e.is_read_only() || !self.health().is_healthy() {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("retry loop reported at least one error"))
     }
 
-    fn checkpoint_into(&mut self, dir: PathBuf, generation: u64) -> DsResult<()> {
+    fn checkpoint_into(
+        &mut self,
+        dir: PathBuf,
+        generation: u64,
+        vfs: &Arc<dyn Vfs>,
+    ) -> DsResult<()> {
         // Snapshot computed values, not stale caches.
         self.flush_grid();
         let wb_meta = encode_workbook_meta(self);
-        let handle = save_catalog(&dir, &self.catalog, &wb_meta, generation)?;
+        // When checkpointing the attached directory, hand the current WAL
+        // to the snapshot writer: a post-rename failure must poison it so
+        // stale-WAL recovery hazards surface as read-only, not corruption.
+        let prev_wal = self.store.as_ref().filter(|s| s.dir == dir);
+        let handle = save_catalog_with(
+            vfs,
+            &dir,
+            &self.catalog,
+            &wb_meta,
+            generation,
+            prev_wal.map(|s| &*s.wal),
+        )?;
         handle.attach_all(&self.catalog);
         // Sheets log their grid edits through the same WAL.
         for sheet in &mut self.sheets {

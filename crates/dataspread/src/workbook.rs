@@ -26,6 +26,31 @@ use crate::sheet::{Sheet, StoreKind};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SheetId(pub usize);
 
+/// Liveness of a workbook's write path (see `docs/FAULTS.md`).
+///
+/// A workbook degrades to `ReadOnly` when its durable store hits an
+/// unrecoverable fault — a failed WAL fsync, or a checkpoint that failed
+/// after its rename commit point. Reads, queries, and snapshots keep
+/// working against the in-memory state; every mutation is rejected with
+/// [`DsError::ReadOnly`] until the workbook is reopened from disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// Writes are accepted.
+    Healthy,
+    /// The engine refuses writes; `reason` is the fault that degraded it.
+    ReadOnly {
+        /// The storage fault that poisoned the write path.
+        reason: String,
+    },
+}
+
+impl EngineHealth {
+    /// True when writes are accepted.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, EngineHealth::Healthy)
+    }
+}
+
 /// The top-level engine object.
 #[derive(Debug)]
 pub struct Workbook {
@@ -78,9 +103,33 @@ impl Workbook {
         wb
     }
 
+    // ---- health ----------------------------------------------------------
+
+    /// Current write-path health. The single source of truth is the
+    /// attached WAL's poison state, so every handle (including clones of
+    /// [`crate::SharedWorkbook`]) observes a degradation the instant the
+    /// faulting commit returns.
+    pub fn health(&self) -> EngineHealth {
+        match self.store.as_ref().and_then(|s| s.wal.poison_reason()) {
+            Some(reason) => EngineHealth::ReadOnly { reason },
+            None => EngineHealth::Healthy,
+        }
+    }
+
+    /// `Err(DsError::ReadOnly)` when the workbook is degraded, else `Ok`.
+    /// Mutating entry points call this *before* touching any state, so a
+    /// degraded workbook never diverges from its (now frozen) disk image.
+    pub fn ensure_writable(&self) -> DsResult<()> {
+        match self.health() {
+            EngineHealth::Healthy => Ok(()),
+            EngineHealth::ReadOnly { reason } => Err(DsError::ReadOnly(reason)),
+        }
+    }
+
     // ---- sheets ----------------------------------------------------------
 
     pub fn add_sheet(&mut self, name: &str) -> DsResult<SheetId> {
+        self.ensure_writable()?;
         if name.is_empty() {
             return Err(DsError::Interface("empty sheet name".into()));
         }
@@ -157,6 +206,7 @@ impl Workbook {
     /// Dependent formulas recompute incrementally before this returns; the
     /// returned value is what the cell now displays.
     pub fn set_input(&mut self, sheet: SheetId, addr: CellAddr, input: &str) -> DsResult<Value> {
+        self.ensure_writable()?;
         if let Some(bi) = self.binding_index_at(sheet, addr) {
             if input.trim_start().starts_with('=') {
                 return Err(DsError::Interface(
@@ -175,6 +225,7 @@ impl Workbook {
     /// Write one literal cell value (replacing any formula there) and
     /// recompute its dependents.
     pub fn set_value(&mut self, sheet: SheetId, addr: CellAddr, v: Value) -> DsResult<Value> {
+        self.ensure_writable()?;
         let old = match self.binding_index_at(sheet, addr) {
             Some(bi) => self.bound_set_value(bi, sheet, addr, v)?,
             None => self.sheets[sheet.0].set_value(addr, v)?,
@@ -190,6 +241,7 @@ impl Workbook {
         at: CellAddr,
         rows: &[Vec<Value>],
     ) -> DsResult<()> {
+        self.ensure_writable()?;
         // Fast path when no cell of the target rectangle is bound; else
         // route cell by cell so bound cells become table DML.
         let width = rows.iter().map(Vec::len).max().unwrap_or(0) as u32;
@@ -239,6 +291,7 @@ impl Workbook {
     /// Insert blank rows: cells and formulas shift, references on every
     /// sheet are rewritten, affected formulas recompute.
     pub fn insert_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.ensure_writable()?;
         // Insertions inside a bound region become positional inserts of
         // empty tuples on the backing table; validate the schema accepts
         // them before the grid moves.
@@ -252,6 +305,7 @@ impl Workbook {
     /// Delete rows: references into the span become `#REF!`, ranges shrink,
     /// affected formulas recompute.
     pub fn delete_rows(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.ensure_writable()?;
         // Deletions overlapping a bound region delete the covered tuples
         // from the backing table; plan against pre-edit coordinates.
         let plan = self.plan_delete_rows(sheet.0, at, count);
@@ -263,6 +317,7 @@ impl Workbook {
 
     /// Insert blank columns (see [`Workbook::insert_rows`]).
     pub fn insert_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.ensure_writable()?;
         self.sheets[sheet.0].insert_cols(at, count)?;
         self.bindings_after_insert_cols(sheet.0, at, count)?;
         self.flush_grid();
@@ -271,6 +326,7 @@ impl Workbook {
 
     /// Delete columns (see [`Workbook::delete_rows`]).
     pub fn delete_cols(&mut self, sheet: SheetId, at: u32, count: u32) -> DsResult<()> {
+        self.ensure_writable()?;
         let plan = self.plan_delete_cols(sheet.0, at, count);
         self.sheets[sheet.0].delete_cols(at, count)?;
         self.apply_delete_cols_plan(sheet.0, plan)?;
@@ -368,6 +424,9 @@ impl Workbook {
                 | Statement::DropTable { .. }
                 | Statement::AlterTable { .. }
         );
+        if is_dml || is_ddl {
+            self.ensure_writable()?;
+        }
         // Capture what the post-statement hooks need before the statement is
         // consumed: CREATE/DROP TABLE ride the WAL (no checkpoint) when they
         // actually create/drop, and column DDL adjusts binding metadata.
@@ -567,6 +626,7 @@ impl Workbook {
         table: &str,
         headers: bool,
     ) -> DsResult<usize> {
+        self.ensure_writable()?;
         // Imported cells must be computed values, not stale formula caches.
         self.flush_grid();
         let matrix = self.sheets[sheet.0].region(range);
@@ -626,6 +686,7 @@ impl Workbook {
         at: CellAddr,
         headers: bool,
     ) -> DsResult<Range> {
+        self.ensure_writable()?;
         let t = self.catalog.get(table)?;
         let width = t.schema().width() as u32;
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(t.row_count() + 1);
@@ -665,6 +726,7 @@ impl Workbook {
         pos: usize,
         row: Vec<Value>,
     ) -> DsResult<RowKey> {
+        self.ensure_writable()?;
         let key = self.catalog.get_mut(table)?.insert_at(pos, row)?;
         // Bound regions displaying this table grow by one row.
         self.sync_bindings()?;

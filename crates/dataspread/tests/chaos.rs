@@ -1,0 +1,355 @@
+//! HTAP chaos suite: concurrent writers, readers, and checkpoints over a
+//! fault-injecting VFS, asserting the engine's degradation contract:
+//!
+//! * recovery after any fault schedule yields a per-writer committed
+//!   prefix and **never loses an `Ok`-acked commit**;
+//! * a failed WAL fsync flips the engine read-only — reads keep working,
+//!   every write fails with [`DsError::ReadOnly`];
+//! * a degraded workbook can still be salvaged by saving to a *different*
+//!   directory on healthy storage.
+//!
+//! Fault schedules are restricted to fsync failures and crashes: both
+//! halt the engine at the fault, so "acked" stays the single source of
+//! truth. Write-level faults (which report failure to the caller but
+//! leave the in-memory row ahead of the log) are pinned down
+//! deterministically in the relstore `fault_injection` suite instead.
+//!
+//! `DSP_STRESS_ITERS` scales per-writer operation counts (default 60);
+//! `DSP_FAULT_SEED` replays a printed fault schedule.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use dataspread::{EngineHealth, SharedWorkbook, Workbook};
+use dataspread_relstore::vfs::{FaultPlan, FaultVfs, RecoveryImage, Vfs};
+use dataspread_testkit::cases;
+use dataspread_types::{DsError, Value};
+
+fn iters() -> i64 {
+    std::env::var("DSP_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60)
+}
+
+fn fault_seed() -> u64 {
+    match std::env::var("DSP_FAULT_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("DSP_FAULT_SEED must be an integer, got {s:?}"))
+        }
+        Err(_) => 0xC4A0_5EED_u64,
+    }
+}
+
+/// Writer `w`'s rows are `(w*1_000_000 + seq, 10*(w*1_000_000 + seq))`,
+/// inserted in `seq` order; any consistent view shows seqs `0..k`.
+fn check_committed_prefix(rows: &[(i64, i64)], writers: usize) -> Vec<i64> {
+    let mut per_writer: Vec<Vec<i64>> = vec![Vec::new(); writers];
+    for &(id, v) in rows {
+        assert_eq!(v, id * 10, "torn row: id {id} paired with v {v}");
+        let w = (id / 1_000_000) as usize;
+        per_writer[w].push(id % 1_000_000);
+    }
+    per_writer
+        .into_iter()
+        .enumerate()
+        .map(|(w, mut seqs)| {
+            seqs.sort_unstable();
+            for (i, s) in seqs.iter().enumerate() {
+                assert_eq!(
+                    *s, i as i64,
+                    "writer {w}: gap in committed prefix (saw {s} at position {i})"
+                );
+            }
+            seqs.len() as i64
+        })
+        .collect()
+}
+
+fn table_rows(wb: &mut Workbook, table: &str) -> Vec<(i64, i64)> {
+    let (_, rows) = wb.query(&format!("SELECT id, v FROM {table}")).unwrap();
+    rows.into_iter()
+        .map(|row| match (&row[0], &row[1]) {
+            (Value::Int(a), Value::Int(b)) => (*a, *b),
+            other => panic!("non-int row {other:?}"),
+        })
+        .collect()
+}
+
+const WRITERS: usize = 3;
+const READERS: usize = 2;
+
+/// One chaos round: writers + readers + a checkpointer race a randomized
+/// fsync-failure/crash schedule, then the store is recovered from the
+/// power-cut (synced-only) image and checked against the acks.
+fn chaos_round(plan: FaultPlan, n: i64) {
+    let fault = FaultVfs::new(FaultPlan::quiet());
+    let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+    let dir = PathBuf::from("/chaos");
+
+    let mut wb = Workbook::new();
+    wb.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+    wb.save_with_vfs(&dir, Arc::clone(&vfs)).unwrap();
+    let shared = SharedWorkbook::new(wb);
+    let done = Arc::new(AtomicBool::new(false));
+    fault.set_plan(plan);
+
+    let writers: Vec<_> = (0..WRITERS as i64)
+        .map(|w| {
+            let sh = shared.clone();
+            thread::spawn(move || {
+                let mut acked = 0i64;
+                for seq in 0..n {
+                    let id = w * 1_000_000 + seq;
+                    let res = sh.with_table_mut("t", |t| {
+                        t.insert(vec![Value::Int(id), Value::Int(id * 10)])
+                    });
+                    match res {
+                        Ok(_) => acked += 1,
+                        Err(e) => {
+                            // Sync faults poison (ReadOnly on the next try),
+                            // crashes surface as raw Io; both end this writer.
+                            assert!(
+                                e.is_read_only() || matches!(e, DsError::Io(_)),
+                                "unexpected writer error: {e:?}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let sh = shared.clone();
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut polls = 0u64;
+                // Poll at least once even if the fault schedule halts every
+                // writer before this thread is first scheduled.
+                loop {
+                    // Reads must never panic, degraded or not. After a
+                    // simulated crash a cold page read can fail — that is
+                    // an Err, not a wedge.
+                    let res = sh.read(|s| s.table_snapshot("t").and_then(|snap| snap.scan()));
+                    if let Ok(rows) = res {
+                        let rows: Vec<(i64, i64)> = rows
+                            .into_iter()
+                            .map(|(_, row)| match (&row[0], &row[1]) {
+                                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                                other => panic!("non-int row {other:?}"),
+                            })
+                            .collect();
+                        check_committed_prefix(&rows, WRITERS);
+                    }
+                    let _ = sh.health();
+                    polls += 1;
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                polls
+            })
+        })
+        .collect();
+
+    let checkpointer = {
+        let sh = shared.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut attempts = 0u64;
+            loop {
+                // Checkpoints may fail under faults (rolled back + retried
+                // internally) or be refused read-only; neither may wedge.
+                let _ = sh.write(|wb| wb.checkpoint());
+                attempts += 1;
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            attempts
+        })
+    };
+
+    let acked: Vec<i64> = writers.into_iter().map(|h| h.join().unwrap()).collect();
+    done.store(true, Ordering::Release);
+    for r in readers {
+        assert!(r.join().unwrap() > 0);
+    }
+    assert!(checkpointer.join().unwrap() > 0);
+    drop(shared.try_into_inner().expect("all clones joined"));
+
+    // Power-cut recovery: only synced bytes survive.
+    fault.reset_to_recovery(RecoveryImage::Synced);
+    let mut wb = Workbook::open_with_vfs(&dir, Arc::clone(&vfs)).unwrap();
+    let rows = table_rows(&mut wb, "t");
+    let recovered = check_committed_prefix(&rows, WRITERS);
+    for (w, (&got, &want)) in recovered.iter().zip(acked.iter()).enumerate() {
+        // `>=`: an op acked Ok must survive; a checkpoint may additionally
+        // have folded in the one in-flight row whose commit ack never came.
+        assert!(
+            got >= want,
+            "writer {w}: acked {want} commits but only {got} recovered (plan {plan:?})"
+        );
+        assert!(
+            got <= n,
+            "writer {w}: recovered {got} rows out of {n} attempts"
+        );
+    }
+}
+
+#[test]
+fn chaos_htap_never_loses_an_acked_commit() {
+    let base = fault_seed();
+    eprintln!("chaos base seed: {base:#x} (override with DSP_FAULT_SEED)");
+    let n = iters();
+    cases(6, base, |rng| {
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            p_sync_err: rng.u32_in(30, 250),
+            p_crash: rng.u32_in(10, 120),
+            ..FaultPlan::default()
+        };
+        chaos_round(plan, n);
+    });
+}
+
+/// Deterministic degradation contract: one failed fsync flips the engine
+/// read-only; reads keep working, every write path fails typed, and the
+/// state is observable through `health()` on both workbook and handle.
+#[test]
+fn fsync_failure_degrades_to_read_only_reads_survive() {
+    let fault = FaultVfs::new(FaultPlan::quiet());
+    let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+    let dir = PathBuf::from("/store");
+
+    let mut wb = Workbook::new();
+    wb.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+    wb.save_with_vfs(&dir, Arc::clone(&vfs)).unwrap();
+    wb.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    assert!(wb.health().is_healthy());
+
+    // Fail the next fsync: the statement's group commit cannot be acked.
+    fault.set_plan(FaultPlan {
+        fail_nth_sync: Some(fault.stats().syncs),
+        ..FaultPlan::quiet()
+    });
+    let err = wb.execute("INSERT INTO t VALUES (2, 20)").unwrap_err();
+    assert!(
+        matches!(err, DsError::Io(_)),
+        "first failure is the raw fault: {err:?}"
+    );
+    fault.quiesce();
+
+    // Sticky: health reports the reason, every write path is refused…
+    match wb.health() {
+        EngineHealth::ReadOnly { reason } => {
+            assert!(reason.contains("fsync"), "reason names the fault: {reason}")
+        }
+        EngineHealth::Healthy => panic!("engine must be degraded"),
+    }
+    assert!(wb
+        .execute("INSERT INTO t VALUES (3, 30)")
+        .unwrap_err()
+        .is_read_only());
+    assert!(wb
+        .execute("CREATE TABLE u (x INT)")
+        .unwrap_err()
+        .is_read_only());
+    let sheet = wb.current_sheet();
+    assert!(wb
+        .set_input(sheet, "A1".parse().unwrap(), "7")
+        .unwrap_err()
+        .is_read_only());
+    assert!(wb
+        .insert_tuple_at("t", 0, vec![Value::Int(4), Value::Int(40)])
+        .unwrap_err()
+        .is_read_only());
+    assert!(wb.checkpoint().unwrap_err().is_read_only());
+    assert!(wb
+        .save_with_vfs(&dir, Arc::clone(&vfs))
+        .unwrap_err()
+        .is_read_only());
+
+    // …while reads still serve. The un-acked row of the failed statement
+    // is visible live (it was applied in memory before the commit failed)
+    // — live reads show a superset, durable state is the acked prefix.
+    let rows = table_rows(&mut wb, "t");
+    assert!(rows.contains(&(1, 10)));
+    let (_, count) = wb.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(count[0][0], Value::Int(rows.len() as i64));
+
+    // The shared handle sees the same degradation.
+    let shared = SharedWorkbook::new(wb);
+    assert!(matches!(shared.health(), EngineHealth::ReadOnly { .. }));
+    assert!(shared
+        .with_table_mut("t", |t| t.insert(vec![Value::Int(5), Value::Int(50)]))
+        .unwrap_err()
+        .is_read_only());
+    assert!(shared.query("SELECT id FROM t").is_ok());
+    let mut wb = shared.try_into_inner().expect("sole handle");
+
+    // Salvage: saving to a DIFFERENT directory on healthy storage is
+    // legal, captures the full live state, and re-attaches the workbook
+    // to the healthy store — equivalent to a reopen.
+    let salvage = FaultVfs::new(FaultPlan::quiet());
+    let salvage_vfs: Arc<dyn Vfs> = Arc::new(salvage.clone());
+    let dir2 = PathBuf::from("/salvage");
+    wb.save_with_vfs(&dir2, Arc::clone(&salvage_vfs)).unwrap();
+    assert!(
+        wb.health().is_healthy(),
+        "salvage re-attaches healthy storage"
+    );
+    wb.execute("INSERT INTO t VALUES (6, 60)").unwrap();
+
+    let mut reopened = Workbook::open_with_vfs(&dir2, salvage_vfs).unwrap();
+    let rows = table_rows(&mut reopened, "t");
+    assert!(rows.contains(&(1, 10)) && rows.contains(&(6, 60)));
+
+    // Meanwhile the original (power-cut) directory recovers exactly the
+    // acked prefix: the failed statement's row never became durable.
+    fault.reset_to_recovery(RecoveryImage::Synced);
+    let mut old = Workbook::open_with_vfs(&dir, Arc::new(fault.clone())).unwrap();
+    assert_eq!(table_rows(&mut old, "t"), vec![(1, 10)]);
+}
+
+/// Workbook-level stale-tmp crash window, on the real filesystem: a crash
+/// between snapshot tmp write and rename must not confuse `open` — the
+/// debris is ignored and removed, and the old WAL tail still replays.
+#[test]
+fn open_ignores_stale_snapshot_tmp_and_replays_wal() {
+    let dir = std::env::temp_dir().join(format!("dsp-chaos-tmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut wb = Workbook::new();
+    wb.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+    wb.save(&dir).unwrap();
+    wb.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    drop(wb); // "crash" with the rows only in the WAL
+
+    // Debris of a checkpoint that died before its rename.
+    std::fs::write(dir.join("data.dsp.tmp"), b"half-written snapshot").unwrap();
+
+    let mut wb = Workbook::open(&dir).unwrap();
+    let mut rows = table_rows(&mut wb, "t");
+    rows.sort_unstable();
+    assert_eq!(rows, vec![(1, 10), (2, 20)]);
+    assert!(
+        !dir.join("data.dsp.tmp").exists(),
+        "open must clean up stale checkpoint debris"
+    );
+    drop(wb);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -32,6 +32,11 @@ pub struct PoolStats {
     /// Evicted frames that were dirty (modeled — or, with a durable store
     /// attached, real — disk writes).
     pub dirty_writebacks: AtomicU64,
+    /// Write-backs whose physical scratch-frame write failed. Scratch
+    /// frames are advisory (recovery never reads them), so a failure is
+    /// counted rather than surfaced — keeping reads alive on a degraded
+    /// store.
+    pub write_back_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`], taken in one pass so benches stop
@@ -46,6 +51,8 @@ pub struct PoolSnapshot {
     pub evictions: u64,
     /// Evicted frames that were dirty.
     pub dirty_writebacks: u64,
+    /// Write-backs whose physical write failed (see [`PoolStats`]).
+    pub write_back_errors: u64,
 }
 
 impl PoolSnapshot {
@@ -72,13 +79,18 @@ impl PoolStats {
     pub fn dirty_writebacks(&self) -> u64 {
         self.dirty_writebacks.load(Ordering::Relaxed)
     }
-    /// One-pass copy of all four counters.
+    /// Write-backs whose physical write failed.
+    pub fn write_back_errors(&self) -> u64 {
+        self.write_back_errors.load(Ordering::Relaxed)
+    }
+    /// One-pass copy of all counters.
     pub fn snapshot(&self) -> PoolSnapshot {
         PoolSnapshot {
             hits: self.hits(),
             misses: self.misses(),
             evictions: self.evictions(),
             dirty_writebacks: self.dirty_writebacks(),
+            write_back_errors: self.write_back_errors(),
         }
     }
     /// Zero every counter (bench phase boundaries).
@@ -87,6 +99,7 @@ impl PoolStats {
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.dirty_writebacks.store(0, Ordering::Relaxed);
+        self.write_back_errors.store(0, Ordering::Relaxed);
     }
 }
 

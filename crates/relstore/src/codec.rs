@@ -191,11 +191,6 @@ fn fragment_size_hint(values: &[Value]) -> usize {
     2 + values.iter().map(value_size).sum::<usize>()
 }
 
-/// Wrap an I/O error into the workspace error type with context.
-pub(crate) fn io_err(what: &str, e: std::io::Error) -> DsError {
-    DsError::Storage(format!("{what}: {e}"))
-}
-
 // ---- little-endian write helpers ------------------------------------------
 
 /// Append a `u16` little-endian.

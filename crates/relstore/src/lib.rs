@@ -38,6 +38,7 @@ pub mod pager;
 pub mod schema;
 pub mod snapshot;
 pub mod table;
+pub mod vfs;
 pub mod wal;
 
 pub use binding::{BindModel, BindingMeta};
@@ -46,8 +47,13 @@ pub use catalog::{Catalog, TableRef, TableRefMut, TableShard, DEFAULT_POLICY};
 pub use page::{Page, PAGE_SIZE};
 pub use pager::{PageFile, PageFileSnapshot, PageFileStats};
 pub use schema::{ColumnDef, KeyTuple, Schema};
-pub use snapshot::{load_catalog, save_catalog, LoadedCatalog, StoreHandle};
+pub use snapshot::{
+    load_catalog, load_catalog_with, save_catalog, save_catalog_with, LoadedCatalog, StoreHandle,
+};
 pub use table::{GroupPolicy, RowIter, SnapRowIter, Table, TableSnapshot, TableStats};
+pub use vfs::{
+    os_vfs, FaultKind, FaultPlan, FaultStats, FaultVfs, OsVfs, RecoveryImage, Vfs, VfsFile,
+};
 pub use wal::{GridEditKind, GroupCommitStats, SheetCellContent, WalOp, WalRecord, WalWriter};
 
 pub use dataspread_posindex::RowKey;

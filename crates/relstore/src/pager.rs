@@ -17,18 +17,21 @@
 //!
 //! All methods take `&self`: the file handle and header state live behind a
 //! mutex so the buffer pool's write-back hook can fire from shared contexts.
+//!
+//! All physical I/O goes through a [`Vfs`] (see [`crate::vfs`]); the
+//! convenience constructors [`PageFile::create`]/[`PageFile::open`] use the
+//! real filesystem, while `create_with`/`open_with` accept any
+//! implementation (fault injection in tests).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dataspread_types::{DsError, DsResult};
 
-use crate::codec::io_err;
 use crate::crc::crc32;
 use crate::page::PAGE_SIZE;
+use crate::vfs::{os_vfs, Vfs, VfsFile};
 
 /// Magic bytes opening a page file: `"DSPF"`.
 pub const PAGE_FILE_MAGIC: [u8; 4] = *b"DSPF";
@@ -89,7 +92,7 @@ impl PageFileStats {
 }
 
 struct Inner {
-    file: File,
+    file: Box<dyn VfsFile>,
     frame_count: u64,
     meta_first: u64,
     meta_len: u64,
@@ -128,26 +131,30 @@ impl Inner {
         h
     }
 
-    fn write_header(&mut self) -> DsResult<()> {
+    fn write_header(&mut self, path: &Path) -> DsResult<()> {
         let h = self.encode_header();
         self.file
-            .seek(SeekFrom::Start(0))
-            .and_then(|_| self.file.write_all(&h))
-            .map_err(|e| io_err("page file header write", e))
+            .write_all_at(0, &h)
+            .map_err(|e| DsError::io("page file header write", path, Some(0), &e))
     }
 }
 
 impl PageFile {
     /// Create (or truncate) a page file at `path` with an empty frame region.
     pub fn create(path: impl AsRef<Path>, generation: u64) -> DsResult<PageFile> {
+        Self::create_with(&os_vfs(), path, generation)
+    }
+
+    /// [`PageFile::create`] against an explicit [`Vfs`].
+    pub fn create_with(
+        vfs: &Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        generation: u64,
+    ) -> DsResult<PageFile> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| io_err("page file create", e))?;
+        let file = vfs
+            .create(&path)
+            .map_err(|e| DsError::io("page file create", &path, None, &e))?;
         let mut inner = Inner {
             file,
             frame_count: 0,
@@ -155,7 +162,7 @@ impl PageFile {
             meta_len: 0,
             generation,
         };
-        inner.write_header()?;
+        inner.write_header(&path)?;
         Ok(PageFile {
             path,
             inner: Mutex::new(inner),
@@ -165,15 +172,18 @@ impl PageFile {
 
     /// Open an existing page file, validating magic, version, and header CRC.
     pub fn open(path: impl AsRef<Path>) -> DsResult<PageFile> {
+        Self::open_with(&os_vfs(), path)
+    }
+
+    /// [`PageFile::open`] against an explicit [`Vfs`].
+    pub fn open_with(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> DsResult<PageFile> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
+        let file = vfs
             .open(&path)
-            .map_err(|e| io_err("page file open", e))?;
+            .map_err(|e| DsError::io("page file open", &path, None, &e))?;
         let mut h = [0u8; HEADER_SIZE as usize];
-        file.read_exact(&mut h)
-            .map_err(|e| io_err("page file header read", e))?;
+        file.read_exact_at(0, &mut h)
+            .map_err(|e| DsError::io("page file header read", &path, Some(0), &e))?;
         if h[0..4] != PAGE_FILE_MAGIC {
             return Err(DsError::Storage("page file: bad magic".into()));
         }
@@ -227,17 +237,22 @@ impl PageFile {
         &self.stats
     }
 
-    fn write_frame_locked(inner: &mut Inner, id: FrameId, payload: &[u8]) -> DsResult<()> {
+    fn write_frame_locked(
+        inner: &mut Inner,
+        path: &Path,
+        id: FrameId,
+        payload: &[u8],
+    ) -> DsResult<()> {
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(&0u64.to_le_bytes());
         frame.extend_from_slice(payload);
+        let offset = HEADER_SIZE + id * FRAME_SIZE;
         inner
             .file
-            .seek(SeekFrom::Start(HEADER_SIZE + id * FRAME_SIZE))
-            .and_then(|_| inner.file.write_all(&frame))
-            .map_err(|e| io_err("frame write", e))
+            .write_all_at(offset, &frame)
+            .map_err(|e| DsError::io("frame write", path, Some(offset), &e))
     }
 
     /// Allocate a fresh frame, write `payload` into it, and return its id.
@@ -251,7 +266,7 @@ impl PageFile {
         }
         let mut inner = self.inner();
         let id = inner.frame_count;
-        Self::write_frame_locked(&mut inner, id, payload)?;
+        Self::write_frame_locked(&mut inner, &self.path, id, payload)?;
         inner.frame_count += 1;
         self.stats.frames_written.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -262,19 +277,19 @@ impl PageFile {
 
     /// Read a frame's payload, validating its length and CRC.
     pub fn read_frame(&self, id: FrameId) -> DsResult<Vec<u8>> {
-        let mut inner = self.inner();
+        let inner = self.inner();
         if id >= inner.frame_count {
             return Err(DsError::Storage(format!(
                 "frame {id} out of range ({} frames)",
                 inner.frame_count
             )));
         }
+        let offset = HEADER_SIZE + id * FRAME_SIZE;
         let mut head = [0u8; FRAME_HEADER];
         inner
             .file
-            .seek(SeekFrom::Start(HEADER_SIZE + id * FRAME_SIZE))
-            .and_then(|_| inner.file.read_exact(&mut head))
-            .map_err(|e| io_err("frame header read", e))?;
+            .read_exact_at(offset, &mut head)
+            .map_err(|e| DsError::io("frame header read", &self.path, Some(offset), &e))?;
         let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
         let stored_crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
         if len > FRAME_PAYLOAD {
@@ -285,8 +300,8 @@ impl PageFile {
         let mut payload = vec![0u8; len];
         inner
             .file
-            .read_exact(&mut payload)
-            .map_err(|e| io_err("frame payload read", e))?;
+            .read_exact_at(offset + FRAME_HEADER as u64, &mut payload)
+            .map_err(|e| DsError::io("frame payload read", &self.path, Some(offset), &e))?;
         if crc32(&payload) != stored_crc {
             return Err(DsError::Storage(format!("frame {id}: checksum mismatch")));
         }
@@ -343,11 +358,11 @@ impl PageFile {
     /// Persist the header and `fsync` the file.
     pub fn sync(&self) -> DsResult<()> {
         let mut inner = self.inner();
-        inner.write_header()?;
+        inner.write_header(&self.path)?;
         inner
             .file
-            .sync_all()
-            .map_err(|e| io_err("page file sync", e))?;
+            .sync()
+            .map_err(|e| DsError::io("page file sync", &self.path, None, &e))?;
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }

@@ -21,17 +21,17 @@
 //! disk. The caller then re-checkpoints, folding the replayed tail into a
 //! fresh snapshot.
 
-use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use dataspread_types::{DsError, DsResult};
 
 use crate::catalog::Catalog;
-use crate::codec::{io_err, put_u32, Cursor};
+use crate::codec::{put_u32, Cursor};
 use crate::pager::PageFile;
 use crate::table::Table;
-use crate::wal::{apply_committed, committed_ops, scan_wal, WalWriter};
+use crate::vfs::{os_vfs, Vfs};
+use crate::wal::{apply_committed, committed_ops, scan_wal_with, WalWriter};
 
 /// File name of the page file inside a store directory.
 pub const DATA_FILE: &str = "data.dsp";
@@ -50,6 +50,8 @@ pub struct StoreHandle {
     pub wal: Arc<WalWriter>,
     /// Checkpoint generation of this pair.
     pub generation: u64,
+    /// The filesystem this store lives on (threaded into re-checkpoints).
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl StoreHandle {
@@ -83,13 +85,6 @@ pub struct LoadedCatalog {
     pub engine_ops: Vec<crate::wal::WalOp>,
 }
 
-/// Best-effort directory fsync so a rename survives power loss.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
 /// Checkpoint `catalog` (plus opaque `extra_meta` from the engine layer)
 /// into `dir` as generation `generation`, resetting the WAL. Returns the
 /// fresh store handles; the caller should attach them to the catalog's
@@ -107,38 +102,88 @@ pub fn save_catalog(
     extra_meta: &[u8],
     generation: u64,
 ) -> DsResult<StoreHandle> {
-    std::fs::create_dir_all(dir).map_err(|e| io_err("store dir create", e))?;
+    save_catalog_with(&os_vfs(), dir, catalog, extra_meta, generation, None)
+}
+
+/// [`save_catalog`] against an explicit [`Vfs`], with explicit failure
+/// semantics.
+///
+/// A failure *before* the rename commit point is a clean rollback: the
+/// temporary file is removed (best effort), the previous pair is untouched,
+/// and the checkpoint may simply be retried. A failure *after* the rename
+/// is the dangerous window — the new snapshot is already in place, so the
+/// old-generation WAL (which `prev_wal` still appends to) would be
+/// **discarded** by the next recovery. Acking any further commit into it
+/// would silently lose data; `prev_wal` is therefore poisoned, flipping
+/// the engine read-only until reopen.
+pub fn save_catalog_with(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    catalog: &Catalog,
+    extra_meta: &[u8],
+    generation: u64,
+    prev_wal: Option<&WalWriter>,
+) -> DsResult<StoreHandle> {
+    vfs.create_dir_all(dir)
+        .map_err(|e| DsError::io("store dir create", dir, None, &e))?;
     let data_path = dir.join(DATA_FILE);
     let tmp_path = dir.join(format!("{DATA_FILE}.tmp"));
 
-    // 1. Write the complete snapshot into a temporary page file.
-    let pager = PageFile::create(&tmp_path, generation)?;
-    let mut meta = Vec::new();
-    let names = catalog.table_names();
-    put_u32(&mut meta, names.len() as u32);
-    for name in &names {
-        catalog.get(name)?.encode_snapshot(&pager, &mut meta)?;
+    // 1. Write the complete snapshot into a temporary page file. Any error
+    //    here rolls back cleanly: remove the tmp file and report.
+    let write_tmp = || -> DsResult<()> {
+        let pager = PageFile::create_with(vfs, &tmp_path, generation)?;
+        let mut meta = Vec::new();
+        let names = catalog.table_names();
+        put_u32(&mut meta, names.len() as u32);
+        for name in &names {
+            catalog.get(name)?.encode_snapshot(&pager, &mut meta)?;
+        }
+        put_u32(&mut meta, extra_meta.len() as u32);
+        meta.extend_from_slice(extra_meta);
+        pager.write_meta(&meta)?;
+        pager.sync()?;
+        Ok(())
+    };
+    if let Err(e) = write_tmp() {
+        let _ = vfs.remove_file(&tmp_path);
+        return Err(e);
     }
-    put_u32(&mut meta, extra_meta.len() as u32);
-    meta.extend_from_slice(extra_meta);
-    pager.write_meta(&meta)?;
-    pager.sync()?;
-    drop(pager);
 
-    // 2. The commit point: atomically replace the old snapshot.
-    std::fs::rename(&tmp_path, &data_path).map_err(|e| io_err("snapshot rename", e))?;
-    sync_dir(dir);
+    // 2. The commit point: atomically replace the old snapshot. A failed
+    //    rename is still pre-commit — roll back and report.
+    if let Err(e) = vfs.rename(&tmp_path, &data_path) {
+        let _ = vfs.remove_file(&tmp_path);
+        return Err(DsError::io("snapshot rename", &data_path, None, &e));
+    }
+    vfs.sync_dir(dir);
 
     // 3. Reset the WAL under the new generation. A crash between 2 and 3
-    //    leaves a WAL with an older generation, which recovery discards.
-    let wal = WalWriter::create(dir.join(WAL_FILE), generation)?;
-    let pager = PageFile::open(&data_path)?;
-    Ok(StoreHandle {
-        dir: dir.to_path_buf(),
-        pager: Arc::new(pager),
-        wal: Arc::new(wal),
-        generation,
-    })
+    //    leaves a WAL with an older generation, which recovery discards —
+    //    which is exactly why a *live* engine failing here must stop
+    //    acking commits into the old WAL (see `prev_wal` above).
+    let post_rename = || -> DsResult<StoreHandle> {
+        let wal = WalWriter::create_with(vfs, dir.join(WAL_FILE), generation)?;
+        let pager = PageFile::open_with(vfs, &data_path)?;
+        Ok(StoreHandle {
+            dir: dir.to_path_buf(),
+            pager: Arc::new(pager),
+            wal: Arc::new(wal),
+            generation,
+            vfs: Arc::clone(vfs),
+        })
+    };
+    match post_rename() {
+        Ok(handle) => Ok(handle),
+        Err(e) => {
+            if let Some(wal) = prev_wal {
+                wal.poison(format!(
+                    "checkpoint generation {generation} renamed but WAL reset failed: {e}"
+                ));
+            }
+            Err(e)
+        }
+    }
 }
 
 /// Restore a catalog from the store at `dir`: load the checkpoint, then
@@ -146,7 +191,19 @@ pub fn save_catalog(
 /// detached; re-checkpoint with [`save_catalog`] and attach the fresh
 /// handles.
 pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
-    let pager = PageFile::open(dir.join(DATA_FILE))?;
+    load_catalog_with(&os_vfs(), dir)
+}
+
+/// [`load_catalog`] against an explicit [`Vfs`].
+pub fn load_catalog_with(vfs: &Arc<dyn Vfs>, dir: &Path) -> DsResult<LoadedCatalog> {
+    // A stale `data.dsp.tmp` means a crash hit between the tmp write and
+    // the rename: the snapshot in it never committed. Remove it so it can
+    // never be confused for (or block) a future checkpoint.
+    let tmp_path = dir.join(format!("{DATA_FILE}.tmp"));
+    if vfs.exists(&tmp_path) {
+        let _ = vfs.remove_file(&tmp_path);
+    }
+    let pager = PageFile::open_with(vfs, dir.join(DATA_FILE))?;
     let generation = pager.generation();
     let meta = pager.read_meta()?;
     let mut cur = Cursor::new(&meta);
@@ -169,7 +226,7 @@ pub fn load_catalog(dir: &Path) -> DsResult<LoadedCatalog> {
     // missing or unreadable header means there is nothing to replay.
     let mut replayed = 0;
     let mut engine_ops = Vec::new();
-    if let Some(scan) = scan_wal(dir.join(WAL_FILE))? {
+    if let Some(scan) = scan_wal_with(vfs, dir.join(WAL_FILE))? {
         if scan.generation == generation {
             let ops = committed_ops(&scan);
             replayed = apply_committed(&mut catalog, &ops)?;

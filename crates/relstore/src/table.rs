@@ -276,6 +276,11 @@ impl Table {
     /// a durable store is attached, flush the page's real bytes as a
     /// copy-on-write scratch frame (recovery never reads scratch frames —
     /// the authoritative chain is checkpoint + WAL; see `docs/STORAGE.md`).
+    ///
+    /// Scratch frames being advisory, a failed physical write is *counted*
+    /// ([`PoolStats::write_back_errors`]) instead of propagated: evictions
+    /// fire inside read paths too, and a full disk must degrade the store
+    /// to read-only (the WAL's job), not kill reads.
     fn writeback(&self, evicted: Option<(u32, u32)>) -> DsResult<()> {
         let Some((g, p)) = evicted else { return Ok(()) };
         let Some(pager) = &self.pager else {
@@ -288,7 +293,12 @@ impl Table {
             .get(g as usize)
             .and_then(|group| group.pages.get(p as usize))
         {
-            pager.append_frame(&page.to_image())?;
+            if pager.append_frame(&page.to_image()).is_err() {
+                self.pool
+                    .stats()
+                    .write_back_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(())
     }
@@ -318,6 +328,16 @@ impl Table {
     fn log(&self, op: WalOp) -> DsResult<()> {
         match &self.wal {
             Some(wal) => wal.log(op),
+            None => Ok(()),
+        }
+    }
+
+    /// Refuse DML up front when the attached WAL is poisoned. The check
+    /// runs *before* any in-memory mutation so a degraded (read-only)
+    /// store never accumulates state that was refused durability.
+    fn ensure_writable(&self) -> DsResult<()> {
+        match &self.wal {
+            Some(wal) => wal.ensure_writable(),
             None => Ok(()),
         }
     }
@@ -419,6 +439,7 @@ impl Table {
         forced: Option<RowKey>,
         row: Vec<Value>,
     ) -> DsResult<RowKey> {
+        self.ensure_writable()?;
         let row = self.schema.conform_row(row)?;
         if let Some(kt) = self.schema.key_of(&row) {
             if self.pk_index.contains_key(&kt) {
@@ -522,6 +543,7 @@ impl Table {
     /// Update one attribute of one row. Touches only the pages of the group
     /// containing the column.
     pub fn update_cell(&mut self, key: RowKey, col: usize, value: Value) -> DsResult<Value> {
+        self.ensure_writable()?;
         if self.order.position_of(key).is_none() {
             return Err(DsError::Storage(format!(
                 "row key {key} not in table {}",
@@ -571,6 +593,7 @@ impl Table {
 
     /// Replace a full row.
     pub fn update_row(&mut self, key: RowKey, row: Vec<Value>) -> DsResult<()> {
+        self.ensure_writable()?;
         if self.order.position_of(key).is_none() {
             return Err(DsError::Storage(format!(
                 "row key {key} not in table {}",
@@ -612,6 +635,7 @@ impl Table {
 
     /// Delete a row by key; returns the position it occupied.
     pub fn delete_row(&mut self, key: RowKey) -> DsResult<usize> {
+        self.ensure_writable()?;
         if self.order.position_of(key).is_none() {
             return Err(DsError::Storage(format!(
                 "row key {key} not in table {}",

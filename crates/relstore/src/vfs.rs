@@ -1,0 +1,761 @@
+//! Virtual filesystem: every byte the store persists goes through here.
+//!
+//! The persistence stack ([`crate::pager`], [`crate::wal`],
+//! [`crate::snapshot`]) never touches `std::fs` directly; it speaks to a
+//! [`Vfs`] (namespace operations: create/open/rename/remove) handing out
+//! [`VfsFile`] handles (positioned reads/writes, truncate, fsync). Two
+//! implementations ship:
+//!
+//! * [`OsVfs`] — the real filesystem. Positioned I/O, no hidden buffering;
+//!   `sync` maps to `fsync(2)`.
+//! * [`FaultVfs`] — a deterministic in-memory filesystem that injects
+//!   failures by schedule (`fail the Nth write`) or seeded RNG
+//!   (probabilistic write/sync errors, short writes, ENOSPC, crash-at-op).
+//!   Each file keeps **two** byte images: `live` (what a running process
+//!   observes) and `durable` (only what a successful `sync` promoted).
+//!   After a simulated crash, [`FaultVfs::reset_to_recovery`] with
+//!   [`RecoveryImage::Synced`] discards everything that never survived an
+//!   fsync — the adversarial image a real power cut would leave. This is
+//!   what makes *fsync-failure* testing honest: on a real filesystem a
+//!   failed fsync usually still leaves the bytes in the page cache, so the
+//!   loss window is invisible.
+//!
+//! The fault machinery is deliberately self-contained (its SplitMix64
+//! generator is inlined) so `FaultVfs` is usable from integration tests and
+//! benches without pulling the dev-only testkit into the library.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A single open file: positioned I/O plus durability control.
+///
+/// All methods take `&self`; implementations are internally synchronized so
+/// a handle can be shared across the pager's and WAL's locking schemes.
+pub trait VfsFile: Send + Sync {
+    /// Read exactly `buf.len()` bytes starting at `offset`.
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Write all of `buf` starting at `offset`, extending the file if needed.
+    fn write_all_at(&self, offset: u64, buf: &[u8]) -> io::Result<()>;
+    /// Force written bytes to durable storage (`fsync`).
+    fn sync(&self) -> io::Result<()>;
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// True when the file holds no bytes.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Cut the file back to `len` bytes.
+    fn truncate(&self, len: u64) -> io::Result<()>;
+    /// A second independent handle to the same file. Used by the WAL so the
+    /// group-commit leader can fsync without holding the append lock.
+    fn duplicate(&self) -> io::Result<Box<dyn VfsFile>>;
+}
+
+/// A filesystem namespace: create/open files, atomic rename, removal.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Create (truncating if present) a file at `path`.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing file read/write.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read a whole file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` onto `to` (replacing it).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Ensure a directory (and parents) exists.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Best-effort fsync of a directory, making renames within it durable.
+    fn sync_dir(&self, path: &Path);
+    /// True when `path` names an existing file.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The default production [`Vfs`]: a thin shim over `std::fs`.
+pub fn os_vfs() -> Arc<dyn Vfs> {
+    Arc::new(OsVfs)
+}
+
+// ---------------------------------------------------------------- OS-backed
+
+/// [`Vfs`] implementation backed by the real OS filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsVfs;
+
+struct OsFile {
+    // On unix, positioned I/O (pread/pwrite) needs no lock; the mutex exists
+    // for the portable seek-based fallback and costs one uncontended lock
+    // per op elsewhere.
+    file: Mutex<std::fs::File>,
+}
+
+impl OsFile {
+    fn new(file: std::fs::File) -> OsFile {
+        OsFile {
+            file: Mutex::new(file),
+        }
+    }
+
+    fn guard(&self) -> MutexGuard<'_, std::fs::File> {
+        self.file.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl VfsFile for OsFile {
+    #[cfg(unix)]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.guard().read_exact_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = self.guard();
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    #[cfg(unix)]
+    fn write_all_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.guard().write_all_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn write_all_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = self.guard();
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.guard().sync_data()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.guard().metadata()?.len())
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        self.guard().set_len(len)
+    }
+
+    fn duplicate(&self) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(OsFile::new(self.guard().try_clone()?)))
+    }
+}
+
+impl Vfs for OsVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(OsFile::new(f)))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(OsFile::new(f)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) {
+        if let Ok(d) = std::fs::File::open(path) {
+            let _ = d.sync_all();
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ------------------------------------------------------------- fault model
+
+/// Which failure a scheduled fault injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write fails outright; no bytes reach the file (EIO).
+    WriteErr,
+    /// Only a prefix of the buffer lands before the write fails (ENOSPC):
+    /// the torn-write case.
+    ShortWrite,
+    /// The fsync fails; nothing new is promoted to the durable image.
+    SyncErr,
+    /// The process "dies" at this operation: the fault VFS stops accepting
+    /// I/O and keeps both byte images for recovery inspection.
+    Crash,
+}
+
+/// Deterministic fault schedule for a [`FaultVfs`].
+///
+/// Probabilities are expressed per 10 000 operations so a plan is plain
+/// integers; `fail_nth_*` fire exactly once at the given 0-based global
+/// operation index. The default plan injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the internal SplitMix64 stream driving probabilistic faults.
+    pub seed: u64,
+    /// Chance (per 10 000 writes) of a full write failure.
+    pub p_write_err: u32,
+    /// Chance (per 10 000 writes) of a short (torn) write.
+    pub p_short_write: u32,
+    /// Chance (per 10 000 syncs) of an fsync failure.
+    pub p_sync_err: u32,
+    /// Chance (per 10 000 ops, writes and syncs) of a crash.
+    pub p_crash: u32,
+    /// Fail exactly the Nth write (0-based) with the given kind.
+    pub fail_nth_write: Option<(u64, FaultKind)>,
+    /// Fail exactly the Nth sync (0-based).
+    pub fail_nth_sync: Option<u64>,
+    /// Crash at the Nth operation (writes + syncs, 0-based).
+    pub crash_at_op: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the baseline for overhead benches.
+    pub fn quiet() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+/// Which byte image [`FaultVfs::reset_to_recovery`] restores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryImage {
+    /// Keep only bytes promoted by a successful sync — what survives a
+    /// power cut. The adversarial (and default) choice.
+    Synced,
+    /// Keep everything the process wrote — models a process crash where the
+    /// OS page cache still flushes.
+    Live,
+}
+
+/// Counters describing what a [`FaultVfs`] has done and injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total write calls observed.
+    pub writes: u64,
+    /// Total sync calls observed.
+    pub syncs: u64,
+    /// Faults injected (all kinds).
+    pub injected: u64,
+}
+
+struct MemFile {
+    live: Vec<u8>,
+    durable: Vec<u8>,
+}
+
+struct FaultInner {
+    files: Mutex<HashMap<PathBuf, Arc<Mutex<MemFile>>>>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<u64>,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// A deterministic, fully in-memory fault-injecting [`Vfs`].
+///
+/// Clones share state, so tests keep a handle while the store owns an
+/// `Arc<dyn Vfs>` pointing at the same filesystem.
+#[derive(Clone)]
+pub struct FaultVfs {
+    inner: Arc<FaultInner>,
+}
+
+impl std::fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultVfs")
+            .field("stats", &self.stats())
+            .field("crashed", &self.crashed())
+            .finish()
+    }
+}
+
+fn injected_err(kind: FaultKind) -> io::Error {
+    match kind {
+        FaultKind::WriteErr => io::Error::other("injected write error"),
+        FaultKind::ShortWrite => {
+            io::Error::new(io::ErrorKind::WriteZero, "injected ENOSPC (short write)")
+        }
+        FaultKind::SyncErr => io::Error::other("injected fsync failure"),
+        FaultKind::Crash => io::Error::other("injected crash"),
+    }
+}
+
+fn crashed_err() -> io::Error {
+    io::Error::other("fault vfs: process has crashed")
+}
+
+impl FaultInner {
+    /// SplitMix64 step — inlined so the library has no testkit dependency.
+    fn next_u64(&self) -> u64 {
+        let mut s = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&self, per_10k: u32) -> bool {
+        per_10k > 0 && (self.next_u64() % 10_000) < per_10k as u64
+    }
+
+    fn plan(&self) -> FaultPlan {
+        *self.plan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Decide what happens to the next write. Returns `None` for a clean
+    /// write or the fault to inject.
+    fn next_write_fault(&self) -> Option<FaultKind> {
+        let plan = self.plan();
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let w = self.writes.fetch_add(1, Ordering::Relaxed);
+        if plan.crash_at_op == Some(op) || self.roll(plan.p_crash) {
+            return Some(FaultKind::Crash);
+        }
+        if let Some((n, kind)) = plan.fail_nth_write {
+            if n == w {
+                return Some(kind);
+            }
+        }
+        if self.roll(plan.p_write_err) {
+            return Some(FaultKind::WriteErr);
+        }
+        if self.roll(plan.p_short_write) {
+            return Some(FaultKind::ShortWrite);
+        }
+        None
+    }
+
+    fn next_sync_fault(&self) -> Option<FaultKind> {
+        let plan = self.plan();
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let s = self.syncs.fetch_add(1, Ordering::Relaxed);
+        if plan.crash_at_op == Some(op) || self.roll(plan.p_crash) {
+            return Some(FaultKind::Crash);
+        }
+        if plan.fail_nth_sync == Some(s) {
+            return Some(FaultKind::SyncErr);
+        }
+        if self.roll(plan.p_sync_err) {
+            return Some(FaultKind::SyncErr);
+        }
+        None
+    }
+
+    fn record_injection(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for FaultVfs {
+    fn default() -> Self {
+        FaultVfs::new(FaultPlan::default())
+    }
+}
+
+impl FaultVfs {
+    /// Build an empty in-memory filesystem governed by `plan`.
+    pub fn new(plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            inner: Arc::new(FaultInner {
+                files: Mutex::new(HashMap::new()),
+                rng: Mutex::new(plan.seed),
+                plan: Mutex::new(plan),
+                writes: AtomicU64::new(0),
+                syncs: AtomicU64::new(0),
+                ops: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Replace the fault schedule (counters and RNG state are kept).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.inner.plan.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    /// Stop injecting anything from this point on.
+    pub fn quiesce(&self) {
+        self.set_plan(FaultPlan::quiet());
+    }
+
+    /// True once a crash fault fired (or [`FaultVfs::trip_crash`] was
+    /// called): every subsequent I/O fails until recovery.
+    pub fn crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Simulate an immediate process death.
+    pub fn trip_crash(&self) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            syncs: self.inner.syncs.load(Ordering::Relaxed),
+            injected: self.inner.injected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Prepare the filesystem for a recovery pass after a (simulated)
+    /// crash: clears the crashed flag, stops injecting faults, and rewrites
+    /// every file to the chosen [`RecoveryImage`].
+    pub fn reset_to_recovery(&self, image: RecoveryImage) {
+        self.inner.crashed.store(false, Ordering::SeqCst);
+        self.quiesce();
+        let files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        for f in files.values() {
+            let mut f = f.lock().unwrap_or_else(|e| e.into_inner());
+            match image {
+                RecoveryImage::Synced => f.live = f.durable.clone(),
+                RecoveryImage::Live => f.durable = f.live.clone(),
+            }
+        }
+    }
+
+    /// Names of every file currently present (sorted, for assertions).
+    pub fn file_names(&self) -> Vec<PathBuf> {
+        let files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        let mut v: Vec<PathBuf> = files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+struct FaultFile {
+    inner: Arc<FaultInner>,
+    file: Arc<Mutex<MemFile>>,
+}
+
+impl FaultFile {
+    fn guard(&self) -> MutexGuard<'_, MemFile> {
+        self.file.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn apply_write(img: &mut Vec<u8>, offset: u64, buf: &[u8]) {
+    let off = offset as usize;
+    let end = off + buf.len();
+    if img.len() < end {
+        img.resize(end, 0);
+    }
+    img[off..end].copy_from_slice(buf);
+}
+
+impl VfsFile for FaultFile {
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(crashed_err());
+        }
+        let f = self.guard();
+        let off = offset as usize;
+        let end = off
+            .checked_add(buf.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "read offset overflow"))?;
+        if end > f.live.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of file",
+            ));
+        }
+        buf.copy_from_slice(&f.live[off..end]);
+        Ok(())
+    }
+
+    fn write_all_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(crashed_err());
+        }
+        match self.inner.next_write_fault() {
+            None => {
+                apply_write(&mut self.guard().live, offset, buf);
+                Ok(())
+            }
+            Some(FaultKind::Crash) => {
+                self.inner.record_injection();
+                // A crash mid-write tears it: half the buffer lands in the
+                // live image before the "process" dies.
+                apply_write(&mut self.guard().live, offset, &buf[..buf.len() / 2]);
+                self.inner.crashed.store(true, Ordering::SeqCst);
+                Err(injected_err(FaultKind::Crash))
+            }
+            Some(FaultKind::ShortWrite) => {
+                self.inner.record_injection();
+                apply_write(&mut self.guard().live, offset, &buf[..buf.len() / 2]);
+                Err(injected_err(FaultKind::ShortWrite))
+            }
+            Some(kind) => {
+                self.inner.record_injection();
+                Err(injected_err(kind))
+            }
+        }
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(crashed_err());
+        }
+        match self.inner.next_sync_fault() {
+            None => {
+                let mut f = self.guard();
+                f.durable = f.live.clone();
+                Ok(())
+            }
+            Some(FaultKind::Crash) => {
+                self.inner.record_injection();
+                self.inner.crashed.store(true, Ordering::SeqCst);
+                Err(injected_err(FaultKind::Crash))
+            }
+            Some(kind) => {
+                self.inner.record_injection();
+                Err(injected_err(kind))
+            }
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.guard().live.len() as u64)
+    }
+
+    fn truncate(&self, len: u64) -> io::Result<()> {
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(crashed_err());
+        }
+        self.guard().live.truncate(len as usize);
+        Ok(())
+    }
+
+    fn duplicate(&self) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: Arc::clone(&self.inner),
+            file: Arc::clone(&self.file),
+        }))
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let mut files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = files.entry(path.to_path_buf()).or_insert_with(|| {
+            Arc::new(Mutex::new(MemFile {
+                live: Vec::new(),
+                durable: Vec::new(),
+            }))
+        });
+        // create truncates the live image; the durable image only changes
+        // on a successful sync, mirroring a real filesystem's loss window.
+        entry.lock().unwrap_or_else(|e| e.into_inner()).live.clear();
+        Ok(Box::new(FaultFile {
+            inner: Arc::clone(&self.inner),
+            file: Arc::clone(entry),
+        }))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        Ok(Box::new(FaultFile {
+            inner: Arc::clone(&self.inner),
+            file: Arc::clone(entry),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = files
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        let bytes = entry.lock().unwrap_or_else(|e| e.into_inner()).live.clone();
+        Ok(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let mut files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        files.insert(to.to_path_buf(), entry);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.crashed() {
+            return Err(crashed_err());
+        }
+        let mut files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_dir(&self, _path: &Path) {
+        // Renames in the in-memory namespace are atomic and durable.
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let files = self.inner.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_vfs_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dsp-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        let vfs = os_vfs();
+        let f = vfs.create(&path).unwrap();
+        f.write_all_at(0, b"hello").unwrap();
+        f.write_all_at(5, b" world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(f.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        f.read_exact_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        f.truncate(5).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        vfs.remove_file(&path).unwrap();
+        assert!(!vfs.exists(&path));
+    }
+
+    #[test]
+    fn fault_vfs_unsynced_bytes_die_in_crash() {
+        let vfs = FaultVfs::default();
+        let p = Path::new("/wb/wal.bin");
+        let f = vfs.create(p).unwrap();
+        f.write_all_at(0, b"durable").unwrap();
+        f.sync().unwrap();
+        f.write_all_at(7, b"-volatile").unwrap();
+        vfs.trip_crash();
+        assert!(f.write_all_at(0, b"x").is_err());
+        vfs.reset_to_recovery(RecoveryImage::Synced);
+        assert_eq!(vfs.read(p).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn fault_vfs_nth_write_fails_once() {
+        let plan = FaultPlan {
+            fail_nth_write: Some((1, FaultKind::WriteErr)),
+            ..FaultPlan::default()
+        };
+        let vfs = FaultVfs::new(plan);
+        let f = vfs.create(Path::new("/f")).unwrap();
+        assert!(f.write_all_at(0, b"a").is_ok());
+        assert!(f.write_all_at(1, b"b").is_err());
+        assert!(f.write_all_at(1, b"b").is_ok());
+        assert_eq!(vfs.stats().injected, 1);
+    }
+
+    #[test]
+    fn fault_vfs_short_write_tears() {
+        let plan = FaultPlan {
+            fail_nth_write: Some((0, FaultKind::ShortWrite)),
+            ..FaultPlan::default()
+        };
+        let vfs = FaultVfs::new(plan);
+        let f = vfs.create(Path::new("/f")).unwrap();
+        assert!(f.write_all_at(0, b"abcdef").is_err());
+        assert_eq!(vfs.read(Path::new("/f")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fault_vfs_failed_sync_promotes_nothing() {
+        let plan = FaultPlan {
+            fail_nth_sync: Some(0),
+            ..FaultPlan::default()
+        };
+        let vfs = FaultVfs::new(plan);
+        let f = vfs.create(Path::new("/f")).unwrap();
+        f.write_all_at(0, b"abc").unwrap();
+        assert!(f.sync().is_err());
+        vfs.reset_to_recovery(RecoveryImage::Synced);
+        assert_eq!(vfs.read(Path::new("/f")).unwrap(), b"");
+    }
+
+    #[test]
+    fn fault_vfs_seeded_rolls_are_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                seed,
+                p_write_err: 2_000,
+                ..FaultPlan::default()
+            };
+            let vfs = FaultVfs::new(plan);
+            let f = vfs.create(Path::new("/f")).unwrap();
+            (0..64)
+                .map(|i| f.write_all_at(i, b"x").is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn rename_is_atomic_in_namespace() {
+        let vfs = FaultVfs::default();
+        let f = vfs.create(Path::new("/a.tmp")).unwrap();
+        f.write_all_at(0, b"payload").unwrap();
+        f.sync().unwrap();
+        vfs.rename(Path::new("/a.tmp"), Path::new("/a")).unwrap();
+        assert!(!vfs.exists(Path::new("/a.tmp")));
+        assert_eq!(vfs.read(Path::new("/a")).unwrap(), b"payload");
+    }
+}

@@ -26,21 +26,28 @@
 //! unfinished transactions are ignored, which is the entire rollback story:
 //! nothing uncommitted ever reaches the page file. Byte layouts are
 //! specified in `docs/STORAGE.md`.
+//!
+//! **Failure semantics** (see `docs/FAULTS.md`): a failed append truncates
+//! the file back to the last good record so the tail stays scannable; a
+//! failed fsync **poisons** the writer — every commit batched behind that
+//! sync fails, and all subsequent writes are refused with
+//! [`DsError::ReadOnly`]. A poisoned WAL is never retried: after a failed
+//! `fsync` the kernel may have silently dropped the dirty pages, so
+//! retry-and-report-success would ack commits that never reached disk.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use dataspread_posindex::RowKey;
 use dataspread_types::{DsError, DsResult, Value};
 
 use crate::binding::BindingMeta;
 use crate::catalog::Catalog;
-use crate::codec::{encode_value, io_err, put_str, put_u16, put_u32, put_u64, Cursor};
+use crate::codec::{encode_value, put_str, put_u16, put_u32, put_u64, Cursor};
 use crate::crc::crc32;
 use crate::schema::Schema;
+use crate::vfs::{os_vfs, Vfs, VfsFile};
 
 /// Magic bytes opening a WAL file: `"DSWL"`.
 pub const WAL_MAGIC: [u8; 4] = *b"DSWL";
@@ -511,7 +518,7 @@ fn encode_header(generation: u64) -> [u8; WAL_HEADER_SIZE as usize] {
 }
 
 struct WalInner {
-    file: File,
+    file: Box<dyn VfsFile>,
     open_txn: Option<u64>,
     next_txn: u64,
     /// Bytes appended so far (header included). A committer's records are
@@ -549,19 +556,25 @@ pub struct GroupCommitStats {
 pub struct WalWriter {
     path: PathBuf,
     inner: Mutex<WalInner>,
-    /// Second handle to the same file, used only for `sync_data` so the
+    /// Second handle to the same file, used only for `sync` so the
     /// leader's fsync never holds the append mutex.
-    sync_file: File,
+    sync_file: Box<dyn VfsFile>,
     sync_state: Mutex<SyncState>,
     sync_cv: Condvar,
     commits: AtomicU64,
     fsyncs: AtomicU64,
+    /// Sticky fault flag (fsyncgate semantics): once set, every write path
+    /// is refused with [`DsError::ReadOnly`]. Mirrors `poison_reason`; the
+    /// atomic makes the hot-path check lock-free.
+    poisoned: AtomicBool,
+    poison_reason: Mutex<Option<String>>,
 }
 
 impl std::fmt::Debug for WalWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WalWriter")
             .field("path", &self.path)
+            .field("poisoned", &self.is_poisoned())
             .finish()
     }
 }
@@ -570,18 +583,25 @@ impl WalWriter {
     /// Create (or reset) the log at `path` for checkpoint `generation`.
     /// Truncates any previous contents and fsyncs the fresh header.
     pub fn create(path: impl AsRef<Path>, generation: u64) -> DsResult<WalWriter> {
+        Self::create_with(&os_vfs(), path, generation)
+    }
+
+    /// [`WalWriter::create`] against an explicit [`Vfs`].
+    pub fn create_with(
+        vfs: &Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        generation: u64,
+    ) -> DsResult<WalWriter> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| io_err("wal create", e))?;
-        file.write_all(&encode_header(generation))
-            .and_then(|_| file.sync_data())
-            .map_err(|e| io_err("wal header write", e))?;
-        let sync_file = file.try_clone().map_err(|e| io_err("wal clone", e))?;
+        let file = vfs
+            .create(&path)
+            .map_err(|e| DsError::io("wal create", &path, None, &e))?;
+        file.write_all_at(0, &encode_header(generation))
+            .and_then(|_| file.sync())
+            .map_err(|e| DsError::io("wal header write", &path, Some(0), &e))?;
+        let sync_file = file
+            .duplicate()
+            .map_err(|e| DsError::io("wal handle duplicate", &path, None, &e))?;
         Ok(WalWriter {
             path,
             inner: Mutex::new(WalInner {
@@ -598,6 +618,8 @@ impl WalWriter {
             sync_cv: Condvar::new(),
             commits: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            poison_reason: Mutex::new(None),
         })
     }
 
@@ -610,18 +632,77 @@ impl WalWriter {
         &self.path
     }
 
-    fn append_locked(inner: &mut WalInner, rec: &WalRecord) -> DsResult<()> {
+    /// Flip the writer into the sticky read-only state. Idempotent: the
+    /// first reason wins. Wakes every group-commit waiter so blocked
+    /// followers fail immediately instead of hanging.
+    pub fn poison(&self, reason: impl Into<String>) {
+        {
+            let mut r = self.poison_reason.lock().unwrap_or_else(|e| e.into_inner());
+            if r.is_none() {
+                *r = Some(reason.into());
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Take the sync lock so waiters can't miss the wakeup between their
+        // poison check and re-entering the condvar wait.
+        let _st = self.sync_state.lock().unwrap_or_else(|e| e.into_inner());
+        self.sync_cv.notify_all();
+    }
+
+    /// True once a storage fault has made this writer refuse writes.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Why the writer is poisoned, if it is.
+    pub fn poison_reason(&self) -> Option<String> {
+        if !self.is_poisoned() {
+            return None;
+        }
+        self.poison_reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// `Err(DsError::ReadOnly)` when the writer is poisoned, else `Ok(())`.
+    pub fn ensure_writable(&self) -> DsResult<()> {
+        if self.is_poisoned() {
+            let reason = self
+                .poison_reason()
+                .unwrap_or_else(|| "storage fault".into());
+            return Err(DsError::ReadOnly(reason));
+        }
+        Ok(())
+    }
+
+    /// Append one framed record at `inner.len`. On failure the file is
+    /// truncated back to the pre-append length so a partial (torn) frame
+    /// never sits in the middle of the log — a later successful append at
+    /// the same offset would otherwise leave stale garbage that stops the
+    /// recovery scan early. If even the truncate fails the writer is
+    /// poisoned: the tail is no longer trustworthy.
+    fn append_locked(&self, inner: &mut WalInner, rec: &WalRecord) -> DsResult<()> {
         let payload = encode_record(rec);
         let mut framed = Vec::with_capacity(8 + payload.len());
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
-        inner
-            .file
-            .write_all(&framed)
-            .map_err(|e| io_err("wal append", e))?;
-        inner.len += framed.len() as u64;
-        Ok(())
+        let offset = inner.len;
+        match inner.file.write_all_at(offset, &framed) {
+            Ok(()) => {
+                inner.len += framed.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if let Err(te) = inner.file.truncate(offset) {
+                    self.poison(format!(
+                        "wal append failed ({e}) and tail restore failed ({te})"
+                    ));
+                }
+                Err(DsError::io("wal append", &self.path, Some(offset), &e))
+            }
+        }
     }
 
     /// Group-commit sync: make every byte below `target` durable.
@@ -636,11 +717,28 @@ impl WalWriter {
     /// Lock order: `sync_state` is never held while taking `inner` during the
     /// fsync window (it is released before the length read), so appenders are
     /// never blocked by a sync in progress.
+    ///
+    /// Failure semantics (fsyncgate): if the leader's fsync fails, *no*
+    /// commit riding that sync may be reported durable — the leader poisons
+    /// the writer and every waiting follower (and any later committer)
+    /// fails with [`DsError::ReadOnly`]. The fsync is never reissued: after
+    /// a failed fsync the kernel may have dropped the dirty pages, so a
+    /// clean retry would silently ack lost data. The `synced >= target`
+    /// check deliberately precedes the poison check — a commit whose bytes
+    /// were already covered by an *earlier successful* fsync stays `Ok`
+    /// even if the writer was poisoned afterwards.
     fn group_sync(&self, target: u64) -> DsResult<()> {
         let mut st = self.sync_state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if st.synced >= target {
                 return Ok(());
+            }
+            if self.is_poisoned() {
+                drop(st);
+                return Err(DsError::ReadOnly(
+                    self.poison_reason()
+                        .unwrap_or_else(|| "wal fsync failed".into()),
+                ));
             }
             if st.syncing {
                 st = self.sync_cv.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -651,15 +749,20 @@ impl WalWriter {
             // Everything appended up to here rides this fsync — records from
             // followers that arrived after our own append are swept along.
             let high = self.inner().len;
-            let res = self.sync_file.sync_data();
+            let res = self.sync_file.sync();
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = &res {
+                // Poison *before* clearing `syncing`: once followers wake
+                // they must observe the sticky state, not start a new fsync.
+                self.poison(format!("wal fsync failed: {e}"));
+            }
             st = self.sync_state.lock().unwrap_or_else(|e| e.into_inner());
             st.syncing = false;
             if res.is_ok() {
                 st.synced = st.synced.max(high);
             }
             self.sync_cv.notify_all();
-            res.map_err(|e| io_err("wal sync", e))?;
+            res.map_err(|e| DsError::io("wal sync", &self.path, None, &e))?;
         }
     }
 
@@ -672,22 +775,26 @@ impl WalWriter {
     }
 
     /// Open a statement transaction; its operations are durable only after
-    /// [`WalWriter::commit`]. Errors if a transaction is already open.
+    /// [`WalWriter::commit`]. Errors if a transaction is already open, or
+    /// with [`DsError::ReadOnly`] if the writer is poisoned.
     pub fn begin(&self) -> DsResult<u64> {
+        self.ensure_writable()?;
         let mut inner = self.inner();
         if inner.open_txn.is_some() {
             return Err(DsError::Storage("wal: transaction already open".into()));
         }
         let txn = inner.next_txn;
         inner.next_txn += 1;
-        Self::append_locked(&mut inner, &WalRecord::Begin { txn })?;
+        self.append_locked(&mut inner, &WalRecord::Begin { txn })?;
         inner.open_txn = Some(txn);
         Ok(txn)
     }
 
     /// Seal the open transaction: append `COMMIT`, then `fsync` via the
     /// group-commit path (one leader syncs for every committer whose records
-    /// are already appended).
+    /// are already appended). An `Err` return means the transaction is NOT
+    /// durable — in particular, a failed group fsync fails every commit
+    /// batched behind it and leaves the writer read-only.
     pub fn commit(&self) -> DsResult<()> {
         let target = {
             let mut inner = self.inner();
@@ -695,7 +802,8 @@ impl WalWriter {
                 .open_txn
                 .take()
                 .ok_or_else(|| DsError::Storage("wal: commit with no open transaction".into()))?;
-            Self::append_locked(&mut inner, &WalRecord::Commit { txn })?;
+            self.ensure_writable()?;
+            self.append_locked(&mut inner, &WalRecord::Commit { txn })?;
             inner.len
         };
         self.commits.fetch_add(1, Ordering::Relaxed);
@@ -714,16 +822,17 @@ impl WalWriter {
     /// mutations are durable on their own. Concurrent autocommitters batch
     /// their fsyncs through the group-commit leader (see the module docs).
     pub fn log(&self, op: WalOp) -> DsResult<()> {
+        self.ensure_writable()?;
         let target = {
             let mut inner = self.inner();
             match inner.open_txn {
-                Some(txn) => return Self::append_locked(&mut inner, &WalRecord::Op { txn, op }),
+                Some(txn) => return self.append_locked(&mut inner, &WalRecord::Op { txn, op }),
                 None => {
                     let txn = inner.next_txn;
                     inner.next_txn += 1;
-                    Self::append_locked(&mut inner, &WalRecord::Begin { txn })?;
-                    Self::append_locked(&mut inner, &WalRecord::Op { txn, op })?;
-                    Self::append_locked(&mut inner, &WalRecord::Commit { txn })?;
+                    self.append_locked(&mut inner, &WalRecord::Begin { txn })?;
+                    self.append_locked(&mut inner, &WalRecord::Op { txn, op })?;
+                    self.append_locked(&mut inner, &WalRecord::Commit { txn })?;
                     inner.len
                 }
             }
@@ -751,14 +860,17 @@ pub struct WalScan {
 /// and WAL reset). Corruption *after* the header only shortens the result:
 /// everything before the damage is returned, everything after is dead.
 pub fn scan_wal(path: impl AsRef<Path>) -> DsResult<Option<WalScan>> {
-    let mut file = match File::open(path.as_ref()) {
-        Ok(f) => f,
+    scan_wal_with(&os_vfs(), path)
+}
+
+/// [`scan_wal`] against an explicit [`Vfs`].
+pub fn scan_wal_with(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> DsResult<Option<WalScan>> {
+    let path = path.as_ref();
+    let raw = match vfs.read(path) {
+        Ok(raw) => raw,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(io_err("wal open", e)),
+        Err(e) => return Err(DsError::io("wal read", path, None, &e)),
     };
-    let mut raw = Vec::new();
-    file.read_to_end(&mut raw)
-        .map_err(|e| io_err("wal read", e))?;
     if raw.len() < WAL_HEADER_SIZE as usize
         || raw[0..4] != WAL_MAGIC
         || u16::from_le_bytes(raw[4..6].try_into().unwrap()) != WAL_VERSION

@@ -7,10 +7,38 @@
 //! failures.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use crate::value::CellError;
 
 pub type DsResult<T> = Result<T, DsError>;
+
+/// Context attached to a failed I/O operation: which file, which operation,
+/// and (when known) which byte offset. Carried boxed inside
+/// [`DsError::Io`] so the common non-error path stays a thin enum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IoContext {
+    /// Short human-readable operation name, e.g. `"wal append"`.
+    pub op: String,
+    /// File (or directory) the operation targeted.
+    pub path: PathBuf,
+    /// Byte offset of the failed access, when the operation has one.
+    pub offset: Option<u64>,
+    /// The OS-level error classification.
+    pub kind: std::io::ErrorKind,
+    /// The underlying error's message.
+    pub detail: String,
+}
+
+impl fmt::Display for IoContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed on {}", self.op, self.path.display())?;
+        if let Some(off) = self.offset {
+            write!(f, " at offset {off}")?;
+        }
+        write!(f, ": {} ({:?})", self.detail, self.kind)
+    }
+}
 
 /// Errors surfaced by DataSpread APIs.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -38,6 +66,16 @@ pub enum DsError {
     /// A computation produced an in-cell error in a context that demanded a
     /// clean value (e.g. `RANGEVALUE` pointing at `#REF!`).
     CellValue(CellError),
+    /// An I/O syscall failed, with full operation context (path, op, offset,
+    /// [`std::io::ErrorKind`]). Storage layers report physical failures
+    /// through this variant so callers can distinguish ENOSPC from
+    /// corruption from a vanished file.
+    Io(Box<IoContext>),
+    /// The engine has degraded to read-only after an unrecoverable storage
+    /// fault (e.g. a failed WAL fsync). Reads and snapshots still work;
+    /// every write is rejected with this error until the workbook is
+    /// reopened. The payload is the reason the engine was poisoned.
+    ReadOnly(String),
 }
 
 impl DsError {
@@ -48,6 +86,27 @@ impl DsError {
             DsError::Parse(_) => CellError::Name,
             _ => CellError::Db,
         }
+    }
+
+    /// Build an [`DsError::Io`] from a failed `std::io` operation.
+    pub fn io(
+        op: impl Into<String>,
+        path: impl Into<PathBuf>,
+        offset: Option<u64>,
+        e: &std::io::Error,
+    ) -> DsError {
+        DsError::Io(Box::new(IoContext {
+            op: op.into(),
+            path: path.into(),
+            offset,
+            kind: e.kind(),
+            detail: e.to_string(),
+        }))
+    }
+
+    /// True when this error means "the engine refuses writes until reopen".
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, DsError::ReadOnly(_))
     }
 }
 
@@ -64,6 +123,8 @@ impl fmt::Display for DsError {
             DsError::TableNotFound(t) => write!(f, "table not found: {t}"),
             DsError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
             DsError::CellValue(e) => write!(f, "cell error: {e}"),
+            DsError::Io(ctx) => write!(f, "io error: {ctx}"),
+            DsError::ReadOnly(m) => write!(f, "engine is read-only: {m}"),
         }
     }
 }

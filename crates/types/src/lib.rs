@@ -25,5 +25,5 @@ pub mod value;
 
 pub use addr::{col_to_letters, letters_to_col, CellAddr, CellRef, Range, RangeRef, SheetRef};
 pub use dtype::DataType;
-pub use error::{DsError, DsResult};
+pub use error::{DsError, DsResult, IoContext};
 pub use value::{CellError, Value};
