@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use dataspread::relstore::PoolSnapshot;
 use dataspread::{ExecOptions, Workbook};
-use dataspread_testkit::{bench, black_box, Rng};
+use dataspread_testkit::{bench, black_box, report_json, Rng};
 use dataspread_types::Value;
 
 const TARGET: Duration = Duration::from_millis(300);
@@ -52,17 +52,24 @@ fn workbook(n: usize) -> Workbook {
     wb
 }
 
-/// Combined pool counters of both bench tables, as one coherent copy each.
+/// Combined pool counters of every bench table, as one coherent copy each.
 fn pools(wb: &Workbook) -> PoolSnapshot {
-    let l = wb.catalog().get("l").unwrap().pool().stats().snapshot();
-    let r = wb.catalog().get("r").unwrap().pool().stats().snapshot();
-    PoolSnapshot {
-        hits: l.hits + r.hits,
-        misses: l.misses + r.misses,
-        evictions: l.evictions + r.evictions,
-        dirty_writebacks: l.dirty_writebacks + r.dirty_writebacks,
-        write_back_errors: l.write_back_errors + r.write_back_errors,
+    let mut sum = PoolSnapshot {
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        dirty_writebacks: 0,
+        write_back_errors: 0,
+    };
+    for name in wb.catalog().table_names() {
+        let s = wb.catalog().get(&name).unwrap().pool().stats().snapshot();
+        sum.hits += s.hits;
+        sum.misses += s.misses;
+        sum.evictions += s.evictions;
+        sum.dirty_writebacks += s.dirty_writebacks;
+        sum.write_back_errors += s.write_back_errors;
     }
+    sum
 }
 
 fn arm(wb: &mut Workbook, label: &str, sql: &str, n: usize, options: ExecOptions) -> f64 {
@@ -78,7 +85,71 @@ fn arm(wb: &mut Workbook, label: &str, sql: &str, n: usize, options: ExecOptions
         n as f64 / (ns * 1e-9),
         (after.blocks_touched() - before.blocks_touched()) as f64 / m.iters as f64
     );
+    report_json(&format!("{label}/{n}"), n, &m);
     ns
+}
+
+/// Experiment C-order: a 3-table join chain with skewed cardinalities.
+///
+/// `big1 ⋈ big2` on a 100-distinct key explodes to ~n²/100 rows; the 50-row
+/// `small` table joins `big1` on a near-unique key and cuts the result to a
+/// few hundred. Syntactic order pays for the explosion; the cost-based
+/// order joins `small` first. The ratio is the headline BENCH_JSON number.
+fn skew_join(n: usize) {
+    let mut wb = Workbook::new();
+    wb.execute_script(
+        "CREATE TABLE big1 (j INT, a INT);
+         CREATE TABLE big2 (j INT, b INT);
+         CREATE TABLE small (k INT, c INT);",
+    )
+    .unwrap();
+    let mut rng = Rng::new(0x0000_DE12);
+    {
+        let mut t = wb.catalog_mut().get_mut("big1").unwrap();
+        for i in 0..n {
+            t.insert(vec![
+                Value::Int(rng.below(100) as i64),
+                Value::Int(i as i64),
+            ])
+            .unwrap();
+        }
+    }
+    {
+        let mut t = wb.catalog_mut().get_mut("big2").unwrap();
+        for _ in 0..n {
+            t.insert(vec![
+                Value::Int(rng.below(100) as i64),
+                Value::Int(rng.below(1000) as i64),
+            ])
+            .unwrap();
+        }
+    }
+    {
+        let mut t = wb.catalog_mut().get_mut("small").unwrap();
+        for _ in 0..50 {
+            t.insert(vec![
+                Value::Int(rng.below(n as u64) as i64),
+                Value::Int(rng.below(10) as i64),
+            ])
+            .unwrap();
+        }
+    }
+    wb.execute("ANALYZE").unwrap();
+
+    const SQL: &str = "SELECT COUNT(*) \
+         FROM big1 JOIN big2 ON big1.j = big2.j \
+         JOIN small ON big1.a = small.k";
+    let syntactic = ExecOptions {
+        cost_based: false,
+        ..ExecOptions::default()
+    };
+    let s = arm(&mut wb, "join3/syntactic", SQL, n, syntactic);
+    let c = arm(&mut wb, "join3/cost_based", SQL, n, ExecOptions::default());
+    let ratio = s / c;
+    println!("  -> join3@{n}: syntactic/cost_based = {ratio:.1}x");
+    println!(
+        "BENCH_JSON {{\"bench\":\"join3/order_ratio\",\"rows\":{n},\"ns_per_iter\":{c:.1},\"iters\":1,\"syntactic_over_cost\":{ratio:.2}}}"
+    );
 }
 
 /// Durability: checkpoint the workbook into a real store and report the
@@ -113,6 +184,7 @@ fn main() {
         hash_join: false,
         hash_aggregation: false,
         predicate_pushdown: false,
+        cost_based: false,
     };
     for n in [1_000usize, 10_000, 50_000] {
         let mut wb = workbook(n);
@@ -133,4 +205,7 @@ fn main() {
             durability_report(&mut wb, n);
         }
     }
+
+    println!("C-order: 3-table skewed chain, syntactic vs cost-based join order");
+    skew_join(10_000);
 }

@@ -12,7 +12,7 @@ use dataspread_sql::expr::{bind, eval, truth, BExpr, ColInfo};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{DsError, DsResult, Value};
 
-use crate::exec::{eval_standalone, run_select, ExecCtx, ExecOptions};
+use crate::exec::{eval_standalone, explain_select, run_select, ExecCtx, ExecOptions};
 
 /// Outcome of one executed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +62,32 @@ pub(crate) fn execute(
             };
             let (columns, rows) = run_select(&ctx, &sel)?;
             Ok(QueryResult::Rows { columns, rows })
+        }
+        Statement::Explain(sel) => {
+            let ctx = ExecCtx {
+                catalog,
+                resolver,
+                options,
+            };
+            let rows = explain_select(&ctx, &sel)?
+                .into_iter()
+                .map(|line| vec![Value::Text(line)])
+                .collect();
+            Ok(QueryResult::Rows {
+                columns: vec!["plan".to_string()],
+                rows,
+            })
+        }
+        Statement::Analyze { table } => {
+            match table {
+                Some(name) => catalog.get_mut(&name)?.analyze()?,
+                None => {
+                    for name in catalog.table_names() {
+                        catalog.get_mut(&name)?.analyze()?;
+                    }
+                }
+            }
+            Ok(QueryResult::Ddl)
         }
         Statement::Insert {
             table,

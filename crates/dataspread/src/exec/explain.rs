@@ -1,0 +1,135 @@
+//! `EXPLAIN` rendering: the prepared physical plan as a stable text tree.
+//!
+//! The output is deliberately terse and deterministic — one line per
+//! operator, two-space indentation for join inputs, cardinality estimates
+//! from [`cost::estimate`] — so the golden suite can pin plan *shapes*
+//! (which join strategy, which build side, how far filters sank) without
+//! being brittle about expression formatting.
+
+use super::cost;
+use super::planner::{Plan, Strategy, Used};
+use super::Prepared;
+use dataspread_sql::ast::JoinKind;
+
+/// Render the shaping stages (top) and the plan tree (bottom) as one line
+/// per row of `EXPLAIN` output.
+pub(crate) fn render(
+    p: &Prepared,
+    distinct: bool,
+    offset: usize,
+    limit: Option<usize>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let names: Vec<&str> = p.proj.iter().map(|(_, n)| n.as_str()).collect();
+    out.push(format!("project: {}", names.join(", ")));
+    if distinct {
+        out.push("distinct".to_string());
+    }
+    if !p.order.is_empty() {
+        out.push(format!("sort: {} keys", p.order.len()));
+    }
+    match (limit, offset) {
+        (Some(l), 0) => out.push(format!("limit: {l}")),
+        (Some(l), o) => out.push(format!("limit: {l} offset: {o}")),
+        (None, o) if o > 0 => out.push(format!("offset: {o}")),
+        _ => {}
+    }
+    if p.grouped {
+        let mut line = format!(
+            "aggregate: {} groups, {} aggregates",
+            p.key_exprs.len(),
+            p.specs.len()
+        );
+        if p.having.is_some() {
+            line.push_str(", having");
+        }
+        out.push(line);
+    }
+    if !p.top_filters.is_empty() {
+        out.push(format!("filter: {} predicates", p.top_filters.len()));
+    }
+    node(&p.plan, 0, &mut out);
+    out
+}
+
+fn est_of(plan: &Plan) -> u64 {
+    let rows = cost::estimate(plan).rows;
+    rows.round().clamp(0.0, u64::MAX as f64) as u64
+}
+
+fn node(plan: &Plan, depth: usize, out: &mut Vec<String>) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::Dual => out.push(format!("{pad}dual")),
+        Plan::TableScan {
+            snap,
+            filters,
+            used,
+        } => {
+            let mut line = format!("{pad}scan {} rows={}", snap.name(), snap.row_count());
+            if !filters.is_empty() {
+                line.push_str(&format!(" filters={} est~{}", filters.len(), est_of(plan)));
+            }
+            if let Used::Cols(set) = used {
+                line.push_str(&format!(" cols={}/{}", set.len(), snap.schema().width()));
+            }
+            out.push(line);
+        }
+        Plan::RangeScan {
+            a1,
+            width,
+            filters,
+            used,
+        } => {
+            let mut line = format!("{pad}range-scan {a1}");
+            if !filters.is_empty() {
+                line.push_str(&format!(" filters={}", filters.len()));
+            }
+            if let Used::Cols(set) = used {
+                line.push_str(&format!(" cols={}/{width}", set.len()));
+            }
+            out.push(line);
+        }
+        Plan::Derived { rows, filters } => {
+            let mut line = format!("{pad}derived rows={}", rows.len());
+            if !filters.is_empty() {
+                line.push_str(&format!(" filters={}", filters.len()));
+            }
+            out.push(line);
+        }
+        Plan::Join(j) => {
+            let prefix = if j.kind == JoinKind::Left {
+                "left-"
+            } else {
+                ""
+            };
+            let mut line = match &j.strategy {
+                Strategy::Hash {
+                    left_keys,
+                    residual,
+                    ..
+                } => {
+                    let mut l = format!("{pad}{prefix}hash-join keys={}", left_keys.len());
+                    if !residual.is_empty() {
+                        l.push_str(&format!(" residual={}", residual.len()));
+                    }
+                    l
+                }
+                Strategy::NestedLoop { pred } => {
+                    let mut l = format!("{pad}{prefix}nested-loop-join");
+                    if !pred.is_empty() {
+                        l.push_str(&format!(" pred={}", pred.len()));
+                    }
+                    l
+                }
+            };
+            if !j.filters.is_empty() {
+                line.push_str(&format!(" filters={}", j.filters.len()));
+            }
+            line.push_str(&format!(" est~{}", est_of(plan)));
+            out.push(line);
+            node(&j.left, depth + 1, out);
+            node(&j.right, depth + 1, out);
+        }
+    }
+}

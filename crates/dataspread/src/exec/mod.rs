@@ -34,6 +34,8 @@
 //! and property tests can run both arms against identical inputs.
 
 pub(crate) mod aggregate;
+pub(crate) mod cost;
+pub(crate) mod explain;
 pub(crate) mod join;
 pub(crate) mod output;
 pub(crate) mod planner;
@@ -64,6 +66,10 @@ pub struct ExecOptions {
     pub hash_aggregation: bool,
     /// Push single-table WHERE/ON conjuncts below joins into the scans.
     pub predicate_pushdown: bool,
+    /// Reorder inner equi-join chains by estimated cardinality (NDV/row
+    /// statistics) and pick the smaller input as the hash build side (off:
+    /// joins run in syntactic order).
+    pub cost_based: bool,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +78,7 @@ impl Default for ExecOptions {
             hash_join: true,
             hash_aggregation: true,
             predicate_pushdown: true,
+            cost_based: true,
         }
     }
 }
@@ -116,11 +123,24 @@ pub(crate) fn passes(preds: &[BExpr], row: &[Value]) -> DsResult<bool> {
     Ok(true)
 }
 
-/// Run one `SELECT` to completion.
-pub(crate) fn run_select(
-    ctx: &ExecCtx<'_>,
-    sel: &SelectStmt,
-) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+/// A `SELECT` planned up to (but not including) stream construction:
+/// everything `run_select` needs to execute, and everything `EXPLAIN`
+/// needs to render.
+pub(crate) struct Prepared {
+    pub(crate) plan: Plan,
+    pub(crate) width: usize,
+    pub(crate) top_filters: Vec<BExpr>,
+    pub(crate) key_exprs: Vec<BExpr>,
+    pub(crate) specs: Vec<AggSpec>,
+    pub(crate) grouped: bool,
+    pub(crate) having: Option<BExpr>,
+    pub(crate) proj: Vec<(BExpr, String)>,
+    pub(crate) order: Vec<(output::SortSrc, bool)>,
+}
+
+/// Plan one `SELECT`: FROM tree, predicate pushdown, the hash-key upgrade,
+/// cost-based join reordering, binding, and used-column marking.
+pub(crate) fn prepare_select(ctx: &ExecCtx<'_>, sel: &SelectStmt) -> DsResult<Prepared> {
     // FROM tree → plan + output schema. `SELECT 1+1` runs over one
     // anonymous empty row.
     let (mut plan, cols) = match &sel.from {
@@ -147,6 +167,11 @@ pub(crate) fn run_select(
     // `CROSS JOIN … WHERE l.v = r.w`) become hash keys.
     if ctx.options.hash_join {
         plan.upgrade_hash_joins();
+    }
+    // With keys in place, reorder inner join chains by estimated
+    // cardinality: smallest intermediate first, smaller input building.
+    if ctx.options.hash_join && ctx.options.cost_based {
+        cost::optimize(&mut plan, cols.len());
     }
 
     // Aggregate discovery across projection, HAVING, and ORDER BY.
@@ -216,6 +241,36 @@ pub(crate) fn run_select(
     };
     plan.mark_used(used);
 
+    Ok(Prepared {
+        plan,
+        width: cols.len(),
+        top_filters,
+        key_exprs,
+        specs,
+        grouped,
+        having,
+        proj,
+        order,
+    })
+}
+
+/// Run one `SELECT` to completion.
+pub(crate) fn run_select(
+    ctx: &ExecCtx<'_>,
+    sel: &SelectStmt,
+) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+    let Prepared {
+        plan,
+        width,
+        top_filters,
+        key_exprs,
+        specs,
+        grouped,
+        having,
+        proj,
+        order,
+    } = prepare_select(ctx, sel)?;
+
     // Build the pipeline.
     let mut stream = planner::build(plan, ctx)?;
     if !top_filters.is_empty() {
@@ -239,7 +294,7 @@ pub(crate) fn run_select(
             stream,
             &key_exprs,
             &specs,
-            cols.len(),
+            width,
             ctx.options.hash_aggregation,
         )?
     } else {
@@ -272,4 +327,19 @@ pub(crate) fn run_select(
 
     let rows = output::finish(contexts, &proj, &order, sel.distinct, offset, limit)?;
     Ok((proj.into_iter().map(|(_, n)| n).collect(), rows))
+}
+
+/// Plan one `SELECT` and render the chosen physical plan as text lines,
+/// without executing it (`EXPLAIN`).
+pub(crate) fn explain_select(ctx: &ExecCtx<'_>, sel: &SelectStmt) -> DsResult<Vec<String>> {
+    let prepared = prepare_select(ctx, sel)?;
+    let offset = match &sel.offset {
+        Some(e) => count_arg(e, ctx.resolver, "OFFSET")?,
+        None => 0,
+    };
+    let limit = match &sel.limit {
+        Some(e) => Some(count_arg(e, ctx.resolver, "LIMIT")?),
+        None => None,
+    };
+    Ok(explain::render(&prepared, sel.distinct, offset, limit))
 }

@@ -84,17 +84,17 @@ pub(crate) enum Plan {
 }
 
 pub(crate) struct JoinPlan {
-    left: Plan,
-    right: Plan,
-    left_width: usize,
-    right_width: usize,
-    kind: JoinKind,
-    strategy: Strategy,
+    pub(crate) left: Plan,
+    pub(crate) right: Plan,
+    pub(crate) left_width: usize,
+    pub(crate) right_width: usize,
+    pub(crate) kind: JoinKind,
+    pub(crate) strategy: Strategy,
     /// Output columns as concat (`left ++ right`) indices; `None` is the
     /// identity (only `NATURAL` joins merge columns away).
-    emit: Option<Vec<usize>>,
+    pub(crate) emit: Option<Vec<usize>>,
     /// Post-join filters, output-relative.
-    filters: Vec<BExpr>,
+    pub(crate) filters: Vec<BExpr>,
 }
 
 pub(crate) enum Strategy {

@@ -33,7 +33,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use dataspread_relstore::codec::{put_u32, put_u64, Cursor};
+use dataspread_relstore::codec::{put_str, put_u32, put_u64, Cursor};
 use dataspread_relstore::snapshot::{self, load_catalog_with, save_catalog_with, DATA_FILE};
 use dataspread_relstore::vfs::{os_vfs, Vfs};
 use dataspread_relstore::wal::{scan_wal_with, GridEditKind, SheetCellContent, WalOp};
@@ -48,10 +48,11 @@ use crate::workbook::Workbook;
 
 /// Version byte of the workbook metadata stream. Version 2 added the
 /// default buffer-pool capacity and per-sheet formula sections; version 3
-/// added the binding section (table-bound regions). Version 1 and 2 streams
-/// are still readable (they decode with defaults, no formulas, and no
-/// bindings respectively).
-const WB_META_VERSION: u8 = 3;
+/// added the binding section (table-bound regions); version 4 added the
+/// optimizer-statistics section (per-table column sketches). Version 1–3
+/// streams are still readable (they decode with defaults, no formulas, no
+/// bindings, and freshly analyzed statistics respectively).
+const WB_META_VERSION: u8 = 4;
 
 /// The highest checkpoint generation evidenced on disk at `dir` — from the
 /// page file or a leftover WAL, whichever is newer (0 when neither is
@@ -100,6 +101,17 @@ pub(crate) fn encode_workbook_meta(wb: &Workbook) -> Vec<u8> {
             }
             None => buf.push(0),
         }
+    }
+    // Version 4: optimizer statistics — one block per table, keyed by name.
+    // On open these are only trusted for tables the WAL replay did not
+    // touch; anything else is re-analyzed from the recovered rows.
+    let mut names = wb.catalog.table_names();
+    names.sort();
+    put_u32(&mut buf, names.len() as u32);
+    for name in names {
+        put_str(&mut buf, &name);
+        let t = wb.catalog.get(&name).expect("listed table");
+        t.statistics().encode(&mut buf);
     }
     buf
 }
@@ -166,6 +178,28 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
                 .last_rect = rect;
         }
         bindings.next_id = bindings.next_id.max(next_id);
+    }
+    // Version 4: optimizer statistics. A checkpointed block is only valid
+    // for a table the WAL replay left untouched (`version() == 0`); every
+    // other table — replayed, recreated, reshaped, or from a pre-v4 stream —
+    // is re-analyzed below so open() always yields exact statistics.
+    let mut installed: std::collections::HashSet<String> = std::collections::HashSet::new();
+    if version >= 4 {
+        let nstats = cur.u32()? as usize;
+        for _ in 0..nstats {
+            let name = cur.str()?;
+            let stats = dataspread_relstore::TableStatistics::decode(&mut cur)?;
+            if let Ok(mut t) = catalog.get_mut(&name) {
+                if t.version() == 0 && t.set_statistics(stats).is_ok() {
+                    installed.insert(name);
+                }
+            }
+        }
+    }
+    for name in catalog.table_names() {
+        if !installed.contains(&name) {
+            catalog.get_mut(&name)?.analyze()?;
+        }
     }
     if !cur.is_empty() {
         return Err(DsError::Storage("workbook snapshot: trailing bytes".into()));
@@ -470,7 +504,7 @@ mod tests {
 
     #[test]
     fn future_meta_versions_are_rejected() {
-        let buf = vec![3u8, 0u8];
+        let buf = vec![WB_META_VERSION + 1, 0u8];
         assert!(decode_workbook_meta(&buf, Catalog::new()).is_err());
     }
 }

@@ -9,30 +9,56 @@ use dataspread_types::Value;
 
 /// The four strategy arms every query is cross-checked under. The all-off
 /// arm is the reference implementation (linear scans, nested loops).
+/// `cost_based` stays off here: these arms assert *identical row order*,
+/// which join reordering deliberately changes — the cost-based arm is
+/// checked separately as a multiset.
 const ARMS: [ExecOptions; 4] = [
     ExecOptions {
         hash_join: true,
         hash_aggregation: true,
         predicate_pushdown: true,
+        cost_based: false,
     },
     ExecOptions {
         hash_join: false,
         hash_aggregation: false,
         predicate_pushdown: false,
+        cost_based: false,
     },
     ExecOptions {
         hash_join: true,
         hash_aggregation: false,
         predicate_pushdown: false,
+        cost_based: false,
     },
     ExecOptions {
         hash_join: false,
         hash_aggregation: true,
         predicate_pushdown: true,
+        cost_based: false,
     },
 ];
 
+/// Lexicographic row order under `Value::total_cmp` (ties broken by debug
+/// representation, so `Int(2)` and `Float(2.0)` sort deterministically),
+/// for multiset compares.
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                x.total_cmp(y)
+                    .then_with(|| format!("{x:?}").cmp(&format!("{y:?}")))
+            })
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
 /// Run `sql` under every arm; assert all arms agree and return the rows.
+/// The fifth, cost-based arm (the default options) may reorder joins, so it
+/// is compared as a sorted multiset rather than row-for-row.
 fn run_arms(wb: &mut Workbook, sql: &str) -> Vec<Vec<Value>> {
     let mut reference: Option<Vec<Vec<Value>>> = None;
     for arm in ARMS {
@@ -45,7 +71,19 @@ fn run_arms(wb: &mut Workbook, sql: &str) -> Vec<Vec<Value>> {
             Some(want) => assert_eq!(&rows, want, "{sql} diverged under {arm:?}"),
         }
     }
-    reference.unwrap()
+    let reference = reference.unwrap();
+    let cost_arm = ExecOptions::default();
+    assert!(cost_arm.cost_based, "default options are cost-based");
+    wb.set_exec_options(cost_arm);
+    let (_, rows) = wb
+        .query(sql)
+        .unwrap_or_else(|e| panic!("{sql} under {cost_arm:?}: {e}"));
+    assert_eq!(
+        sorted(rows),
+        sorted(reference.clone()),
+        "{sql} diverged under the cost-based arm"
+    );
+    reference
 }
 
 #[test]

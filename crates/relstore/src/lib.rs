@@ -37,6 +37,7 @@ pub mod page;
 pub mod pager;
 pub mod schema;
 pub mod snapshot;
+pub mod stats;
 pub mod table;
 pub mod vfs;
 pub mod wal;
@@ -50,6 +51,7 @@ pub use schema::{ColumnDef, KeyTuple, Schema};
 pub use snapshot::{
     load_catalog, load_catalog_with, save_catalog, save_catalog_with, LoadedCatalog, StoreHandle,
 };
+pub use stats::{ColumnSketch, ColumnSummary, TableStatistics, KMV_K};
 pub use table::{GroupPolicy, RowIter, SnapRowIter, Table, TableSnapshot, TableStats};
 pub use vfs::{
     os_vfs, FaultKind, FaultPlan, FaultStats, FaultVfs, OsVfs, RecoveryImage, Vfs, VfsFile,

@@ -1,0 +1,426 @@
+//! Optimizer statistics: per-column NDV and min/max sketches.
+//!
+//! Every table maintains one [`ColumnSketch`] per column, updated inline by
+//! the DML paths (so WAL replay keeps them maintained too) and rebuilt
+//! exactly by `ANALYZE` ([`crate::Table::analyze`]). The executor's
+//! cost-based planner consumes them as [`ColumnSummary`] values attached to
+//! table snapshots.
+//!
+//! The sketches are **conservative over-approximations** of the live data:
+//!
+//! * NDV uses a KMV (k-minimum-values) sketch over the hashes of every value
+//!   *ever observed* since the last rebuild. Deletes are not retracted, so
+//!   the estimate can only overcount distinct values — never undercount.
+//!   Below [`KMV_K`] distinct hashes the estimate is exact (for the observed
+//!   multiset); past that it is the classical `(k-1)/R` estimator.
+//! * Numeric and text min/max only widen. A delete may leave the bounds
+//!   looser than the live extremes, but never tighter.
+//! * The null count is an upper bound for the same reason.
+//!
+//! `ANALYZE` restores exactness by rescanning the table.
+
+use std::collections::BTreeSet;
+
+use dataspread_types::{DsError, DsResult, Value};
+
+use crate::codec::{put_u32, put_u64, Cursor};
+
+/// KMV sketch capacity: how many of the smallest value hashes each column
+/// retains. Below this many distinct values the NDV estimate is exact.
+pub const KMV_K: usize = 256;
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit avalanche.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Hash a value for distinct counting, mirroring [`Value::sql_eq`]
+/// semantics: `Int` and integral `Float` hash identically, NULL (`Empty`)
+/// is excluded (`None`) — NDV counts non-null values, as in SQL.
+fn value_hash(v: &Value) -> Option<u64> {
+    const INT_SEED: u64 = 0x7a11_0000_0000_0001;
+    const FLOAT_SEED: u64 = 0x7a11_0000_0000_0002;
+    const TEXT_SEED: u64 = 0x7a11_0000_0000_0003;
+    const BOOL_SEED: u64 = 0x7a11_0000_0000_0004;
+    const ERR_SEED: u64 = 0x7a11_0000_0000_0005;
+    Some(match v {
+        Value::Empty => return None,
+        Value::Bool(b) => mix(BOOL_SEED ^ *b as u64),
+        Value::Int(i) => mix(INT_SEED ^ *i as u64),
+        Value::Float(f) => {
+            // Unify with Int where sql_eq does: integral floats in i64 range.
+            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                mix(INT_SEED ^ (*f as i64) as u64)
+            } else {
+                mix(FLOAT_SEED ^ f.to_bits())
+            }
+        }
+        Value::Text(s) => {
+            // FNV-1a over the bytes, then finalized.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            mix(TEXT_SEED ^ h)
+        }
+        Value::Error(e) => mix(ERR_SEED ^ e.code().len() as u64 ^ (e.code().as_bytes()[1] as u64)),
+    })
+}
+
+/// One column's statistics sketch: KMV distinct-count sketch, widening
+/// min/max bounds for numeric and text domains, and a null upper bound.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnSketch {
+    num_min: Option<f64>,
+    num_max: Option<f64>,
+    text_min: Option<String>,
+    text_max: Option<String>,
+    nulls: u64,
+    kmv: BTreeSet<u64>,
+}
+
+impl ColumnSketch {
+    /// Fold one observed value into the sketch.
+    pub fn observe(&mut self, v: &Value) {
+        match v {
+            Value::Empty => {
+                self.nulls += 1;
+                return;
+            }
+            Value::Int(i) => self.widen_num(*i as f64),
+            Value::Float(f) if f.is_finite() => self.widen_num(*f),
+            Value::Text(s) => {
+                match &self.text_min {
+                    Some(m) if m.as_str() <= s.as_str() => {}
+                    _ => self.text_min = Some(s.clone()),
+                }
+                match &self.text_max {
+                    Some(m) if m.as_str() >= s.as_str() => {}
+                    _ => self.text_max = Some(s.clone()),
+                }
+            }
+            _ => {}
+        }
+        if let Some(h) = value_hash(v) {
+            self.kmv.insert(h);
+            while self.kmv.len() > KMV_K {
+                let last = *self.kmv.iter().next_back().expect("non-empty");
+                self.kmv.remove(&last);
+            }
+        }
+    }
+
+    fn widen_num(&mut self, x: f64) {
+        self.num_min = Some(match self.num_min {
+            Some(m) => m.min(x),
+            None => x,
+        });
+        self.num_max = Some(match self.num_max {
+            Some(m) => m.max(x),
+            None => x,
+        });
+    }
+
+    /// Estimated number of distinct non-null values observed. Exact while
+    /// fewer than [`KMV_K`] distinct hashes have been seen.
+    pub fn ndv(&self) -> f64 {
+        if self.kmv.len() < KMV_K {
+            self.kmv.len() as f64
+        } else {
+            let kth = *self.kmv.iter().next_back().expect("full sketch") as f64;
+            // (k-1) / R with R = kth smallest hash normalized to (0, 1].
+            (KMV_K as f64 - 1.0) * (u64::MAX as f64 / kth.max(1.0))
+        }
+    }
+
+    /// Upper bound on the number of NULLs currently in the column.
+    pub fn null_count(&self) -> u64 {
+        self.nulls
+    }
+
+    /// Conservative lower bound on the numeric minimum (if any numeric value
+    /// was ever observed).
+    pub fn num_min(&self) -> Option<f64> {
+        self.num_min
+    }
+
+    /// Conservative upper bound on the numeric maximum.
+    pub fn num_max(&self) -> Option<f64> {
+        self.num_max
+    }
+
+    /// Conservative lower bound on the text minimum (byte-wise ordering).
+    pub fn text_min(&self) -> Option<&str> {
+        self.text_min.as_deref()
+    }
+
+    /// Conservative upper bound on the text maximum.
+    pub fn text_max(&self) -> Option<&str> {
+        self.text_max.as_deref()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+            match v {
+                Some(x) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&x.to_le_bytes());
+                }
+                None => buf.push(0),
+            }
+        }
+        fn put_opt_str(buf: &mut Vec<u8>, v: Option<&String>) {
+            match v {
+                Some(s) => {
+                    buf.push(1);
+                    crate::codec::put_str(buf, s);
+                }
+                None => buf.push(0),
+            }
+        }
+        put_opt_f64(buf, self.num_min);
+        put_opt_f64(buf, self.num_max);
+        put_opt_str(buf, self.text_min.as_ref());
+        put_opt_str(buf, self.text_max.as_ref());
+        put_u64(buf, self.nulls);
+        put_u32(buf, self.kmv.len() as u32);
+        for h in &self.kmv {
+            put_u64(buf, *h);
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> DsResult<ColumnSketch> {
+        fn get_opt_f64(cur: &mut Cursor<'_>) -> DsResult<Option<f64>> {
+            Ok(match cur.u8()? {
+                0 => None,
+                _ => Some(f64::from_bits(cur.u64()?)),
+            })
+        }
+        fn get_opt_str(cur: &mut Cursor<'_>) -> DsResult<Option<String>> {
+            Ok(match cur.u8()? {
+                0 => None,
+                _ => Some(cur.str()?),
+            })
+        }
+        let num_min = get_opt_f64(cur)?;
+        let num_max = get_opt_f64(cur)?;
+        let text_min = get_opt_str(cur)?;
+        let text_max = get_opt_str(cur)?;
+        let nulls = cur.u64()?;
+        let n = cur.u32()? as usize;
+        if n > KMV_K {
+            return Err(DsError::Storage(format!("stats: sketch of {n} > k")));
+        }
+        let mut kmv = BTreeSet::new();
+        for _ in 0..n {
+            kmv.insert(cur.u64()?);
+        }
+        Ok(ColumnSketch {
+            num_min,
+            num_max,
+            text_min,
+            text_max,
+            nulls,
+            kmv,
+        })
+    }
+
+    /// Summarize for the planner.
+    fn summary(&self) -> ColumnSummary {
+        ColumnSummary {
+            ndv: self.ndv(),
+            nulls: self.nulls,
+            num_min: self.num_min,
+            num_max: self.num_max,
+        }
+    }
+}
+
+/// The per-table statistics block: one sketch per schema column.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStatistics {
+    cols: Vec<ColumnSketch>,
+}
+
+impl TableStatistics {
+    /// Fresh (empty) statistics for a table of `width` columns.
+    pub fn new(width: usize) -> TableStatistics {
+        TableStatistics {
+            cols: vec![ColumnSketch::default(); width],
+        }
+    }
+
+    /// Number of column sketches.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The sketch for column `i`.
+    pub fn column(&self, i: usize) -> Option<&ColumnSketch> {
+        self.cols.get(i)
+    }
+
+    /// Fold a full row into the sketches.
+    pub fn observe_row(&mut self, row: &[Value]) {
+        for (c, v) in row.iter().enumerate() {
+            if let Some(s) = self.cols.get_mut(c) {
+                s.observe(v);
+            }
+        }
+    }
+
+    /// Fold a single-cell write into the sketches.
+    pub fn observe_cell(&mut self, col: usize, v: &Value) {
+        if let Some(s) = self.cols.get_mut(col) {
+            s.observe(v);
+        }
+    }
+
+    /// `ALTER TABLE ADD COLUMN`: append a sketch seeded with the lazy
+    /// default when existing rows will surface it.
+    pub fn push_column(&mut self, default: Option<&Value>) {
+        let mut s = ColumnSketch::default();
+        if let Some(d) = default {
+            s.observe(d);
+        }
+        self.cols.push(s);
+    }
+
+    /// `ALTER TABLE DROP COLUMN`: drop the sketch at schema index `idx`.
+    pub fn remove_column(&mut self, idx: usize) {
+        if idx < self.cols.len() {
+            self.cols.remove(idx);
+        }
+    }
+
+    /// Planner-facing summaries, one per column.
+    pub fn summaries(&self) -> Vec<ColumnSummary> {
+        self.cols.iter().map(ColumnSketch::summary).collect()
+    }
+
+    /// Serialize into `buf` (the workbook-meta persistence hook).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.cols.len() as u32);
+        for c in &self.cols {
+            c.encode(buf);
+        }
+    }
+
+    /// Decode a block previously written by [`TableStatistics::encode`].
+    pub fn decode(cur: &mut Cursor<'_>) -> DsResult<TableStatistics> {
+        let n = cur.u32()? as usize;
+        let mut cols = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            cols.push(ColumnSketch::decode(cur)?);
+        }
+        Ok(TableStatistics { cols })
+    }
+}
+
+/// The planner's view of one column: plain numbers, no sketch state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnSummary {
+    /// Estimated distinct non-null values (conservative overcount).
+    pub ndv: f64,
+    /// Upper bound on NULLs.
+    pub nulls: u64,
+    /// Lower bound on the numeric minimum, if numeric values were seen.
+    pub num_min: Option<f64>,
+    /// Upper bound on the numeric maximum.
+    pub num_max: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndv_exact_below_k() {
+        let mut s = ColumnSketch::default();
+        for i in 0..100 {
+            s.observe(&Value::Int(i % 10));
+        }
+        assert_eq!(s.ndv(), 10.0);
+    }
+
+    #[test]
+    fn ndv_estimates_above_k() {
+        let mut s = ColumnSketch::default();
+        let n = 10_000;
+        for i in 0..n {
+            s.observe(&Value::Int(i));
+        }
+        let est = s.ndv();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.25, "NDV estimate {est} too far from {n}");
+    }
+
+    #[test]
+    fn int_float_unified_like_sql_eq() {
+        let mut s = ColumnSketch::default();
+        s.observe(&Value::Int(5));
+        s.observe(&Value::Float(5.0));
+        assert_eq!(s.ndv(), 1.0);
+        s.observe(&Value::Float(5.5));
+        assert_eq!(s.ndv(), 2.0);
+    }
+
+    #[test]
+    fn nulls_excluded_from_ndv() {
+        let mut s = ColumnSketch::default();
+        s.observe(&Value::Empty);
+        s.observe(&Value::Empty);
+        assert_eq!(s.ndv(), 0.0);
+        assert_eq!(s.null_count(), 2);
+    }
+
+    #[test]
+    fn minmax_widen_over_numeric_and_text() {
+        let mut s = ColumnSketch::default();
+        s.observe(&Value::Int(3));
+        s.observe(&Value::Float(-1.5));
+        s.observe(&Value::text("mango"));
+        s.observe(&Value::text("apple"));
+        assert_eq!(s.num_min(), Some(-1.5));
+        assert_eq!(s.num_max(), Some(3.0));
+        assert_eq!(s.text_min(), Some("apple"));
+        assert_eq!(s.text_max(), Some("mango"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut t = TableStatistics::new(3);
+        for i in 0..500 {
+            t.observe_row(&[
+                Value::Int(i),
+                Value::text(format!("s{}", i % 7)),
+                if i % 3 == 0 {
+                    Value::Empty
+                } else {
+                    Value::Float(i as f64 / 2.0)
+                },
+            ]);
+        }
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut cur = Cursor::new(&buf);
+        let back = TableStatistics::decode(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sketch_bounded_by_k() {
+        let mut s = ColumnSketch::default();
+        for i in 0..100_000 {
+            s.observe(&Value::Int(i));
+        }
+        assert!(s.kmv.len() <= KMV_K);
+    }
+}

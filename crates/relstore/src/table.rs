@@ -35,6 +35,7 @@ use crate::codec::{decode_fragment, encode_fragment};
 use crate::page::{Page, SlotId, PAGE_SIZE};
 use crate::pager::PageFile;
 use crate::schema::{ColumnDef, KeyTuple, Schema};
+use crate::stats::{ColumnSummary, TableStatistics};
 use crate::wal::{WalOp, WalWriter};
 
 /// How columns are partitioned into attribute groups.
@@ -155,6 +156,9 @@ pub struct Table {
     /// observers (the engine's binding layer) can skip work when a table has
     /// not changed. Not persisted — restarts reset it to zero.
     version: u64,
+    /// Optimizer statistics: per-column NDV/min-max sketches, maintained
+    /// inline by DML and rebuilt exactly by [`Table::analyze`].
+    statistics: TableStatistics,
 }
 
 impl Table {
@@ -175,6 +179,7 @@ impl Table {
             .into_iter()
             .map(Group::new)
             .collect();
+        let statistics = TableStatistics::new(schema.width());
         let mut t = Table {
             name: name.into(),
             schema,
@@ -189,6 +194,7 @@ impl Table {
             wal: None,
             pager: None,
             version: 0,
+            statistics,
         };
         t.rebuild_col_group();
         t
@@ -478,6 +484,7 @@ impl Table {
         if let Some(kt) = self.schema.key_of(&row) {
             self.pk_index.insert(kt, key);
         }
+        self.statistics.observe_row(&row);
         self.log(WalOp::Insert {
             table: self.name.clone(),
             key,
@@ -581,6 +588,7 @@ impl Table {
             }
         }
         self.write_fragment(g, key, &frag)?;
+        self.statistics.observe_cell(col, &frag[off]);
         self.log(WalOp::UpdateCell {
             table: self.name.clone(),
             key,
@@ -624,6 +632,7 @@ impl Table {
                 .collect();
             self.write_fragment(g, key, &frag)?;
         }
+        self.statistics.observe_row(&row);
         self.log(WalOp::UpdateRow {
             table: self.name.clone(),
             key,
@@ -774,6 +783,9 @@ impl Table {
             })?
         };
         let idx = self.schema.push_column(def)?;
+        // Existing rows surface the lazy default, so seed the new column's
+        // sketch with it (an empty table starts from a clean sketch).
+        let seed = (self.row_count() > 0).then(|| default.clone());
         match self.policy {
             GroupPolicy::RowStore => {
                 // Stock behaviour: widen every tuple in the single group.
@@ -788,6 +800,7 @@ impl Table {
             }
         }
         self.rebuild_col_group();
+        self.statistics.push_column(seed.as_ref());
         self.version += 1;
         Ok(())
     }
@@ -821,6 +834,7 @@ impl Table {
             }
         }
         self.rebuild_col_group();
+        self.statistics.remove_column(idx);
         self.version += 1;
         Ok(())
     }
@@ -1004,6 +1018,7 @@ impl Table {
                 defaults,
             });
         }
+        let statistics = TableStatistics::new(schema.width());
         let mut t = Table {
             name,
             schema,
@@ -1018,6 +1033,7 @@ impl Table {
             wal: None,
             pager: None,
             version: 0,
+            statistics,
         };
         t.rebuild_col_group();
         // Rebuild the primary-key index from the restored rows.
@@ -1034,6 +1050,42 @@ impl Table {
             }
         }
         Ok(t)
+    }
+
+    // ---- optimizer statistics ---------------------------------------------
+
+    /// The live optimizer statistics (conservative sketches; see
+    /// [`crate::stats`]).
+    pub fn statistics(&self) -> &TableStatistics {
+        &self.statistics
+    }
+
+    /// Install a statistics block, e.g. one restored from persisted
+    /// workbook metadata. Rejects a block whose width does not match the
+    /// current schema — the caller should fall back to [`Table::analyze`].
+    pub fn set_statistics(&mut self, stats: TableStatistics) -> DsResult<()> {
+        if stats.width() != self.schema.width() {
+            return Err(DsError::Storage(format!(
+                "statistics width {} does not match schema width {} of table {}",
+                stats.width(),
+                self.schema.width(),
+                self.name
+            )));
+        }
+        self.statistics = stats;
+        Ok(())
+    }
+
+    /// `ANALYZE`: rebuild the statistics exactly by rescanning the table,
+    /// discarding the conservative drift deletes and updates accumulate.
+    pub fn analyze(&mut self) -> DsResult<()> {
+        let mut stats = TableStatistics::new(self.schema.width());
+        for r in self.iter_rows() {
+            let (_, row) = r?;
+            stats.observe_row(&row);
+        }
+        self.statistics = stats;
+        Ok(())
     }
 
     // ---- consistent read snapshots ----------------------------------------
@@ -1054,6 +1106,7 @@ impl Table {
             groups: self.groups.clone(),
             order: Arc::clone(&self.order),
             version: self.version,
+            col_stats: Arc::new(self.statistics.summaries()),
         }
     }
 }
@@ -1109,6 +1162,8 @@ pub struct TableSnapshot {
     groups: Vec<Group>,
     order: Arc<CountedBtree>,
     version: u64,
+    /// Optimizer column summaries captured with the snapshot.
+    col_stats: Arc<Vec<ColumnSummary>>,
 }
 
 impl TableSnapshot {
@@ -1130,6 +1185,11 @@ impl TableSnapshot {
     /// The table's mutation counter when the snapshot was taken.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Optimizer summary for column `i`, captured at snapshot time.
+    pub fn col_summary(&self, i: usize) -> Option<&ColumnSummary> {
+        self.col_stats.get(i)
     }
 
     /// Key of the row displayed at `pos` in this snapshot.

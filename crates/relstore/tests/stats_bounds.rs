@@ -1,0 +1,198 @@
+//! Property test for the optimizer statistics: under random interleavings
+//! of INSERT/DELETE/UPDATE the inline-maintained sketches must stay
+//! *conservative* (NDV and bounds never undercount the live data; deletes
+//! only leave them stale-high/wide), and `analyze()` must snap every
+//! counter back to exact.
+//!
+//! Value domains are kept small (< the KMV sketch capacity) so "exact
+//! after analyze" is a hard equality, not an approximation.
+
+use std::collections::HashSet;
+
+use dataspread_relstore::{ColumnDef, GroupPolicy, RowKey, Schema, Table};
+use dataspread_testkit::{cases, Rng};
+use dataspread_types::{DataType, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("a", DataType::Int),
+        ColumnDef::new("b", DataType::Text),
+    ])
+    .unwrap()
+}
+
+fn arb_int(rng: &mut Rng) -> Value {
+    if rng.below(8) == 0 {
+        Value::Empty
+    } else {
+        Value::Int(rng.below(50) as i64 - 25)
+    }
+}
+
+fn arb_text(rng: &mut Rng) -> Value {
+    if rng.below(8) == 0 {
+        Value::Empty
+    } else {
+        Value::text(rng.lowercase(1, 3))
+    }
+}
+
+/// Exact per-column facts computed from the model rows.
+struct Exact {
+    ndv: usize,
+    nulls: u64,
+    min: Option<i64>,
+    max: Option<i64>,
+}
+
+fn exact(rows: &[(RowKey, Vec<Value>)], col: usize) -> Exact {
+    let mut distinct: HashSet<String> = HashSet::new();
+    let mut nulls = 0u64;
+    let mut min = None;
+    let mut max = None;
+    for (_, row) in rows {
+        match &row[col] {
+            Value::Empty => nulls += 1,
+            v => {
+                distinct.insert(format!("{v:?}"));
+                if let Value::Int(i) = v {
+                    min = Some(min.map_or(*i, |m: i64| m.min(*i)));
+                    max = Some(max.map_or(*i, |m: i64| m.max(*i)));
+                }
+            }
+        }
+    }
+    Exact {
+        ndv: distinct.len(),
+        nulls,
+        min,
+        max,
+    }
+}
+
+/// The inline sketches never undercount the live table: NDV, null count,
+/// and numeric bounds are all conservative upper envelopes.
+fn check_conservative(t: &Table, rows: &[(RowKey, Vec<Value>)], ctx: &str) {
+    for col in 0..2 {
+        let sketch = t.statistics().column(col).unwrap();
+        let e = exact(rows, col);
+        assert!(
+            sketch.ndv() + 1e-9 >= e.ndv as f64,
+            "{ctx}: col {col} sketch ndv {} < live ndv {}",
+            sketch.ndv(),
+            e.ndv
+        );
+        assert!(
+            sketch.null_count() >= e.nulls,
+            "{ctx}: col {col} sketch nulls {} < live nulls {}",
+            sketch.null_count(),
+            e.nulls
+        );
+        if let (Some(lo), Some(hi)) = (e.min, e.max) {
+            let smin = sketch.num_min().unwrap_or(f64::INFINITY);
+            let smax = sketch.num_max().unwrap_or(f64::NEG_INFINITY);
+            assert!(
+                smin <= lo as f64 && smax >= hi as f64,
+                "{ctx}: col {col} sketch range [{smin}, {smax}] excludes live [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// After `analyze()` every statistic equals the exact value (the domains
+/// are far below the KMV capacity, so NDV is exact too).
+fn check_exact(t: &Table, rows: &[(RowKey, Vec<Value>)], ctx: &str) {
+    assert_eq!(t.row_count(), rows.len(), "{ctx}: rows");
+    for col in 0..2 {
+        let sketch = t.statistics().column(col).unwrap();
+        let e = exact(rows, col);
+        assert_eq!(sketch.ndv(), e.ndv as f64, "{ctx}: col {col} ndv");
+        assert_eq!(sketch.null_count(), e.nulls, "{ctx}: col {col} nulls");
+        assert_eq!(
+            sketch.num_min(),
+            e.min.map(|i| i as f64),
+            "{ctx}: col {col} min"
+        );
+        assert_eq!(
+            sketch.num_max(),
+            e.max.map(|i| i as f64),
+            "{ctx}: col {col} max"
+        );
+    }
+}
+
+#[test]
+fn sketches_stay_conservative_and_analyze_is_exact() {
+    cases(64, 0x57A7_B04D, |rng| {
+        let mut t = Table::new("t", schema(), GroupPolicy::RowStore);
+        let mut rows: Vec<(RowKey, Vec<Value>)> = Vec::new();
+        let nops = rng.usize_in(10, 120);
+        for _ in 0..nops {
+            match rng.weighted(&[5, 2, 2, 1]) {
+                0 => {
+                    let row = vec![arb_int(rng), arb_text(rng)];
+                    let key = t.insert(row.clone()).unwrap();
+                    rows.push((key, row));
+                }
+                1 if !rows.is_empty() => {
+                    let i = rng.index(rows.len());
+                    let (key, _) = rows.remove(i);
+                    t.delete_row(key).unwrap();
+                }
+                2 if !rows.is_empty() => {
+                    let i = rng.index(rows.len());
+                    let col = rng.index(2);
+                    let v = if col == 0 {
+                        arb_int(rng)
+                    } else {
+                        arb_text(rng)
+                    };
+                    t.update_cell(rows[i].0, col, v.clone()).unwrap();
+                    rows[i].1[col] = v;
+                }
+                3 if !rows.is_empty() => {
+                    let i = rng.index(rows.len());
+                    let row = vec![arb_int(rng), arb_text(rng)];
+                    t.update_row(rows[i].0, row.clone()).unwrap();
+                    rows[i].1 = row;
+                }
+                _ => {}
+            }
+        }
+        check_conservative(&t, &rows, "after DML");
+
+        t.analyze().unwrap();
+        check_exact(&t, &rows, "after ANALYZE");
+
+        // Stats keep tracking correctly after the rebuild.
+        let row = vec![Value::Int(1000), Value::text("zzz")];
+        let key = t.insert(row.clone()).unwrap();
+        rows.push((key, row));
+        check_conservative(&t, &rows, "post-analyze insert");
+        let sketch = t.statistics().column(0).unwrap();
+        assert_eq!(sketch.num_max(), Some(1000.0), "new max observed inline");
+    });
+}
+
+/// Text columns track lexicographic bounds the same way.
+#[test]
+fn text_bounds_follow_observations() {
+    let mut t = Table::new("t", schema(), GroupPolicy::RowStore);
+    for s in ["mid", "aaa", "zzz", "mmm"] {
+        t.insert(vec![Value::Int(0), Value::text(s)]).unwrap();
+    }
+    let sketch = t.statistics().column(1).unwrap();
+    assert_eq!(sketch.text_min(), Some("aaa"));
+    assert_eq!(sketch.text_max(), Some("zzz"));
+    // Deleting the extremes leaves the envelope stale but still enclosing.
+    let keys: Vec<RowKey> = t.iter_rows().map(|r| r.unwrap().0).collect();
+    t.delete_row(keys[1]).unwrap();
+    t.delete_row(keys[2]).unwrap();
+    let sketch = t.statistics().column(1).unwrap();
+    assert_eq!(sketch.text_min(), Some("aaa"));
+    assert_eq!(sketch.text_max(), Some("zzz"));
+    t.analyze().unwrap();
+    let sketch = t.statistics().column(1).unwrap();
+    assert_eq!(sketch.text_min(), Some("mid"));
+    assert_eq!(sketch.text_max(), Some("mmm"));
+}

@@ -1,0 +1,128 @@
+//! Differential check over the golden corpus: every SELECT must produce
+//! the same multiset of rows under (a) the default stats-driven planner,
+//! (b) costing disabled (syntactic join order), and (c) the nested-loop /
+//! linear reference arms with every optimization off. Plan choice must
+//! never change results.
+
+use std::cmp::Ordering;
+use std::path::PathBuf;
+
+use dataspread::{BindModel, ExecOptions, Workbook};
+use dataspread_slt::{parse, RecordKind};
+use dataspread_types::{CellAddr, Value};
+
+/// The three arms: cost-based (default), syntactic order, reference.
+fn arms() -> [(&'static str, ExecOptions); 3] {
+    [
+        ("cost-based", ExecOptions::default()),
+        (
+            "syntactic",
+            ExecOptions {
+                cost_based: false,
+                ..ExecOptions::default()
+            },
+        ),
+        (
+            "reference",
+            ExecOptions {
+                hash_join: false,
+                hash_aggregation: false,
+                predicate_pushdown: false,
+                cost_based: false,
+            },
+        ),
+    ]
+}
+
+/// Multiset normalization: a total row order. `Value::total_cmp` treats
+/// `Int(2)` and `Float(2.0)` as equal, so ties break on the debug string
+/// to keep the sort total across arms.
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                x.total_cmp(y)
+                    .then_with(|| format!("{x:?}").cmp(&format!("{y:?}")))
+            })
+            .find(|o| o.is_ne())
+            .unwrap_or(Ordering::Equal)
+    });
+    rows
+}
+
+#[test]
+fn golden_corpus_plans_agree() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "test"))
+        .collect();
+    files.sort();
+
+    let mut checked = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corpus = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let mut wb = Workbook::new();
+        for rec in &corpus.records {
+            match &rec.kind {
+                // Replay setup exactly as the golden runner does; records
+                // that are *expected* to fail just fail here too.
+                RecordKind::Statement { sql, .. } => {
+                    let _ = wb.execute(sql);
+                }
+                RecordKind::Cell { a1, input } => {
+                    let sheet = wb.current_sheet();
+                    let addr = CellAddr::parse_a1(a1).unwrap();
+                    let _ = wb.set_input(sheet, addr, input);
+                }
+                RecordKind::Bind { model, a1, table } => {
+                    let m = match model.as_str() {
+                        "tom" => BindModel::Tom,
+                        _ => BindModel::Rom,
+                    };
+                    let sheet = wb.current_sheet();
+                    let addr = CellAddr::parse_a1(a1).unwrap();
+                    let _ = wb.bind_table(sheet, addr, table, m);
+                }
+                RecordKind::Explain { .. } => {}
+                RecordKind::Query { sql, .. } => {
+                    let mut baseline: Option<(String, Vec<Vec<Value>>)> = None;
+                    for (name, opts) in arms() {
+                        wb.set_exec_options(opts);
+                        let rows = sorted(
+                            wb.query(sql)
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "{}:{}: {name} arm failed: {e}",
+                                        path.display(),
+                                        rec.line
+                                    )
+                                })
+                                .1,
+                        );
+                        match &baseline {
+                            None => baseline = Some((name.to_string(), rows)),
+                            Some((base, expect)) => assert_eq!(
+                                expect,
+                                &rows,
+                                "{}:{}: {sql}\n  {base} vs {name} arms disagree",
+                                path.display(),
+                                rec.line
+                            ),
+                        }
+                    }
+                    wb.set_exec_options(ExecOptions::default());
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 300,
+        "only {checked} SELECTs differentially checked"
+    );
+    println!("differential: {checked} SELECTs agree across 3 planner arms");
+}

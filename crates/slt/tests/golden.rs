@@ -1,0 +1,65 @@
+//! Run every `.test` file in `tests/golden/` against a fresh engine.
+//!
+//! `SLT_RECORD=1 cargo test -p dataspread_slt --test golden` rewrites the
+//! expected blocks from actual output (bootstrap / re-baseline); CI then
+//! proves the committed corpus is current with `git diff --exit-code`.
+
+use std::path::PathBuf;
+
+use dataspread_slt::{parse, run_file, RecordKind};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "test"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn golden_corpus() {
+    let files = corpus_files();
+    assert!(!files.is_empty(), "no .test files found");
+    let mut failures = Vec::new();
+    for path in &files {
+        if let Err(e) = run_file(path) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus file(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The suite must stay substantial: at least 300 result-bearing records
+/// overall and at least 20 explain records pinning plan shapes.
+#[test]
+fn corpus_is_substantial() {
+    let mut queries = 0usize;
+    let mut explains = 0usize;
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corpus = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        for rec in &corpus.records {
+            match rec.kind {
+                RecordKind::Query { .. } => queries += 1,
+                RecordKind::Explain { .. } => explains += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        queries + explains >= 300,
+        "golden corpus has {queries} query + {explains} explain records; need >= 300"
+    );
+    assert!(
+        explains >= 20,
+        "golden corpus has {explains} explain records; need >= 20"
+    );
+}

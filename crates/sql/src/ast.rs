@@ -41,6 +41,14 @@ pub enum Statement {
         name: String,
         action: AlterAction,
     },
+    /// `EXPLAIN <select>` — render the chosen physical plan as a text tree
+    /// without executing it.
+    Explain(SelectStmt),
+    /// `ANALYZE [table]` — rebuild optimizer statistics exactly, for one
+    /// table or (with no argument) every table in the catalog.
+    Analyze {
+        table: Option<String>,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq)]

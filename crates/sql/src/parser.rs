@@ -185,6 +185,22 @@ impl Parser {
         if self.eat_kw("ALTER") {
             return self.alter_table();
         }
+        if self.eat_kw("EXPLAIN") {
+            if !self.peek_kw("SELECT") {
+                return Err(DsError::Parse(format!(
+                    "EXPLAIN supports SELECT statements, found {:?}",
+                    self.peek()
+                )));
+            }
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.eat_kw("ANALYZE") {
+            let table = match self.peek() {
+                Token::Ident(_) | Token::QuotedIdent(_) => Some(self.ident()?),
+                _ => None,
+            };
+            return Ok(Statement::Analyze { table });
+        }
         Err(DsError::Parse(format!(
             "expected a statement, found {:?}",
             self.peek()
@@ -1287,5 +1303,34 @@ mod tests {
     fn subquery_in_from() {
         let s = sel("SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 1");
         assert!(matches!(&s.from, Some(TableExpr::Subquery { alias, .. }) if alias == "sub"));
+    }
+
+    #[test]
+    fn explain_wraps_select() {
+        let st = parse_statement("EXPLAIN SELECT a FROM t JOIN u ON t.k = u.k").unwrap();
+        let Statement::Explain(sel) = st else {
+            panic!("expected Explain, got {st:?}");
+        };
+        assert!(matches!(sel.from, Some(TableExpr::Join { .. })));
+    }
+
+    #[test]
+    fn explain_rejects_non_select() {
+        assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn analyze_with_and_without_table() {
+        assert_eq!(
+            parse_statement("ANALYZE t").unwrap(),
+            Statement::Analyze {
+                table: Some("t".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("ANALYZE").unwrap(),
+            Statement::Analyze { table: None }
+        );
     }
 }
