@@ -80,11 +80,14 @@ pub(crate) fn estimate(plan: &Plan) -> Est {
             cap_ndv(&mut ndv, rows);
             Est { rows, ndv }
         }
-        Plan::Derived { rows, filters } => {
+        Plan::Derived {
+            rows,
+            width,
+            filters,
+        } => {
             let base = rows.len() as f64;
-            let width = rows.first().map_or(0, Vec::len);
             let est_rows = apply_filters(base, filters, |_| None);
-            let mut ndv = vec![base.max(1.0); width];
+            let mut ndv = vec![base.max(1.0); *width];
             cap_ndv(&mut ndv, est_rows);
             Est {
                 rows: est_rows,
@@ -391,7 +394,11 @@ impl Greedy<'_> {
                     d
                 } else {
                     let l = &self.leaves[leaf];
-                    self.ests[leaf].ndv[g - l.start]
+                    let est = &self.ests[leaf];
+                    // Checked like `ndv_of`: a leaf whose estimate carries
+                    // fewer NDV slots than its logical width falls back to
+                    // its cardinality.
+                    est.ndv.get(g - l.start).copied().unwrap_or(est.rows)
                 }
             }
             None => {

@@ -90,7 +90,7 @@ fn node(plan: &Plan, depth: usize, out: &mut Vec<String>) {
             }
             out.push(line);
         }
-        Plan::Derived { rows, filters } => {
+        Plan::Derived { rows, filters, .. } => {
             let mut line = format!("{pad}derived rows={}", rows.len());
             if !filters.is_empty() {
                 line.push_str(&format!(" filters={}", filters.len()));

@@ -329,8 +329,10 @@ pub(crate) fn run_select(
     Ok((proj.into_iter().map(|(_, n)| n).collect(), rows))
 }
 
-/// Plan one `SELECT` and render the chosen physical plan as text lines,
-/// without executing it (`EXPLAIN`).
+/// Plan one `SELECT` and render the chosen physical plan as text lines
+/// (`EXPLAIN`). The outer plan is not executed, but planning materializes
+/// `FROM` subqueries (they are `Derived` leaves), so an expensive derived
+/// table still runs under `EXPLAIN`.
 pub(crate) fn explain_select(ctx: &ExecCtx<'_>, sel: &SelectStmt) -> DsResult<Vec<String>> {
     let prepared = prepare_select(ctx, sel)?;
     let offset = match &sel.offset {

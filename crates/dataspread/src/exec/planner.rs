@@ -75,9 +75,11 @@ pub(crate) enum Plan {
         filters: Vec<BExpr>,
         used: Used,
     },
-    /// Subquery in `FROM`, already evaluated.
+    /// Subquery in `FROM`, already evaluated. `width` is the logical column
+    /// count, which `rows` cannot reveal when the subquery returned nothing.
     Derived {
         rows: Vec<Vec<Value>>,
+        width: usize,
         filters: Vec<BExpr>,
     },
     Join(Box<JoinPlan>),
@@ -154,13 +156,14 @@ pub(crate) fn plan_from(ctx: &ExecCtx<'_>, te: &TableExpr) -> DsResult<(Plan, Ve
         }
         TableExpr::Subquery { query, alias } => {
             let (names, rows) = run_select(ctx, query)?;
-            let cols = names
+            let cols: Vec<ColInfo> = names
                 .into_iter()
                 .map(|n| ColInfo::new(Some(alias.as_str()), n))
                 .collect();
             Ok((
                 Plan::Derived {
                     rows,
+                    width: cols.len(),
                     filters: Vec::new(),
                 },
                 cols,
@@ -523,7 +526,9 @@ pub(crate) fn build<'a>(plan: Plan, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>
             filters,
             used,
         } => filtered(range_scan(ctx.resolver, &a1, width, &used)?, filters),
-        Plan::Derived { rows, filters } => filtered(Box::new(rows.into_iter().map(Ok)), filters),
+        Plan::Derived { rows, filters, .. } => {
+            filtered(Box::new(rows.into_iter().map(Ok)), filters)
+        }
         Plan::Join(j) => {
             let JoinPlan {
                 left,

@@ -69,7 +69,15 @@ fn value_hash(v: &Value) -> Option<u64> {
             }
             mix(TEXT_SEED ^ h)
         }
-        Value::Error(e) => mix(ERR_SEED ^ e.code().len() as u64 ^ (e.code().as_bytes()[1] as u64)),
+        Value::Error(e) => {
+            // FNV-1a over the full code bytes: no length/shape assumptions.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in e.code().as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            mix(ERR_SEED ^ h)
+        }
     })
 }
 
