@@ -133,7 +133,12 @@ impl Catalog {
                 self.default_pool_pages,
             ))),
         );
-        Ok(TableRefMut(write_shard(self.tables.get(&k).unwrap())))
+        match self.tables.get(&k) {
+            Some(shard) => Ok(TableRefMut(write_shard(shard))),
+            // Unreachable (we just inserted `k`), but a typed error beats
+            // a panic inside the storage layer.
+            None => Err(DsError::Storage(format!("create_table: {k} not in map"))),
+        }
     }
 
     /// Remove a table. If some thread still holds a cloned shard handle the

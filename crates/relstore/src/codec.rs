@@ -12,6 +12,25 @@
 
 use dataspread_types::{CellError, DsError, DsResult, Value};
 
+/// Decode a little-endian `u16` from the first 2 bytes of `b`.
+///
+/// Bounds are the caller's contract (panics on a short slice, like
+/// indexing); unlike `try_into().unwrap()` chains this keeps decode paths
+/// free of `unwrap` so the panic audit (`cargo run -p xcheck`) stays sharp.
+pub fn u16_le(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+/// Decode a little-endian `u32` from the first 4 bytes of `b`.
+pub fn u32_le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Decode a little-endian `u64` from the first 8 bytes of `b`.
+pub fn u64_le(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
 // Little-endian read helpers over an advancing slice. Bounds are checked by
 // the callers (decode reports truncation as `DsError`, not a panic).
 fn get_u8(buf: &mut &[u8]) -> u8 {
@@ -21,25 +40,25 @@ fn get_u8(buf: &mut &[u8]) -> u8 {
 }
 
 fn get_u16_le(buf: &mut &[u8]) -> u16 {
-    let v = u16::from_le_bytes([buf[0], buf[1]]);
+    let v = u16_le(buf);
     *buf = &buf[2..];
     v
 }
 
 fn get_u32_le(buf: &mut &[u8]) -> u32 {
-    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    let v = u32_le(buf);
     *buf = &buf[4..];
     v
 }
 
 fn get_i64_le(buf: &mut &[u8]) -> i64 {
-    let v = i64::from_le_bytes(buf[..8].try_into().unwrap());
+    let v = u64_le(buf) as i64;
     *buf = &buf[8..];
     v
 }
 
 fn get_f64_le(buf: &mut &[u8]) -> f64 {
-    let v = f64::from_le_bytes(buf[..8].try_into().unwrap());
+    let v = f64::from_bits(u64_le(buf));
     *buf = &buf[8..];
     v
 }
@@ -256,17 +275,17 @@ impl<'a> Cursor<'a> {
 
     /// Read a `u16` little-endian.
     pub fn u16(&mut self) -> DsResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+        Ok(u16_le(self.take(2, "u16")?))
     }
 
     /// Read a `u32` little-endian.
     pub fn u32(&mut self) -> DsResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32_le(self.take(4, "u32")?))
     }
 
     /// Read a `u64` little-endian.
     pub fn u64(&mut self) -> DsResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64_le(self.take(8, "u64")?))
     }
 
     /// Read `n` raw bytes.

@@ -187,13 +187,13 @@ impl PageFile {
         if h[0..4] != PAGE_FILE_MAGIC {
             return Err(DsError::Storage("page file: bad magic".into()));
         }
-        let version = u16::from_le_bytes(h[4..6].try_into().unwrap());
+        let version = crate::codec::u16_le(&h[4..6]);
         if version != PAGE_FILE_VERSION {
             return Err(DsError::Storage(format!(
                 "page file: unsupported version {version}"
             )));
         }
-        let stored_crc = u32::from_le_bytes(h[60..64].try_into().unwrap());
+        let stored_crc = crate::codec::u32_le(&h[60..64]);
         if crc32(&h[0..60]) != stored_crc {
             return Err(DsError::Storage(
                 "page file: header checksum mismatch".into(),
@@ -201,10 +201,10 @@ impl PageFile {
         }
         let inner = Inner {
             file,
-            frame_count: u64::from_le_bytes(h[8..16].try_into().unwrap()),
-            meta_first: u64::from_le_bytes(h[16..24].try_into().unwrap()),
-            meta_len: u64::from_le_bytes(h[24..32].try_into().unwrap()),
-            generation: u64::from_le_bytes(h[32..40].try_into().unwrap()),
+            frame_count: crate::codec::u64_le(&h[8..16]),
+            meta_first: crate::codec::u64_le(&h[16..24]),
+            meta_len: crate::codec::u64_le(&h[24..32]),
+            generation: crate::codec::u64_le(&h[32..40]),
         };
         Ok(PageFile {
             path,
@@ -290,8 +290,8 @@ impl PageFile {
             .file
             .read_exact_at(offset, &mut head)
             .map_err(|e| DsError::io("frame header read", &self.path, Some(offset), &e))?;
-        let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        let len = crate::codec::u32_le(&head[0..4]) as usize;
+        let stored_crc = crate::codec::u32_le(&head[4..8]);
         if len > FRAME_PAYLOAD {
             return Err(DsError::Storage(format!(
                 "frame {id}: corrupt length {len}"

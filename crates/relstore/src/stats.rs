@@ -118,8 +118,7 @@ impl ColumnSketch {
         if let Some(h) = value_hash(v) {
             self.kmv.insert(h);
             while self.kmv.len() > KMV_K {
-                let last = *self.kmv.iter().next_back().expect("non-empty");
-                self.kmv.remove(&last);
+                self.kmv.pop_last();
             }
         }
     }
@@ -138,12 +137,12 @@ impl ColumnSketch {
     /// Estimated number of distinct non-null values observed. Exact while
     /// fewer than [`KMV_K`] distinct hashes have been seen.
     pub fn ndv(&self) -> f64 {
-        if self.kmv.len() < KMV_K {
-            self.kmv.len() as f64
-        } else {
-            let kth = *self.kmv.iter().next_back().expect("full sketch") as f64;
-            // (k-1) / R with R = kth smallest hash normalized to (0, 1].
-            (KMV_K as f64 - 1.0) * (u64::MAX as f64 / kth.max(1.0))
+        match self.kmv.last() {
+            Some(&kth) if self.kmv.len() >= KMV_K => {
+                // (k-1) / R with R = kth smallest hash normalized to (0, 1].
+                (KMV_K as f64 - 1.0) * (u64::MAX as f64 / (kth as f64).max(1.0))
+            }
+            _ => self.kmv.len() as f64,
         }
     }
 

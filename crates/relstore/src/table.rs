@@ -348,6 +348,19 @@ impl Table {
         }
     }
 
+    /// Extract a row's primary-key tuple, as a typed error instead of a
+    /// panic: callers only reach this under `has_pkey()`, so a `None`
+    /// means the row is narrower than the schema's key columns — a
+    /// corrupt fragment, not a caller bug worth crashing the engine for.
+    fn key_of_row(&self, row: &[Value]) -> DsResult<KeyTuple> {
+        self.schema.key_of(row).ok_or_else(|| {
+            DsError::Storage(format!(
+                "table {}: row narrower than its primary-key columns",
+                self.name
+            ))
+        })
+    }
+
     // ---- fragment plumbing -------------------------------------------------
 
     /// Append a fragment to group `g`, allocating a page if needed. Returns
@@ -569,13 +582,10 @@ impl Table {
         let mut frag = self.read_fragment(g, key)?;
         let old = std::mem::replace(&mut frag[off], value.clone());
         if let Some(old_row) = old_row {
-            let old_kt = self
-                .schema
-                .key_of(&old_row)
-                .expect("pk column implies pkey");
+            let old_kt = self.key_of_row(&old_row)?;
             let mut new_row = old_row;
             new_row[col] = value;
-            let new_kt = self.schema.key_of(&new_row).unwrap();
+            let new_kt = self.key_of_row(&new_row)?;
             if new_kt != old_kt {
                 if self.pk_index.contains_key(&new_kt) {
                     return Err(DsError::KeyViolation(format!(
@@ -611,8 +621,8 @@ impl Table {
         let row = self.schema.conform_row(row)?;
         if self.schema.has_pkey() {
             let old_row = self.get_row(key)?;
-            let old_kt = self.schema.key_of(&old_row).unwrap();
-            let new_kt = self.schema.key_of(&row).unwrap();
+            let old_kt = self.key_of_row(&old_row)?;
+            let new_kt = self.key_of_row(&row)?;
             if new_kt != old_kt {
                 if self.pk_index.contains_key(&new_kt) {
                     return Err(DsError::KeyViolation(format!(
@@ -653,7 +663,7 @@ impl Table {
         }
         if self.schema.has_pkey() {
             let row = self.get_row(key)?;
-            let kt = self.schema.key_of(&row).unwrap();
+            let kt = self.key_of_row(&row)?;
             self.pk_index.remove(&kt);
         }
         for g in 0..self.groups.len() {
@@ -1040,7 +1050,7 @@ impl Table {
         if t.schema.has_pkey() {
             for key in t.order.to_vec() {
                 let row = t.get_row(key)?;
-                let kt = t.schema.key_of(&row).expect("pkey present");
+                let kt = t.key_of_row(&row)?;
                 if t.pk_index.insert(kt, key).is_some() {
                     return Err(DsError::Storage(format!(
                         "snapshot: duplicate primary key in table {}",

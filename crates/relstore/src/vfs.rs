@@ -62,6 +62,15 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
     /// Read a whole file into memory.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create `path` (truncating any previous contents), write `bytes`, and
+    /// sync the handle — the whole-file convenience for tools and harnesses
+    /// that persist through the VFS boundary instead of `std::fs`. Routed
+    /// through [`Vfs::create`], so fault injection covers it.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let f = self.create(path)?;
+        f.write_all_at(0, bytes)?;
+        f.sync()
+    }
     /// Atomically rename `from` onto `to` (replacing it).
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Delete a file.

@@ -71,6 +71,104 @@ const TAG_BIND_DROP: u8 = 10;
 const TAG_CREATE_TABLE: u8 = 11;
 const TAG_DROP_TABLE: u8 = 12;
 
+/// Where recovery applies a committed record of a given tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplaySite {
+    /// Transaction markers (`BEGIN`/`COMMIT`): consumed by
+    /// [`committed_ops`] to delimit transactions; nothing to apply.
+    Marker,
+    /// Table records (DML and DDL): applied to the recovered catalog by
+    /// [`apply_committed`].
+    Table,
+    /// Engine records (sheet edits, binding create/drop): surfaced as
+    /// `LoadedCatalog::engine_ops` and replayed by the engine
+    /// (`Workbook::open` in the `dataspread` crate).
+    Engine,
+}
+
+/// One row of the WAL-tag registry: the on-disk tag byte, the record's
+/// canonical name (exactly as documented in `docs/STORAGE.md` §2.3), and
+/// where recovery replays it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalTagSpec {
+    /// The on-disk tag byte.
+    pub tag: u8,
+    /// Canonical record name (`docs/STORAGE.md` §2.3 spelling).
+    pub name: &'static str,
+    /// Which layer replays a committed record of this tag.
+    pub replay: ReplaySite,
+}
+
+/// Source-of-truth registry of every on-disk WAL record tag.
+///
+/// Adding a tag means adding a row here — `cargo run -p xcheck`
+/// cross-checks that every registered tag has an encode site
+/// (`push(TAG_…)`), a decode match arm, a replay match arm at its declared
+/// [`ReplaySite`], and a `docs/STORAGE.md` table row, and that no `TAG_…`
+/// constant exists outside the registry.
+pub const WAL_TAGS: &[WalTagSpec] = &[
+    WalTagSpec {
+        tag: TAG_BEGIN,
+        name: "BEGIN",
+        replay: ReplaySite::Marker,
+    },
+    WalTagSpec {
+        tag: TAG_COMMIT,
+        name: "COMMIT",
+        replay: ReplaySite::Marker,
+    },
+    WalTagSpec {
+        tag: TAG_INSERT,
+        name: "INSERT",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_UPDATE_CELL,
+        name: "UPDATE-CELL",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_UPDATE_ROW,
+        name: "UPDATE-ROW",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_DELETE,
+        name: "DELETE",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_SHEET_CELL,
+        name: "SHEET-CELL",
+        replay: ReplaySite::Engine,
+    },
+    WalTagSpec {
+        tag: TAG_SHEET_GRID,
+        name: "SHEET-GRID",
+        replay: ReplaySite::Engine,
+    },
+    WalTagSpec {
+        tag: TAG_BIND_CREATE,
+        name: "BIND-CREATE",
+        replay: ReplaySite::Engine,
+    },
+    WalTagSpec {
+        tag: TAG_BIND_DROP,
+        name: "BIND-DROP",
+        replay: ReplaySite::Engine,
+    },
+    WalTagSpec {
+        tag: TAG_CREATE_TABLE,
+        name: "CREATE-TABLE",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_DROP_TABLE,
+        name: "DROP-TABLE",
+        replay: ReplaySite::Table,
+    },
+];
+
 /// What a logged sheet-cell write holds: the *logical input*, not the
 /// computed display value — a literal, or formula source text that the
 /// engine re-parses (and re-evaluates) on replay.
@@ -873,20 +971,20 @@ pub fn scan_wal_with(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> DsResult<Opt
     };
     if raw.len() < WAL_HEADER_SIZE as usize
         || raw[0..4] != WAL_MAGIC
-        || u16::from_le_bytes(raw[4..6].try_into().unwrap()) != WAL_VERSION
-        || crc32(&raw[0..16]) != u32::from_le_bytes(raw[16..20].try_into().unwrap())
+        || crate::codec::u16_le(&raw[4..6]) != WAL_VERSION
+        || crc32(&raw[0..16]) != crate::codec::u32_le(&raw[16..20])
     {
         return Ok(None);
     }
-    let generation = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    let generation = crate::codec::u64_le(&raw[8..16]);
     let mut records = Vec::new();
     let mut off = WAL_HEADER_SIZE as usize;
     loop {
         if off + 8 > raw.len() {
             break; // torn frame header
         }
-        let len = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap());
+        let len = crate::codec::u32_le(&raw[off..off + 4]);
+        let stored_crc = crate::codec::u32_le(&raw[off + 4..off + 8]);
         if len > MAX_RECORD || off + 8 + len as usize > raw.len() {
             break; // insane length or torn payload
         }
@@ -1003,6 +1101,21 @@ mod tests {
         let p = std::env::temp_dir().join(format!("dsp-wal-{}-{name}", std::process::id()));
         let _ = std::fs::remove_file(&p);
         p
+    }
+
+    #[test]
+    fn wal_tag_registry_is_unique_and_contiguous() {
+        let mut values: Vec<u8> = WAL_TAGS.iter().map(|s| s.tag).collect();
+        values.sort_unstable();
+        let expect: Vec<u8> = (1..=WAL_TAGS.len() as u8).collect();
+        assert_eq!(
+            values, expect,
+            "tag bytes must be unique and contiguous from 1"
+        );
+        let mut names: Vec<&str> = WAL_TAGS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WAL_TAGS.len(), "record names must be unique");
     }
 
     fn op(i: i64) -> WalOp {

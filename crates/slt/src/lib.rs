@@ -50,6 +50,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use dataspread::{BindModel, Workbook};
+use dataspread_relstore::vfs::os_vfs;
 use dataspread_types::{CellAddr, Value};
 
 /// One parsed record plus the comment lines that preceded it.
@@ -348,7 +349,14 @@ pub fn record_mode() -> bool {
 /// file is rewritten with actual output and the run always succeeds (unless
 /// a `statement` record misbehaves). Otherwise returns every mismatch.
 pub fn run_file(path: &Path) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    // File I/O rides the Vfs boundary (xcheck's vfs-boundary invariant:
+    // library code never touches `std::fs` directly).
+    let vfs = os_vfs();
+    let raw = vfs
+        .read(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let text =
+        String::from_utf8(raw).map_err(|e| format!("{}: invalid utf8: {e}", path.display()))?;
     let mut corpus = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let recording = record_mode();
     let mut failures: Vec<String> = Vec::new();
@@ -451,7 +459,8 @@ pub fn run_file(path: &Path) -> Result<(), String> {
     }
 
     if recording {
-        std::fs::write(path, render(&corpus)).map_err(|e| format!("{}: {e}", path.display()))?;
+        vfs.write_file(path, render(&corpus).as_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
     }
     if failures.is_empty() {
         Ok(())

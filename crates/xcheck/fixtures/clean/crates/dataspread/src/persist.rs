@@ -1,0 +1,3 @@
+//! Clean fixture engine replay file (no Engine tags registered).
+
+pub fn apply_engine_op() {}

@@ -1,0 +1,15 @@
+//! Clean fixture error definition: full Display coverage, unique prefixes.
+
+pub enum DsError {
+    Parse(String),
+    Storage(String),
+}
+
+impl core::fmt::Display for DsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DsError::Parse(m) => write!(f, "parse error: {m}"),
+            DsError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture engine replay site: CHARLIE replays here (Engine).
+
+use crate::wal::WalOp;
+
+pub fn apply_engine_op(op: &WalOp) -> bool {
+    matches!(op, WalOp::Charlie)
+}

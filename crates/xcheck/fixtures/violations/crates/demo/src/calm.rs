@@ -1,0 +1,5 @@
+//! One panic site against a baseline of three -> stale-baseline finding.
+
+pub fn one_site(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,34 @@
+//! Seeded vfs-boundary violations (and non-violations the lexer must
+//! not trip on). Line numbers are pinned by tests/fixtures.rs.
+
+use std::fs;
+
+pub fn open_direct(path: &std::path::Path) {
+    let _f = fs::File::open(path);
+    let _g = std::fs::File::create(path);
+    let _o = OpenOptions::new();
+}
+
+pub fn raw_durability(f: &std::fs::File) {
+    f.sync_all().ok();
+    f.sync_data().ok();
+}
+
+pub fn suppressed(path: &std::path::Path) {
+    // xcheck:allow(vfs-boundary)
+    let _ = std::fs::read(path);
+}
+
+pub fn not_violations() {
+    // std::fs::File::open in a comment is fine
+    let _s = "std::fs::File::open inside a string is fine";
+    let _r = r#"OpenOptions in a raw string is fine"#;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_std_fs() {
+        let _ = std::fs::read("x");
+    }
+}

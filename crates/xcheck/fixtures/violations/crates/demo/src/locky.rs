@@ -1,0 +1,25 @@
+//! Seeded lock-order violations against the fixture hierarchy
+//! (docs/CONCURRENCY.md: `a` = outer level 1, `b` = inner level 2).
+
+pub fn bad_order(a: &M, b: &M) {
+    let _gb = b.lock();
+    let _ga = a.lock();
+}
+
+pub fn fsync_while_locked(a: &M, file: &F) {
+    let _ga = a.lock();
+    file.sync().ok();
+}
+
+pub fn clean_nesting(a: &M, b: &M, file: &F) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+    file.sync().ok();
+}
+
+pub fn temporaries_are_fine(a: &M, b: &M) {
+    b.lock().touch();
+    let _ga = a.lock();
+}

@@ -1,0 +1,9 @@
+//! Two panic sites against a baseline of one -> over-baseline finding.
+
+pub fn risky(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn also_risky(x: Option<u8>) -> u8 {
+    x.expect("present")
+}

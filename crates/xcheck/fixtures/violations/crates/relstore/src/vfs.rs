@@ -1,0 +1,6 @@
+//! Allowlisted: the fixture allow.txt exempts this file, so its raw
+//! std::fs use must NOT be reported.
+
+pub fn os_read(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,0 +1,67 @@
+//! Seeded wal-tag violations: an orphan constant, a value gap, a
+//! missing encode site, a missing Table replay arm, a missing docs row.
+
+const TAG_ALPHA: u8 = 1;
+const TAG_BETA: u8 = 2;
+const TAG_CHARLIE: u8 = 4;
+const TAG_ORPHAN: u8 = 9;
+
+pub enum ReplaySite {
+    Marker,
+    Table,
+    Engine,
+}
+
+pub struct WalTagSpec {
+    pub tag: u8,
+    pub name: &'static str,
+    pub replay: ReplaySite,
+}
+
+pub const WAL_TAGS: &[WalTagSpec] = &[
+    WalTagSpec {
+        tag: TAG_ALPHA,
+        name: "ALPHA",
+        replay: ReplaySite::Marker,
+    },
+    WalTagSpec {
+        tag: TAG_BETA,
+        name: "BETA",
+        replay: ReplaySite::Table,
+    },
+    WalTagSpec {
+        tag: TAG_CHARLIE,
+        name: "CHARLIE",
+        replay: ReplaySite::Engine,
+    },
+];
+
+pub enum WalRecord {
+    Alpha,
+}
+
+pub enum WalOp {
+    Beta,
+    Charlie,
+}
+
+pub fn encode(buf: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::Alpha => buf.push(TAG_ALPHA),
+    }
+    buf.push(TAG_BETA);
+}
+
+pub fn decode(tag: u8) -> Option<u8> {
+    match tag {
+        TAG_ALPHA => Some(1),
+        TAG_BETA => Some(2),
+        TAG_CHARLIE => Some(4),
+        _ => None,
+    }
+}
+
+pub fn apply_committed(ops: &[WalOp]) -> usize {
+    // No WalOp::Beta arm here: BETA's Table replay is missing.
+    ops.len()
+}

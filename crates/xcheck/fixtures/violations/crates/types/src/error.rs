@@ -1,0 +1,18 @@
+//! Seeded error-code violations: `Io` has no Display arm, and `Schema`
+//! reuses `Parse`'s prefix.
+
+pub enum DsError {
+    Parse(String),
+    Schema(String),
+    Io(String),
+}
+
+impl core::fmt::Display for DsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DsError::Parse(m) => write!(f, "parse error: {m}"),
+            DsError::Schema(m) => write!(f, "parse error: {m}"),
+            _ => Ok(()),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `error-code`: every `DsError` variant must have a `Display` arm, and
+//! the human-readable prefixes (the text before the first `{`
+//! interpolation) must be unique and non-empty — error text is the only
+//! stable "error code" the SQL layer and the golden suites key on, so
+//! two variants rendering identically would be indistinguishable in
+//! logs, tests and `.slt` expectations.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Finding;
+
+/// Check id used in findings.
+pub const CHECK: &str = "error-code";
+
+/// Collect the variant names of `enum DsError`.
+fn variants(file: &SourceFile) -> Vec<(String, u32)> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    // Find `enum DsError {`.
+    let Some(start) = (0..t.len())
+        .find(|&i| t[i].is_ident("enum") && t.get(i + 1).is_some_and(|x| x.is_ident("DsError")))
+    else {
+        return out;
+    };
+    let Some(open) = (start..t.len()).find(|&i| t[i].is_punct('{')) else {
+        return out;
+    };
+    let mut brace = 1i32;
+    let mut paren = 0i32;
+    let mut i = open + 1;
+    while i < t.len() && brace > 0 {
+        match t[i].kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct('(') | TokKind::Punct('<') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct('>') => paren -= 1,
+            TokKind::Punct('#') if t.get(i + 1).is_some_and(|x| x.is_punct('[')) => {
+                // Skip attribute contents.
+                let mut d = 0i32;
+                let mut j = i + 1;
+                while j < t.len() {
+                    match t[j].kind {
+                        TokKind::Punct('[') => d += 1,
+                        TokKind::Punct(']') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            TokKind::Ident if brace == 1 && paren == 0 => {
+                let next = t.get(i + 1);
+                if next.is_some_and(|x| {
+                    x.is_punct('(') || x.is_punct(',') || x.is_punct('}') || x.is_punct('{')
+                }) {
+                    out.push((t[i].text.clone(), t[i].line));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect `(variant, prefix, line)` from the `Display` impl's arms: for
+/// each `DsError::V` pattern inside `impl Display for DsError`, the
+/// prefix is the first string literal's text up to its first `{`.
+fn display_arms(file: &SourceFile) -> Vec<(String, String, u32)> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    // Find `Display for DsError`.
+    let Some(start) = (0..t.len()).find(|&i| {
+        t[i].is_ident("Display")
+            && t.get(i + 1).is_some_and(|x| x.is_ident("for"))
+            && t.get(i + 2).is_some_and(|x| x.is_ident("DsError"))
+    }) else {
+        return out;
+    };
+    let Some(open) = (start..t.len()).find(|&i| t[i].is_punct('{')) else {
+        return out;
+    };
+    let mut brace = 1i32;
+    let mut i = open + 1;
+    // Collect DsError::V positions, then the Str that follows each before
+    // the next arm.
+    let mut arms: Vec<(String, u32, usize)> = Vec::new();
+    while i < t.len() && brace > 0 {
+        match t[i].kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            _ => {}
+        }
+        if t[i].is_ident("DsError")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.kind == TokKind::Ident)
+        {
+            arms.push((t[i + 3].text.clone(), t[i + 3].line, i));
+        }
+        i += 1;
+    }
+    let end = i;
+    for (k, (name, line, pos)) in arms.iter().enumerate() {
+        let next_pos = arms.get(k + 1).map(|a| a.2).unwrap_or(end);
+        let prefix = (pos + 4..next_pos)
+            .find_map(|j| {
+                if t[j].kind == TokKind::Str {
+                    let text = &t[j].text;
+                    let cut = text.find('{').unwrap_or(text.len());
+                    Some(text[..cut].to_string())
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_default();
+        out.push((name.clone(), prefix, *line));
+    }
+    out
+}
+
+/// Run the uniqueness/coverage checks on the error definition file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vars = variants(file);
+    if vars.is_empty() {
+        out.push(Finding::new(
+            &file.rel,
+            0,
+            CHECK,
+            "could not find `enum DsError`; error-code check has nothing to verify".to_string(),
+        ));
+        return out;
+    }
+    let arms = display_arms(file);
+    for (v, line) in &vars {
+        match arms.iter().find(|(a, _, _)| a == v) {
+            None => out.push(Finding::new(
+                &file.rel,
+                *line,
+                CHECK,
+                format!("variant `{v}` has no `Display` arm — it would render through a wildcard or not at all"),
+            )),
+            Some((_, prefix, aline)) => {
+                if prefix.trim().is_empty() {
+                    out.push(Finding::new(
+                        &file.rel,
+                        *aline,
+                        CHECK,
+                        format!("variant `{v}` renders with an empty prefix; give it a distinct `<kind> error:` prefix"),
+                    ));
+                }
+            }
+        }
+    }
+    // Prefix uniqueness across arms (only arms for real variants count).
+    for (k, (v, prefix, line)) in arms.iter().enumerate() {
+        if prefix.trim().is_empty() {
+            continue;
+        }
+        if let Some((dup, _, _)) = arms[..k].iter().find(|(_, p, _)| p == prefix) {
+            out.push(Finding::new(
+                &file.rel,
+                *line,
+                CHECK,
+                format!(
+                    "variants `{dup}` and `{v}` share the Display prefix `{prefix}`; \
+                     error text must identify the variant uniquely"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let f = SourceFile::from_source("crates/types/src/error.rs", src);
+        check(&f).into_iter().map(|x| x.message).collect()
+    }
+
+    const CLEAN: &str = r#"
+        pub enum DsError { Parse(String), Io(Box<Ctx>) }
+        impl fmt::Display for DsError {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    DsError::Parse(m) => write!(f, "parse error: {m}"),
+                    DsError::Io(c) => write!(f, "io error: {c}"),
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn clean_definition_passes() {
+        assert!(run(CLEAN).is_empty());
+    }
+
+    #[test]
+    fn missing_arm_is_flagged() {
+        let src = CLEAN.replace(r#"DsError::Io(c) => write!(f, "io error: {c}"),"#, "");
+        let msgs = run(&src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("`Io` has no `Display` arm"));
+    }
+
+    #[test]
+    fn duplicate_prefix_is_flagged() {
+        let src = CLEAN.replace("io error: {c}", "parse error: {c}");
+        let msgs = run(&src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("share the Display prefix `parse error: `"));
+    }
+}

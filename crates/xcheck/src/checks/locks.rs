@@ -1,0 +1,349 @@
+//! `lock-order`: nested lock acquisitions must respect the hierarchy
+//! declared in `docs/CONCURRENCY.md` (workbook → table shard → WAL
+//! append → WAL sync), and none of those locks may be held across an
+//! fsync-class call.
+//!
+//! The analysis is intra-function and lexical: an acquisition is a
+//! `receiver.lock()` / `.read()` / `.write()` call with **empty**
+//! argument parens (so `vfs.read(path)` and `io::Read::read(buf)` don't
+//! match) whose receiver identifier and containing module match a row of
+//! the hierarchy table. Guards bound by `let` are tracked until a
+//! `drop(var)` or the end of the function; temporary guards (no `let`)
+//! die at the end of their statement. Helper-mediated acquisitions
+//! (`self.read_shard()`) are invisible — the hierarchy names the
+//! receivers used at real call sites, see docs/ANALYSIS.md for limits.
+
+use std::path::Path;
+
+use crate::lexer::TokKind;
+use crate::model::{functions, skip_nested_fn, SourceFile};
+use crate::Finding;
+
+/// Check id used in findings and suppression comments.
+pub const CHECK: &str = "lock-order";
+
+/// One row of the machine-readable hierarchy table.
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Rank: lower acquires first.
+    pub level: u32,
+    /// Human name, e.g. `wal-append`.
+    pub name: String,
+    /// Module-path prefixes the row applies to (`relstore::wal` matches
+    /// `relstore::wal` and any submodule).
+    pub modules: Vec<String>,
+    /// Receiver identifier the lock is acquired through.
+    pub receiver: String,
+    /// Accepted methods, from {`lock`, `read`, `write`}.
+    pub ops: Vec<String>,
+}
+
+/// Parse the table between the `xcheck:lock-order` markers in
+/// CONCURRENCY.md. Returns an error string if the markers or table are
+/// missing/malformed — the caller turns that into a finding so CI fails
+/// loudly instead of silently checking nothing.
+pub fn parse_lock_table(md: &str) -> Result<Vec<LockClass>, String> {
+    let begin = md
+        .find("<!-- xcheck:lock-order:begin -->")
+        .ok_or("missing `<!-- xcheck:lock-order:begin -->` marker")?;
+    let end = md
+        .find("<!-- xcheck:lock-order:end -->")
+        .ok_or("missing `<!-- xcheck:lock-order:end -->` marker")?;
+    if end < begin {
+        return Err("lock-order markers out of order".to_string());
+    }
+    let mut classes = Vec::new();
+    for line in md[begin..end].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 5 || cells[0] == "level" || cells[0].starts_with("---") {
+            continue;
+        }
+        let level: u32 = cells[0]
+            .parse()
+            .map_err(|_| format!("bad level `{}` in lock table", cells[0]))?;
+        classes.push(LockClass {
+            level,
+            name: cells[1].to_string(),
+            modules: cells[2].split(',').map(|s| s.trim().to_string()).collect(),
+            receiver: cells[3].to_string(),
+            ops: cells[4].split(',').map(|s| s.trim().to_string()).collect(),
+        });
+    }
+    if classes.is_empty() {
+        return Err("lock table between markers has no rows".to_string());
+    }
+    Ok(classes)
+}
+
+/// Load and parse the hierarchy from `root/<lock_doc>`.
+pub fn load_lock_table(root: &Path, lock_doc: &str) -> Result<Vec<LockClass>, String> {
+    let md = std::fs::read_to_string(root.join(lock_doc))
+        .map_err(|e| format!("cannot read {lock_doc}: {e}"))?;
+    parse_lock_table(&md)
+}
+
+fn module_matches(module: &str, prefixes: &[String]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| module == p || module.starts_with(&format!("{p}::")))
+}
+
+/// Fsync-class method names: holding a registered lock across any of
+/// these stalls every thread queued on that lock for a disk flush.
+const FSYNC_METHODS: &[&str] = &["sync", "sync_all", "sync_data", "sync_dir", "fsync"];
+
+struct Held {
+    level: u32,
+    name: String,
+    var: Option<String>,
+    line: u32,
+}
+
+/// Scan one file's functions for order violations and fsync-under-lock.
+pub fn check(file: &SourceFile, classes: &[LockClass]) -> Vec<Finding> {
+    let applicable: Vec<&LockClass> = classes
+        .iter()
+        .filter(|c| module_matches(&file.module, &c.modules))
+        .collect();
+    if applicable.is_empty() {
+        return Vec::new();
+    }
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    for f in functions(file) {
+        let mut held: Vec<Held> = Vec::new();
+        let mut i = f.body_start;
+        while i < f.body_end {
+            // Don't attribute a nested fn's locks to the enclosing fn.
+            let skipped = skip_nested_fn(t, i);
+            if skipped != i {
+                i = skipped;
+                continue;
+            }
+            let tok = &t[i];
+            // drop(var) releases the named guard.
+            if tok.is_ident("drop")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+                && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+            {
+                let var = &t[i + 2].text;
+                held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+                i += 4;
+                continue;
+            }
+            // Statement end releases temporaries (guards never bound to a
+            // variable live only inside their statement).
+            if tok.is_punct(';') || tok.is_punct('}') {
+                held.retain(|h| h.var.is_some());
+                i += 1;
+                continue;
+            }
+            // Acquisition: Ident(recv) . Ident(op) ( )
+            if tok.kind == TokKind::Ident
+                && t.get(i + 1).is_some_and(|x| x.is_punct('.'))
+                && t.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+                && t.get(i + 3).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 4).is_some_and(|x| x.is_punct(')'))
+            {
+                let recv = &tok.text;
+                let op = &t[i + 2].text;
+                if let Some(class) = applicable
+                    .iter()
+                    .find(|c| &c.receiver == recv && c.ops.iter().any(|o| o == op))
+                {
+                    let line = tok.line;
+                    for h in &held {
+                        if h.level > class.level && !file.allowed(CHECK, line) {
+                            out.push(Finding::new(
+                                &file.rel,
+                                line,
+                                CHECK,
+                                format!(
+                                    "fn `{}` acquires `{}` (level {}) while holding `{}` (level {}, line {}); hierarchy: docs/CONCURRENCY.md",
+                                    f.name, class.name, class.level, h.name, h.level, h.line
+                                ),
+                            ));
+                        }
+                    }
+                    let var = guard_var(file, i);
+                    // Re-binding the same variable replaces the old guard.
+                    if let Some(v) = &var {
+                        held.retain(|h| h.var.as_deref() != Some(v.as_str()));
+                    }
+                    held.push(Held {
+                        level: class.level,
+                        name: class.name.clone(),
+                        var,
+                        line,
+                    });
+                    i += 5;
+                    continue;
+                }
+            }
+            // Fsync-class call while holding a registered lock.
+            if tok.is_punct('.')
+                && t.get(i + 1)
+                    .is_some_and(|x| FSYNC_METHODS.iter().any(|m| x.is_ident(m)))
+                && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+                && !held.is_empty()
+            {
+                let m = &t[i + 1].text;
+                let line = t[i + 1].line;
+                if !file.allowed(CHECK, line) {
+                    let holding: Vec<String> = held
+                        .iter()
+                        .map(|h| format!("`{}` (line {})", h.name, h.line))
+                        .collect();
+                    out.push(Finding::new(
+                        &file.rel,
+                        line,
+                        CHECK,
+                        format!(
+                            "fn `{}` calls `.{m}()` while holding {}; release before fsync-class calls",
+                            f.name,
+                            holding.join(", ")
+                        ),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Find the variable a guard is bound to: scan back from the receiver to
+/// the start of the statement; if there is an `=`, the identifier just
+/// before it is the binding (`let mut st = ...`, `st = ...`). Returns
+/// None for temporaries (`for s in x { s.write().unwrap()...; }`).
+fn guard_var(file: &SourceFile, recv_idx: usize) -> Option<String> {
+    let t = &file.tokens;
+    let mut j = recv_idx;
+    while j > 0 {
+        j -= 1;
+        match t[j].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return None,
+            TokKind::Punct('=') => {
+                // Exclude `=>`, `==`, `!=`, `<=`, `>=` — only a bare `=`
+                // directly binding the expression counts.
+                let prev_is_cmp = j > 0
+                    && matches!(
+                        t[j - 1].kind,
+                        TokKind::Punct('=')
+                            | TokKind::Punct('!')
+                            | TokKind::Punct('<')
+                            | TokKind::Punct('>')
+                    );
+                let next_is_arrow = t
+                    .get(j + 1)
+                    .is_some_and(|x| x.is_punct('>') || x.is_punct('='));
+                if prev_is_cmp || next_is_arrow {
+                    continue;
+                }
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    if t[k].kind == TokKind::Ident {
+                        if t[k].text == "mut" || t[k].text == "let" {
+                            continue;
+                        }
+                        return Some(t[k].text.clone());
+                    }
+                    // `let (a, b) = ...` — destructuring; give up.
+                    return None;
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<LockClass> {
+        parse_lock_table(
+            "<!-- xcheck:lock-order:begin -->\n\
+             | level | class | modules | receiver | ops |\n\
+             |---|---|---|---|---|\n\
+             | 1 | outer | demo | a | lock |\n\
+             | 2 | inner | demo | b | lock |\n\
+             <!-- xcheck:lock-order:end -->",
+        )
+        .unwrap()
+    }
+
+    fn run(src: &str) -> Vec<String> {
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        check(&f, &classes())
+            .into_iter()
+            .map(|x| x.message)
+            .collect()
+    }
+
+    #[test]
+    fn correct_order_is_clean() {
+        assert!(run("fn f(a: M, b: M) { let g1 = a.lock(); let g2 = b.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn inverted_order_is_flagged() {
+        let msgs = run("fn f(a: M, b: M) { let g2 = b.lock(); let g1 = a.lock(); }");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("acquires `outer` (level 1) while holding `inner` (level 2"));
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        assert!(
+            run("fn f(a: M, b: M) { let g2 = b.lock(); drop(g2); let g1 = a.lock(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        assert!(run("fn f(a: M, b: M) { b.lock().push(1); let g1 = a.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn call_with_args_is_not_an_acquisition() {
+        assert!(run("fn f(a: M, b: M) { let x = b.lock(path); let g = a.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn fsync_under_lock_is_flagged() {
+        let msgs = run("fn f(a: M, file: F) { let g = a.lock(); file.sync_all(); }");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("calls `.sync_all()` while holding"));
+    }
+
+    #[test]
+    fn fsync_after_drop_is_clean() {
+        assert!(
+            run("fn f(a: M, file: F) { let g = a.lock(); drop(g); file.sync_all(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn suppression_comment_silences() {
+        let src = "fn f(a: M, b: M) {\n let g2 = b.lock();\n // xcheck:allow(lock-order)\n let g1 = a.lock(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn other_module_is_out_of_scope() {
+        let f = SourceFile::from_source(
+            "crates/other/src/lib.rs",
+            "fn f(a: M, b: M) { let g2 = b.lock(); let g1 = a.lock(); }",
+        );
+        assert!(check(&f, &classes()).is_empty());
+    }
+}

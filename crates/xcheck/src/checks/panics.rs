@@ -1,0 +1,187 @@
+//! `panic-path`: `unwrap()` / `expect(` / `panic!` in non-test library
+//! code, counted per file against a committed baseline. New sites fail;
+//! removed sites also fail until the baseline is re-recorded (so the
+//! burn-down is deliberate, visible in the diff, and never regresses
+//! silently). `unwrap_or`, `unwrap_or_else`, `unwrap_or_default` are
+//! not panic sites and are not counted.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Finding;
+
+/// Check id used in findings and suppression comments.
+pub const CHECK: &str = "panic-path";
+
+/// Count panic sites in one file; returns the 1-based lines of each.
+pub fn panic_sites(file: &SourceFile) -> Vec<u32> {
+    let t = &file.tokens;
+    let mut lines = Vec::new();
+    for i in 0..t.len() {
+        if file.in_test[i] || t[i].kind != TokKind::Ident {
+            continue;
+        }
+        let preceded_by_dot = i > 0 && t[i - 1].is_punct('.');
+        let site = match t[i].text.as_str() {
+            // .unwrap() — exact: the token after `(` must be `)`.
+            "unwrap" => {
+                preceded_by_dot
+                    && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(')'))
+            }
+            // .expect("...") — any args.
+            "expect" => preceded_by_dot && t.get(i + 1).is_some_and(|x| x.is_punct('(')),
+            // panic!(...) — macro bang required.
+            "panic" => t.get(i + 1).is_some_and(|x| x.is_punct('!')),
+            _ => false,
+        };
+        if site && !file.allowed(CHECK, t[i].line) {
+            lines.push(t[i].line);
+        }
+    }
+    lines
+}
+
+/// Parse a baseline file: `<count> <path>` lines, `#` comments.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(' ')
+            .ok_or(format!("baseline line {} malformed: `{line}`", no + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {} has bad count: `{line}`", no + 1))?;
+        map.insert(path.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Render per-file counts in baseline format (sorted, stable).
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# xcheck panic-path baseline: `<count> <file>` of unwrap/expect/panic! sites\n\
+         # in non-test library code. Burn sites down, then re-record with\n\
+         # `cargo run -p xcheck -- --update-baseline`. Never hand-raise a count.\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{count} {path}\n"));
+        }
+    }
+    out
+}
+
+/// Compare measured counts against the baseline at `root/<baseline_rel>`.
+pub fn check(counts: &BTreeMap<String, Vec<u32>>, root: &Path, baseline_rel: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let baseline = match std::fs::read_to_string(root.join(baseline_rel)) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                out.push(Finding::new(baseline_rel, 0, CHECK, e));
+                return out;
+            }
+        },
+        Err(e) => {
+            out.push(Finding::new(
+                baseline_rel,
+                0,
+                CHECK,
+                format!("cannot read baseline: {e}; record one with --update-baseline"),
+            ));
+            return out;
+        }
+    };
+    for (path, lines) in counts {
+        let base = baseline.get(path).copied().unwrap_or(0);
+        let n = lines.len();
+        if n > base {
+            let sample: Vec<String> = lines.iter().take(3).map(u32::to_string).collect();
+            out.push(Finding::new(
+                path,
+                *lines.first().unwrap_or(&0),
+                CHECK,
+                format!(
+                    "{n} panic sites (unwrap/expect/panic!) exceed baseline {base}; \
+                     near lines {} — return a typed DsError instead",
+                    sample.join(", ")
+                ),
+            ));
+        } else if n < base {
+            out.push(Finding::new(
+                path,
+                0,
+                CHECK,
+                format!(
+                    "baseline records {base} panic sites but only {n} remain; \
+                     lock in the burn-down with `cargo run -p xcheck -- --update-baseline`"
+                ),
+            ));
+        }
+    }
+    for (path, base) in &baseline {
+        if *base > 0 && !counts.contains_key(path) {
+            out.push(Finding::new(
+                path,
+                0,
+                CHECK,
+                format!(
+                    "baseline records {base} panic sites but the file is gone or out of scope; \
+                     re-record with `cargo run -p xcheck -- --update-baseline`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_real_panic_idioms() {
+        let src = r#"
+            fn f(x: Option<u8>) -> u8 {
+                let a = x.unwrap();
+                let b = x.expect("msg");
+                if a == 0 { panic!("zero"); }
+                let c = x.unwrap_or(1);
+                let d = x.unwrap_or_else(|| 2);
+                let e = x.unwrap_or_default();
+                a + b + c + d + e
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u8>) { x.unwrap(); }
+            }
+        "#;
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        assert_eq!(panic_sites(&f).len(), 3);
+    }
+
+    #[test]
+    fn suppressed_sites_are_not_counted() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); // xcheck:allow(panic-path)\n }";
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        assert!(panic_sites(&f).is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 3usize);
+        counts.insert("crates/b/src/lib.rs".to_string(), 0usize);
+        let text = render_baseline(&counts);
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.get("crates/a/src/lib.rs"), Some(&3));
+        assert!(!parsed.contains_key("crates/b/src/lib.rs"));
+    }
+}

@@ -1,0 +1,83 @@
+//! `vfs-boundary`: all file I/O in library code must go through the
+//! `relstore::vfs` traits. Direct `std::fs`, `File::open/create/options`,
+//! `OpenOptions`, or raw `.sync_all()/.sync_data()` calls outside the
+//! allowlist are findings — they bypass fault injection (`FaultVfs`) and
+//! the fsync-failure model.
+
+use crate::model::SourceFile;
+use crate::Finding;
+
+/// Check id used in findings, allowlists and suppression comments.
+pub const CHECK: &str = "vfs-boundary";
+
+/// Scan one file for VFS-boundary violations.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        if !file.allowed(CHECK, line) {
+            out.push(Finding::new(&file.rel, line, CHECK, message));
+        }
+    };
+    let mut last_line_fs = 0u32; // dedupe repeated `std::fs::...` on one line
+    for i in 0..t.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        // std :: fs
+        if t[i].is_ident("std")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident("fs"))
+        {
+            if t[i].line != last_line_fs {
+                last_line_fs = t[i].line;
+                push(
+                    t[i].line,
+                    "direct `std::fs` use in library code; route through the `Vfs` trait"
+                        .to_string(),
+                );
+            }
+            continue;
+        }
+        // File :: open|create|options  (std::fs::File convention)
+        if t[i].is_ident("File")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| {
+                x.is_ident("open") || x.is_ident("create") || x.is_ident("options")
+            })
+        {
+            let m = &t[i + 3].text;
+            push(
+                t[i].line,
+                format!("`File::{m}` bypasses the `Vfs` boundary; use `Vfs::open`/`Vfs::create`"),
+            );
+            continue;
+        }
+        // OpenOptions anywhere in library code.
+        if t[i].is_ident("OpenOptions") {
+            push(
+                t[i].line,
+                "`OpenOptions` bypasses the `Vfs` boundary; extend the `Vfs` trait instead"
+                    .to_string(),
+            );
+            continue;
+        }
+        // .sync_all( / .sync_data( — raw fd durability outside VfsFile::sync.
+        if t[i].is_punct('.')
+            && t.get(i + 1)
+                .is_some_and(|x| x.is_ident("sync_all") || x.is_ident("sync_data"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            let m = &t[i + 1].text;
+            push(
+                t[i + 1].line,
+                format!(
+                    "raw `.{m}()` outside the `Vfs`; durability must flow through `VfsFile::sync`"
+                ),
+            );
+        }
+    }
+    out
+}

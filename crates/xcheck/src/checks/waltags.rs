@@ -1,0 +1,367 @@
+//! `wal-tag`: the WAL record-tag registry (`WAL_TAGS` in
+//! `relstore::wal`) is the source of truth for on-disk tags. Every
+//! `TAG_…` constant must be registered exactly once; tags must be unique
+//! and contiguous from 1; and every registered tag needs an encode site
+//! (`push(TAG_…)`), a decode match arm (`TAG_… =>`), a replay match arm
+//! at its declared `ReplaySite` (`WalOp::Variant` in
+//! `apply_committed` for Table tags, in the engine replay file for
+//! Engine tags, `WalRecord::Variant` for markers), and a row in the
+//! `docs/STORAGE.md` record table.
+
+use crate::lexer::TokKind;
+use crate::model::{functions, SourceFile};
+use crate::Finding;
+
+/// Check id used in findings.
+pub const CHECK: &str = "wal-tag";
+
+/// A parsed registry entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// `TAG_…` constant name referenced by the entry.
+    pub tag_const: String,
+    /// Canonical record name, e.g. `UPDATE-CELL`.
+    pub name: String,
+    /// `Marker` / `Table` / `Engine`.
+    pub site: String,
+    /// Line of the entry.
+    pub line: u32,
+}
+
+/// `UPDATE-CELL` -> `UpdateCell` (the `WalOp`/`WalRecord` variant name).
+pub fn variant_name(name: &str) -> String {
+    name.split('-')
+        .map(|w| {
+            let lower = w.to_lowercase();
+            let mut cs = lower.chars();
+            match cs.next() {
+                Some(f) => f.to_uppercase().chain(cs).collect::<String>(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Collect `const TAG_X: u8 = N;` declarations: name -> (value, line).
+fn tag_consts(wal: &SourceFile) -> Vec<(String, u8, u32)> {
+    let t = &wal.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if wal.in_test[i] {
+            continue;
+        }
+        if t[i].is_ident("const")
+            && t.get(i + 1)
+                .is_some_and(|x| x.kind == TokKind::Ident && x.text.starts_with("TAG_"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident("u8"))
+            && t.get(i + 4).is_some_and(|x| x.is_punct('='))
+            && t.get(i + 5).is_some_and(|x| x.kind == TokKind::Num)
+        {
+            if let Ok(v) = t[i + 5].text.parse::<u8>() {
+                out.push((t[i + 1].text.clone(), v, t[i + 1].line));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `WAL_TAGS` slice literal into entries. Returns None if the
+/// registry is absent.
+fn registry(wal: &SourceFile) -> Option<Vec<Entry>> {
+    let t = &wal.tokens;
+    let start = t.iter().position(|x| x.is_ident("WAL_TAGS"))?;
+    // Find the opening `[` of the slice literal — the one after the `=`
+    // (the type annotation `&[WalTagSpec]` also contains a `[`).
+    let eq = (start..t.len()).find(|&i| t[i].is_punct('='))?;
+    let open = (eq..t.len()).find(|&i| t[i].is_punct('['))?;
+    let mut depth = 0i32;
+    let mut close = open;
+    for (i, tok) in t.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut entries = Vec::new();
+    let mut i = open;
+    while i < close {
+        if !t[i].is_ident("WalTagSpec") {
+            i += 1;
+            continue;
+        }
+        let line = t[i].line;
+        // Scan this struct literal's fields up to its closing `}`.
+        let mut tag_const = String::new();
+        let mut name = String::new();
+        let mut site = String::new();
+        let mut bd = 0i32;
+        let mut j = i + 1;
+        while j < close {
+            match t[j].kind {
+                TokKind::Punct('{') => bd += 1,
+                TokKind::Punct('}') => {
+                    bd -= 1;
+                    if bd == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if t[j].is_ident("tag")
+                && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 2).is_some_and(|x| x.kind == TokKind::Ident)
+            {
+                tag_const = t[j + 2].text.clone();
+            }
+            if t[j].is_ident("name") && t.get(j + 1).is_some_and(|x| x.is_punct(':')) {
+                if let Some(s) = t.get(j + 2) {
+                    if s.kind == TokKind::Str {
+                        name = s.text.clone();
+                    }
+                }
+            }
+            if t[j].is_ident("ReplaySite")
+                && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 3).is_some_and(|x| x.kind == TokKind::Ident)
+            {
+                site = t[j + 3].text.clone();
+            }
+            j += 1;
+        }
+        entries.push(Entry {
+            tag_const,
+            name,
+            site,
+            line,
+        });
+        i = j + 1;
+    }
+    Some(entries)
+}
+
+/// True if `Prefix :: Variant` occurs in `tokens[range]`.
+fn has_path(
+    toks: &[crate::lexer::Token],
+    range: std::ops::Range<usize>,
+    prefix: &str,
+    variant: &str,
+) -> bool {
+    let hi = range.end.min(toks.len());
+    for i in range.start..hi {
+        if toks[i].is_ident(prefix)
+            && toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|x| x.is_ident(variant))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run the registry cross-checks.
+pub fn check(wal: &SourceFile, engine_replay: &SourceFile, storage_md: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let consts = tag_consts(wal);
+    let Some(entries) = registry(wal) else {
+        out.push(Finding::new(
+            &wal.rel,
+            0,
+            CHECK,
+            "no `WAL_TAGS` registry found; every on-disk tag must be registered".to_string(),
+        ));
+        return out;
+    };
+
+    // Bidirectional const <-> registry coverage.
+    for (cname, _, cline) in &consts {
+        let n = entries.iter().filter(|e| &e.tag_const == cname).count();
+        if n == 0 {
+            out.push(Finding::new(
+                &wal.rel,
+                *cline,
+                CHECK,
+                format!("`{cname}` is declared but missing from the `WAL_TAGS` registry"),
+            ));
+        } else if n > 1 {
+            out.push(Finding::new(
+                &wal.rel,
+                *cline,
+                CHECK,
+                format!("`{cname}` appears {n} times in the `WAL_TAGS` registry"),
+            ));
+        }
+    }
+    for e in &entries {
+        if !consts.iter().any(|(c, _, _)| c == &e.tag_const) {
+            out.push(Finding::new(
+                &wal.rel,
+                e.line,
+                CHECK,
+                format!(
+                    "registry entry `{}` references undeclared constant `{}`",
+                    e.name, e.tag_const
+                ),
+            ));
+        }
+    }
+
+    // Tag values unique and contiguous from 1.
+    let mut values: Vec<u8> = entries
+        .iter()
+        .filter_map(|e| {
+            consts
+                .iter()
+                .find(|(c, _, _)| c == &e.tag_const)
+                .map(|(_, v, _)| *v)
+        })
+        .collect();
+    values.sort_unstable();
+    let expect: Vec<u8> = (1..=values.len() as u8).collect();
+    if values != expect && !values.is_empty() {
+        out.push(Finding::new(
+            &wal.rel,
+            entries.first().map(|e| e.line).unwrap_or(0),
+            CHECK,
+            format!(
+                "registered tag values {values:?} are not unique+contiguous from 1; \
+                 reusing or skipping a tag byte breaks recovery of existing WALs"
+            ),
+        ));
+    }
+
+    // Duplicate record names.
+    for (i, e) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|p| p.name == e.name) {
+            out.push(Finding::new(
+                &wal.rel,
+                e.line,
+                CHECK,
+                format!("record name `{}` registered twice", e.name),
+            ));
+        }
+    }
+
+    // Per-entry: encode, decode, replay, docs.
+    let t = &wal.tokens;
+    let apply_span = functions(wal)
+        .into_iter()
+        .find(|f| f.name == "apply_committed")
+        .map(|f| f.body_start..f.body_end);
+    for e in &entries {
+        // encode: push ( TAG_X )
+        let encoded = (0..t.len()).any(|i| {
+            t[i].is_ident("push")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 2).is_some_and(|x| x.is_ident(&e.tag_const))
+                && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+        });
+        if !encoded {
+            out.push(Finding::new(
+                &wal.rel,
+                e.line,
+                CHECK,
+                format!(
+                    "tag `{}` ({}) has no encode site `push({})`",
+                    e.name, e.tag_const, e.tag_const
+                ),
+            ));
+        }
+        // decode: TAG_X =>
+        let decoded = (0..t.len()).any(|i| {
+            t[i].is_ident(&e.tag_const)
+                && t.get(i + 1).is_some_and(|x| x.is_punct('='))
+                && t.get(i + 2).is_some_and(|x| x.is_punct('>'))
+        });
+        if !decoded {
+            out.push(Finding::new(
+                &wal.rel,
+                e.line,
+                CHECK,
+                format!(
+                    "tag `{}` ({}) has no decode match arm `{} =>`",
+                    e.name, e.tag_const, e.tag_const
+                ),
+            ));
+        }
+        // replay arm at the declared site.
+        let variant = variant_name(&e.name);
+        let replayed = match e.site.as_str() {
+            "Marker" => has_path(t, 0..t.len(), "WalRecord", &variant),
+            "Table" => match &apply_span {
+                Some(r) => has_path(t, r.clone(), "WalOp", &variant),
+                None => false,
+            },
+            "Engine" => has_path(
+                &engine_replay.tokens,
+                0..engine_replay.tokens.len(),
+                "WalOp",
+                &variant,
+            ),
+            other => {
+                out.push(Finding::new(
+                    &wal.rel,
+                    e.line,
+                    CHECK,
+                    format!("tag `{}` has unknown replay site `{other}`", e.name),
+                ));
+                true // don't double-report
+            }
+        };
+        if !replayed {
+            let where_ = match e.site.as_str() {
+                "Table" => "`apply_committed`".to_string(),
+                "Engine" => format!("`{}`", engine_replay.rel),
+                _ => "the WAL module".to_string(),
+            };
+            out.push(Finding::new(
+                &wal.rel,
+                e.line,
+                CHECK,
+                format!(
+                    "tag `{}` declares ReplaySite::{} but no `{}::{variant}` match arm exists in {where_}",
+                    e.name,
+                    e.site,
+                    if e.site == "Marker" { "WalRecord" } else { "WalOp" },
+                ),
+            ));
+        }
+        // docs row: `| <value> | <NAME> |`
+        if let Some((_, v, _)) = consts.iter().find(|(c, _, _)| c == &e.tag_const) {
+            let needle = format!("| {v} | {} |", e.name);
+            if !storage_md.contains(&needle) {
+                out.push(Finding::new(
+                    &wal.rel,
+                    e.line,
+                    CHECK,
+                    format!(
+                        "tag `{}` (value {v}) has no `{needle}` row in the docs/STORAGE.md record table",
+                        e.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(variant_name("BEGIN"), "Begin");
+        assert_eq!(variant_name("UPDATE-CELL"), "UpdateCell");
+        assert_eq!(variant_name("BIND-CREATE"), "BindCreate");
+    }
+}

@@ -1,0 +1,419 @@
+//! A minimal, hand-rolled Rust token scanner.
+//!
+//! Good enough to walk this workspace's sources without `syn`: it skips
+//! line/block/doc comments, cooks string literals (including raw strings
+//! and byte strings), disambiguates char literals from lifetimes, and
+//! records `// xcheck:allow(check-id)` suppression comments with their
+//! line numbers. It does **not** build a syntax tree — the checks in
+//! `crate::checks` work on the flat token stream plus a few structural
+//! helpers (`crate::model`).
+
+/// What kind of token this is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `std`, ...).
+    Ident,
+    /// Numeric literal (`12`, `0xff`, `1.5e3`). Text keeps the raw digits.
+    Num,
+    /// String literal (`"..."`, `r#"..."#`, `b"..."`). Text is the cooked
+    /// contents with simple escapes resolved.
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`). Contents are not kept.
+    CharLit,
+    /// Lifetime (`'a`, `'static`). Text is the name without the quote.
+    Lifetime,
+    /// Any other single non-whitespace character.
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Payload for `Ident`/`Num`/`Str`/`Lifetime`; empty otherwise.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Result of lexing one file: the token stream plus suppression comments.
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `(line, check-id)` pairs from `// xcheck:allow(a, b)` comments.
+    /// A `*` check-id suppresses every check on that line.
+    pub allows: Vec<(u32, String)>,
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals consume to
+/// end of input, which is fine for an analyzer that only runs on code
+/// rustc already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            collect_allows(&text, line, &mut allows);
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    // 'a' — a one-char literal, not a lifetime.
+                    tokens.push(Token {
+                        kind: TokKind::CharLit,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                let text: String = b[i + 1..j].iter().collect();
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal, possibly escaped ('\n', '\'', '\u{1F600}').
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 1;
+                if j < n && b[j] == 'u' {
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1; // the escaped char
+                            // \x41 style: skip until quote
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && b[j] == '\'' {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::CharLit,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut text = String::new();
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\\' if i + 1 < n => {
+                        let e = b[i + 1];
+                        text.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '0' => '\0',
+                            other => other, // \\, \", \' and approximations
+                        });
+                        i += 2;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        text.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier — with special handling for raw strings (r", r#"),
+        // byte strings (b", br#") and raw identifiers (r#foo).
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let raw_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+            if raw_prefix && i < n && (b[i] == '"' || b[i] == '#') {
+                let mut hashes = 0usize;
+                let mut j = i;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    let start_line = line;
+                    j += 1;
+                    let content_start = j;
+                    'raw: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        if b[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                let content: String = b[content_start..j].iter().collect();
+                                tokens.push(Token {
+                                    kind: TokKind::Str,
+                                    text: content,
+                                    line: start_line,
+                                });
+                                i = j + 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    if j >= n {
+                        i = n;
+                    }
+                    continue;
+                }
+                if text == "r" && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    // Raw identifier r#foo: emit the bare identifier.
+                    let s2 = j;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    let name: String = b[s2..j].iter().collect();
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: name,
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Number: digits plus alphanumeric continuation (hex, suffixes,
+        // exponents) and a decimal point when followed by a digit — so
+        // `0..10` lexes as Num(0) .. Num(10), not a float.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let ch = b[i];
+                let float_dot = ch == '.' && i + 1 < n && b[i + 1].is_ascii_digit();
+                let float_exp_sign = (ch == '+' || ch == '-')
+                    && matches!(b[i - 1], 'e' | 'E')
+                    && b[start..i].contains(&'.'); // 1.5e-3
+                if is_ident_cont(ch) || float_dot || float_exp_sign {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            tokens.push(Token {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        tokens.push(Token {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        i += 1;
+    }
+
+    Lexed { tokens, allows }
+}
+
+/// Pull `xcheck:allow(a, b)` directives out of one comment's text.
+fn collect_allows(comment: &str, line: u32, out: &mut Vec<(u32, String)>) {
+    let Some(pos) = comment.find("xcheck:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "xcheck:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return;
+    };
+    for id in rest[..end].split(',') {
+        let id = id.trim();
+        if !id.is_empty() {
+            out.push((line, id.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // std::fs in a comment
+            /* File::open in /* a nested */ block */
+            let s = "std::fs inside a string";
+            let r = r#"File::open inside a raw string"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"fs".to_string()));
+        assert!(!ids.contains(&"File".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c: char = 'a'; fn f<'long>(x: &'long str) {}").tokens;
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::CharLit).collect();
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(lifes, vec!["long".to_string(), "long".to_string()]);
+    }
+
+    #[test]
+    fn escaped_char_literal_is_not_a_string_opener() {
+        // The '\'' literal must not swallow the following real string.
+        let toks = lex(r#"let q = '\''; let s = "text";"#).tokens;
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec!["text".to_string()]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_all_literal_kinds() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let src = "x(); // xcheck:allow(vfs-boundary, lock-order)\ny();";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.allows,
+            vec![
+                (1, "vfs-boundary".to_string()),
+                (1, "lock-order".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..12 {}").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0".to_string(), "12".to_string()]);
+    }
+}

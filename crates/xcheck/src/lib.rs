@@ -1,0 +1,245 @@
+//! xcheck — a repo-invariant static analyzer for the DataSpread
+//! workspace. See `docs/ANALYSIS.md` for the invariants, the suppression
+//! syntax, and the analyzer's (deliberate) limits.
+//!
+//! Five checks, all driven by a hand-rolled token scanner (no syn, no
+//! dependencies):
+//!
+//! * `vfs-boundary` — file I/O goes through `relstore::vfs`
+//! * `lock-order` — nested locks follow `docs/CONCURRENCY.md`, and no
+//!   registered lock is held across an fsync-class call
+//! * `panic-path` — unwrap/expect/panic! in library code vs a committed
+//!   burn-down baseline
+//! * `wal-tag` — the `WAL_TAGS` registry covers encode/decode/replay/docs
+//! * `error-code` — `DsError` Display prefixes are unique and complete
+
+pub mod checks;
+pub mod lexer;
+pub mod model;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use model::SourceFile;
+
+/// One diagnostic. Rendered as `{file}:{line}: [{check}] {message}`
+/// (line omitted when 0 — file- or repo-level findings).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: u32,
+    /// Check id (`vfs-boundary`, `lock-order`, ...).
+    pub check: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a finding.
+    pub fn new(file: &str, line: u32, check: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            check,
+            message,
+        }
+    }
+
+    /// Stable single-line rendering (what fixtures assert on).
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("{}: [{}] {}", self.file, self.check, self.message)
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.check, self.message
+            )
+        }
+    }
+}
+
+/// Where everything lives, relative to `root` — overridable so the
+/// fixture corpora can mirror the layout in miniature.
+pub struct Config {
+    /// Workspace root (contains `Cargo.toml` and `crates/`).
+    pub root: PathBuf,
+    /// Markdown file holding the `xcheck:lock-order` table.
+    pub lock_doc: String,
+    /// Markdown file holding the WAL record-tag table.
+    pub storage_doc: String,
+    /// The WAL module (tag consts, registry, encode/decode, `apply_committed`).
+    pub wal_file: String,
+    /// The engine replay file (`apply_engine_op`).
+    pub engine_replay_file: String,
+    /// The `DsError` definition file.
+    pub error_file: String,
+    /// Allowlist file: `<check-id> <path-prefix>` lines.
+    pub allowlist: String,
+    /// Panic-path baseline file: `<count> <path>` lines.
+    pub baseline: String,
+    /// Crate dir names whose `src/` trees are in panic-path scope
+    /// (product crates; harness crates like testkit/slt/xcheck are not).
+    pub panic_crates: Vec<String>,
+}
+
+impl Config {
+    /// Defaults matching the real repo layout.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            lock_doc: "docs/CONCURRENCY.md".into(),
+            storage_doc: "docs/STORAGE.md".into(),
+            wal_file: "crates/relstore/src/wal.rs".into(),
+            engine_replay_file: "crates/dataspread/src/persist.rs".into(),
+            error_file: "crates/types/src/error.rs".into(),
+            allowlist: "crates/xcheck/xcheck-allow.txt".into(),
+            baseline: "crates/xcheck/panic-baseline.txt".into(),
+            panic_crates: vec![
+                "types".into(),
+                "posindex".into(),
+                "gridstore".into(),
+                "relstore".into(),
+                "formula".into(),
+                "sql".into(),
+                "dataspread".into(),
+            ],
+        }
+    }
+}
+
+/// Allowlist entries parsed from `Config::allowlist`.
+pub struct Allowlist {
+    entries: Vec<(String, String)>, // (check, path-prefix)
+}
+
+impl Allowlist {
+    /// Load from `root/<rel>`; a missing file is an empty allowlist.
+    pub fn load(root: &Path, rel: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if let Some((check, prefix)) = line.split_once(' ') {
+                    entries.push((check.to_string(), prefix.trim().to_string()));
+                }
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// True if `check` findings in `file` are allowlisted.
+    pub fn allows(&self, check: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(c, p)| c == check && file.starts_with(p.as_str()))
+    }
+}
+
+/// Measure panic sites per in-scope file. Returned separately from
+/// [`run_all`] so `--update-baseline` can reuse the measurement.
+pub fn measure_panics(cfg: &Config, files: &[SourceFile]) -> BTreeMap<String, Vec<u32>> {
+    let mut counts = BTreeMap::new();
+    for f in files {
+        let in_scope = cfg
+            .panic_crates
+            .iter()
+            .any(|c| f.rel.starts_with(&format!("crates/{c}/src/")));
+        if in_scope {
+            counts.insert(f.rel.clone(), checks::panics::panic_sites(f));
+        }
+    }
+    counts
+}
+
+/// Load every workspace source file under `root/crates/*/src`.
+pub fn load_sources(cfg: &Config) -> std::io::Result<Vec<SourceFile>> {
+    let rels = model::workspace_sources(&cfg.root)?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        files.push(SourceFile::load(&cfg.root, &rel)?);
+    }
+    Ok(files)
+}
+
+/// Run all five checks; findings come back sorted by (file, line, check).
+pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let allow = Allowlist::load(&cfg.root, &cfg.allowlist);
+
+    // 1. VFS boundary.
+    for f in files {
+        if allow.allows(checks::vfs::CHECK, &f.rel) {
+            continue;
+        }
+        out.extend(checks::vfs::check(f));
+    }
+
+    // 2. Lock order.
+    match checks::locks::load_lock_table(&cfg.root, &cfg.lock_doc) {
+        Ok(classes) => {
+            for f in files {
+                if allow.allows(checks::locks::CHECK, &f.rel) {
+                    continue;
+                }
+                out.extend(checks::locks::check(f, &classes));
+            }
+        }
+        Err(e) => out.push(Finding::new(&cfg.lock_doc, 0, checks::locks::CHECK, e)),
+    }
+
+    // 3. Panic paths vs baseline.
+    let counts = measure_panics(cfg, files);
+    out.extend(checks::panics::check(&counts, &cfg.root, &cfg.baseline));
+
+    // 4. WAL-tag registry.
+    let wal = files.iter().find(|f| f.rel == cfg.wal_file);
+    let engine = files.iter().find(|f| f.rel == cfg.engine_replay_file);
+    match (wal, engine) {
+        (Some(wal), Some(engine)) => {
+            let storage =
+                std::fs::read_to_string(cfg.root.join(&cfg.storage_doc)).unwrap_or_default();
+            out.extend(checks::waltags::check(wal, engine, &storage));
+        }
+        _ => out.push(Finding::new(
+            &cfg.wal_file,
+            0,
+            checks::waltags::CHECK,
+            format!(
+                "missing `{}` or `{}`; wal-tag check has nothing to verify",
+                cfg.wal_file, cfg.engine_replay_file
+            ),
+        )),
+    }
+
+    // 5. Error-code uniqueness.
+    match files.iter().find(|f| f.rel == cfg.error_file) {
+        Some(f) => out.extend(checks::errors::check(f)),
+        None => out.push(Finding::new(
+            &cfg.error_file,
+            0,
+            checks::errors::CHECK,
+            "error definition file not found".to_string(),
+        )),
+    }
+
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.check)
+            .cmp(&(b.file.as_str(), b.line, b.check))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    out
+}
+
+/// Recompute the panic baseline file contents for the current tree.
+pub fn updated_baseline(cfg: &Config, files: &[SourceFile]) -> String {
+    let counts = measure_panics(cfg, files)
+        .into_iter()
+        .map(|(k, v)| (k, v.len()))
+        .collect::<BTreeMap<_, _>>();
+    checks::panics::render_baseline(&counts)
+}

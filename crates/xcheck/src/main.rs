@@ -1,0 +1,87 @@
+//! CLI: `cargo run -p xcheck [-- --root PATH] [--update-baseline]`.
+//! Prints findings (stable format, sorted) and exits 1 if any.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xcheck::{load_sources, run_all, updated_baseline, Config};
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "xcheck: repo-invariant static analyzer (see docs/ANALYSIS.md)\n\n\
+                     USAGE: cargo run -p xcheck [-- --root PATH] [--update-baseline]\n\n\
+                     --root PATH          workspace root (default: walk up from cwd)\n\
+                     --update-baseline    re-record the panic-path baseline"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(|| find_root(std::env::current_dir().ok()?)) {
+        Some(r) => r,
+        None => {
+            eprintln!("xcheck: could not find a workspace root (Cargo.toml + crates/)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = Config::new(&root);
+    let files = match load_sources(&cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "xcheck: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update_baseline {
+        let text = updated_baseline(&cfg, &files);
+        let path = root.join(&cfg.baseline);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("xcheck: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xcheck: baseline re-recorded at {}", cfg.baseline);
+    }
+
+    let findings = run_all(&cfg, &files);
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    if findings.is_empty() {
+        println!(
+            "xcheck: {} files clean (vfs-boundary, lock-order, panic-path, wal-tag, error-code)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xcheck: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,402 @@
+//! Workspace model: walking `crates/*/src`, mapping files to module
+//! paths, marking `#[cfg(test)]`/`#[test]` regions, and slicing token
+//! streams into function bodies.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lexed source file plus the structural facts checks need.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators, e.g. `crates/relstore/src/wal.rs`.
+    pub rel: String,
+    /// Module path, e.g. `relstore::wal` (`lib.rs` maps to the crate name,
+    /// `exec/mod.rs` to `crate::exec`).
+    pub module: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Parallel to `tokens`: true if the token sits inside a
+    /// `#[cfg(test)]`/`#[test]` item (library checks skip those).
+    pub in_test: Vec<bool>,
+    /// Suppressions: line -> check ids allowed on that line (or `*`).
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+impl SourceFile {
+    /// Load and lex one file. `rel` must use `/` separators.
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::from_source(rel, &src))
+    }
+
+    /// Build from in-memory source (used by unit tests).
+    pub fn from_source(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let in_test = mark_test_regions(&lexed.tokens);
+        let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+        for (line, id) in lexed.allows {
+            allows.entry(line).or_default().push(id);
+        }
+        SourceFile {
+            rel: rel.to_string(),
+            module: module_path(rel),
+            tokens: lexed.tokens,
+            in_test,
+            allows,
+        }
+    }
+
+    /// True if `check` is suppressed on `line` — an `xcheck:allow` comment
+    /// on the same line or the line above.
+    pub fn allowed(&self, check: &str, line: u32) -> bool {
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(ids) = self.allows.get(&l) {
+                if ids.iter().any(|id| id == check || id == "*") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// `crates/<dir>/src/<path>.rs` -> `<dir>::<path with :: separators>`,
+/// dropping `lib`/`main` and folding `mod.rs` into its directory.
+pub fn module_path(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // Expect crates/<crate>/src/...; anything else gets a best-effort path.
+    let (krate, under_src) = if parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src" {
+        (parts[1], &parts[3..])
+    } else {
+        return rel.trim_end_matches(".rs").replace('/', "::");
+    };
+    let mut out = vec![krate.to_string()];
+    for (i, seg) in under_src.iter().enumerate() {
+        let last = i + 1 == under_src.len();
+        if last {
+            let stem = seg.trim_end_matches(".rs");
+            if stem == "lib" || stem == "main" || stem == "mod" {
+                continue;
+            }
+            out.push(stem.to_string());
+        } else {
+            out.push(seg.to_string());
+        }
+    }
+    out.join("::")
+}
+
+/// Mark every token belonging to an item annotated `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]` etc. An attribute counts as a
+/// test attribute when its identifiers include `test` but not `not`
+/// (`#[cfg(not(test))]` is live library code and must stay scanned).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if !(tokens[i].is_punct('#') && i + 1 < n && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // A run of consecutive attributes: treat as one block, test if any is.
+        let mut any_test = false;
+        let mut j = i;
+        while j + 1 < n && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            let (end, is_test) = scan_attribute(tokens, j + 1);
+            any_test |= is_test;
+            j = end;
+        }
+        if !any_test {
+            i = j;
+            continue;
+        }
+        // Skip the annotated item: to the matching `}` of its first brace
+        // block, or to a top-level `;` (e.g. `#[cfg(test)] mod tests;`).
+        let mut depth_paren = 0i32;
+        let mut depth_brace = 0i32;
+        let mut k = j;
+        let mut end = n;
+        while k < n {
+            match tokens[k].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth_paren += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth_paren -= 1,
+                TokKind::Punct('{') => depth_brace += 1,
+                TokKind::Punct('}') => {
+                    depth_brace -= 1;
+                    if depth_brace == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth_brace == 0 && depth_paren == 0 => {
+                    end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for f in in_test.iter_mut().take(end.min(n)).skip(attr_start) {
+            *f = true;
+        }
+        i = end;
+    }
+    in_test
+}
+
+/// Scan one attribute starting at its `[` token. Returns (index just past
+/// the closing `]`, whether it is a test attribute).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut k = open;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, has_test && !has_not);
+                }
+            }
+            TokKind::Ident => {
+                if tokens[k].text == "test" || tokens[k].text == "tests" {
+                    has_test = true;
+                }
+                if tokens[k].text == "not" {
+                    has_not = true;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (tokens.len(), has_test && !has_not)
+}
+
+/// A function's name and the token range of its body (exclusive of the
+/// braces themselves).
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index just past the opening `{`.
+    pub body_start: usize,
+    /// Token index of the closing `}`.
+    pub body_end: usize,
+}
+
+/// Extract non-test function bodies. Nested `fn` items are returned as
+/// their own spans; callers that walk a body should skip inner `fn`
+/// ranges (see [`skip_nested_fn`]).
+pub fn functions(file: &SourceFile) -> Vec<FnSpan> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if file.in_test[i] || !t[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = t.get(i + 1) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Find the body's `{`, or `;` for bodiless trait methods. Track
+        // nesting so `where F: Fn(...)` bounds and default generic args
+        // don't fool us; the first top-level `{` is the body.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut angle_guard = 0i32; // crude <> tracking, enough for sigs here
+        let mut body_start = None;
+        while j < t.len() {
+            match t[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                TokKind::Punct('<') => angle_guard += 1,
+                TokKind::Punct('>') => angle_guard = (angle_guard - 1).max(0),
+                TokKind::Punct('{') if paren == 0 => {
+                    body_start = Some(j + 1);
+                    break;
+                }
+                TokKind::Punct(';') if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(bs) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Match braces to the body's end.
+        let mut depth = 1i32;
+        let mut k = bs;
+        while k < t.len() && depth > 0 {
+            match t[k].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnSpan {
+            name: name_tok.text.clone(),
+            line: t[i].line,
+            body_start: bs,
+            body_end: k.saturating_sub(1),
+        });
+        // Continue scanning *inside* the body too (nested fns become
+        // their own spans); the walk just moves past the name.
+        i += 2;
+    }
+    out
+}
+
+/// If `idx` is the `fn` keyword of a nested function inside a body walk,
+/// return the index just past that function's closing `}` so the caller
+/// can skip it. Otherwise returns `idx`.
+pub fn skip_nested_fn(tokens: &[Token], idx: usize) -> usize {
+    if !tokens[idx].is_ident("fn") {
+        return idx;
+    }
+    let mut j = idx + 1;
+    let mut paren = 0i32;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct('{') if paren == 0 => break,
+            TokKind::Punct(';') if paren == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return tokens.len();
+    }
+    let mut depth = 1i32;
+    let mut k = j + 1;
+    while k < tokens.len() && depth > 0 {
+        match tokens[k].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Collect every `.rs` file under `crates/*/src` in `root`, sorted by
+/// repo-relative path for stable output.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut rels = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut |p| {
+                if let Ok(rel) = p.strip_prefix(root) {
+                    rels.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            })?;
+        }
+    }
+    rels.sort();
+    Ok(rels)
+}
+
+fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path)) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            f(&path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path("crates/relstore/src/lib.rs"), "relstore");
+        assert_eq!(module_path("crates/relstore/src/wal.rs"), "relstore::wal");
+        assert_eq!(
+            module_path("crates/dataspread/src/exec/mod.rs"),
+            "dataspread::exec"
+        );
+        assert_eq!(
+            module_path("crates/dataspread/src/exec/planner.rs"),
+            "dataspread::exec::planner"
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+            fn also_live() {}
+        "#;
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        let live_idx = f.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        let y_idx = f.tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        let also_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_live"))
+            .unwrap();
+        assert!(!f.in_test[live_idx]);
+        assert!(f.in_test[y_idx]);
+        assert!(!f.in_test[also_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        let x_idx = f.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(!f.in_test[x_idx]);
+    }
+
+    #[test]
+    fn function_spans_cover_bodies() {
+        let src = "fn a() { inner(); }\nfn b(x: u8) -> u8 { x }";
+        let f = SourceFile::from_source("crates/demo/src/lib.rs", src);
+        let fns = functions(&f);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "b");
+        let body: Vec<_> = f.tokens[fns[0].body_start..fns[0].body_end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(body, vec!["inner".to_string()]);
+    }
+}

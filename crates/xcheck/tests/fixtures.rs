@@ -1,0 +1,122 @@
+//! Every seeded violation in `fixtures/violations` must be detected,
+//! with byte-stable diagnostic formatting; the `fixtures/clean` tree
+//! must come back empty.
+
+use std::path::PathBuf;
+
+use xcheck::{load_sources, run_all, Config};
+
+fn fixture_config(which: &str) -> Config {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which);
+    let mut cfg = Config::new(root);
+    cfg.allowlist = "allow.txt".into();
+    cfg.baseline = "baseline.txt".into();
+    cfg.panic_crates = vec!["demo".into()];
+    cfg
+}
+
+fn rendered(which: &str) -> Vec<String> {
+    let cfg = fixture_config(which);
+    let files = load_sources(&cfg).expect("fixture tree readable");
+    run_all(&cfg, &files).iter().map(|f| f.render()).collect()
+}
+
+#[test]
+fn violations_fixture_reports_every_seeded_finding() {
+    let expected = vec![
+        // panic-path: calm.rs burned down below its baseline.
+        "crates/demo/src/calm.rs: [panic-path] baseline records 3 panic sites but only 1 remain; lock in the burn-down with `cargo run -p xcheck -- --update-baseline`",
+        // panic-path: gone.rs is in the baseline but not on disk.
+        "crates/demo/src/gone.rs: [panic-path] baseline records 2 panic sites but the file is gone or out of scope; re-record with `cargo run -p xcheck -- --update-baseline`",
+        // vfs-boundary: leaky.rs, in line order.
+        "crates/demo/src/leaky.rs:4: [vfs-boundary] direct `std::fs` use in library code; route through the `Vfs` trait",
+        "crates/demo/src/leaky.rs:7: [vfs-boundary] `File::open` bypasses the `Vfs` boundary; use `Vfs::open`/`Vfs::create`",
+        "crates/demo/src/leaky.rs:8: [vfs-boundary] `File::create` bypasses the `Vfs` boundary; use `Vfs::open`/`Vfs::create`",
+        "crates/demo/src/leaky.rs:8: [vfs-boundary] direct `std::fs` use in library code; route through the `Vfs` trait",
+        "crates/demo/src/leaky.rs:9: [vfs-boundary] `OpenOptions` bypasses the `Vfs` boundary; extend the `Vfs` trait instead",
+        "crates/demo/src/leaky.rs:12: [vfs-boundary] direct `std::fs` use in library code; route through the `Vfs` trait",
+        "crates/demo/src/leaky.rs:13: [vfs-boundary] raw `.sync_all()` outside the `Vfs`; durability must flow through `VfsFile::sync`",
+        "crates/demo/src/leaky.rs:14: [vfs-boundary] raw `.sync_data()` outside the `Vfs`; durability must flow through `VfsFile::sync`",
+        // lock-order: locky.rs.
+        "crates/demo/src/locky.rs:6: [lock-order] fn `bad_order` acquires `outer` (level 1) while holding `inner` (level 2, line 5); hierarchy: docs/CONCURRENCY.md",
+        "crates/demo/src/locky.rs:11: [lock-order] fn `fsync_while_locked` calls `.sync()` while holding `outer` (line 10); release before fsync-class calls",
+        // panic-path: panicky.rs grew past its baseline.
+        "crates/demo/src/panicky.rs:4: [panic-path] 2 panic sites (unwrap/expect/panic!) exceed baseline 1; near lines 4, 8 — return a typed DsError instead",
+        // wal-tag: wal.rs seeds.
+        "crates/relstore/src/wal.rs:7: [wal-tag] `TAG_ORPHAN` is declared but missing from the `WAL_TAGS` registry",
+        "crates/relstore/src/wal.rs:22: [wal-tag] registered tag values [1, 2, 4] are not unique+contiguous from 1; reusing or skipping a tag byte breaks recovery of existing WALs",
+        "crates/relstore/src/wal.rs:27: [wal-tag] tag `BETA` declares ReplaySite::Table but no `WalOp::Beta` match arm exists in `apply_committed`",
+        "crates/relstore/src/wal.rs:32: [wal-tag] tag `CHARLIE` (TAG_CHARLIE) has no encode site `push(TAG_CHARLIE)`",
+        "crates/relstore/src/wal.rs:32: [wal-tag] tag `CHARLIE` (value 4) has no `| 4 | CHARLIE |` row in the docs/STORAGE.md record table",
+        // error-code: error.rs seeds.
+        "crates/types/src/error.rs:7: [error-code] variant `Io` has no `Display` arm — it would render through a wildcard or not at all",
+        "crates/types/src/error.rs:14: [error-code] variants `Parse` and `Schema` share the Display prefix `parse error: `; error text must identify the variant uniquely",
+    ];
+    let got = rendered("violations");
+    let missing: Vec<_> = expected
+        .iter()
+        .filter(|e| !got.contains(&e.to_string()))
+        .collect();
+    let extra: Vec<_> = got
+        .iter()
+        .filter(|g| !expected.contains(&g.as_str()))
+        .collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "missing findings:\n  {}\nunexpected findings:\n  {}\nfull output:\n  {}",
+        missing
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  "),
+        extra
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  "),
+        got.join("\n  "),
+    );
+    // Findings must come out sorted by (file, line, check) — stable output.
+    let mut sorted = got.clone();
+    sorted.sort_by(|a, b| {
+        let key = |s: &str| {
+            let file = s.split(':').next().unwrap_or("").to_string();
+            (file, s.to_string())
+        };
+        key(a).cmp(&key(b))
+    });
+    assert_eq!(got.len(), expected.len());
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let got = rendered("clean");
+    assert!(
+        got.is_empty(),
+        "clean fixture produced findings:\n  {}",
+        got.join("\n  ")
+    );
+}
+
+#[test]
+fn suppressed_and_test_code_sites_are_not_reported() {
+    // The violations fixture contains a suppressed std::fs::read (leaky.rs
+    // line 19), a cfg(test) std::fs use, and string/comment mentions —
+    // none may appear in the output.
+    let got = rendered("violations");
+    assert!(
+        !got.iter().any(|g| g.contains("leaky.rs:19")),
+        "suppressed site reported"
+    );
+    assert!(
+        !got.iter().any(|g| g.contains("leaky.rs:2")),
+        "comment/string site reported: {got:?}"
+    );
+    assert!(
+        !got.iter()
+            .any(|g| g.contains("leaky.rs:3") && g.contains("test")),
+        "cfg(test) site reported"
+    );
+}

@@ -1,0 +1,34 @@
+//! The analyzer's own acceptance gate: the real repository must be
+//! finding-free. If this test fails, either fix the violation or — for
+//! a justified exception — add an `xcheck:allow` comment or allowlist
+//! entry with a reason.
+
+use std::path::PathBuf;
+
+use xcheck::{load_sources, run_all, Config};
+
+#[test]
+fn real_repo_has_zero_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg = Config::new(root);
+    let files = load_sources(&cfg).expect("workspace sources readable");
+    assert!(
+        files.len() > 50,
+        "expected the full workspace, got {} files",
+        files.len()
+    );
+    let findings = run_all(&cfg, &files);
+    assert!(
+        findings.is_empty(),
+        "xcheck found {} violation(s) in the repo:\n  {}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
