@@ -107,6 +107,9 @@ fn bench_workbook_autocommit(dir: &std::path::Path) {
         i += 1;
     });
     report_json("commit/workbook_autocommit", 1, &m);
+    // One coherent registry dump so the perf numbers travel with their
+    // counter context (wal_commits, fsyncs, pool traffic).
+    println!("METRICS_JSON {}", wb.metrics_json());
 }
 
 fn main() {

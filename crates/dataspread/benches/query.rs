@@ -203,6 +203,9 @@ fn main() {
 
         if n == 10_000 {
             durability_report(&mut wb, n);
+            // Registry dump for the reference size: executor row counters
+            // and the I/O the durability section just paid.
+            println!("METRICS_JSON {}", wb.metrics_json());
         }
     }
 

@@ -871,6 +871,8 @@ impl Workbook {
         if !force && version == seen && rect == last_rect {
             return Ok(());
         }
+        self.obs.bind_refreshes.bump();
+        let mut diffed: u64 = 0;
         let cols: Vec<usize> = meta.cols.iter().map(|&c| c as usize).collect();
         let sheet = &mut self.sheets[sheet_idx];
         if header {
@@ -879,6 +881,7 @@ impl Workbook {
                 let v = Value::text(t.schema().column(ci).name.clone());
                 if sheet.value(addr) != v {
                     sheet.write_bound(addr, v);
+                    diffed += 1;
                 }
             }
         }
@@ -890,6 +893,7 @@ impl Workbook {
                 let v = &row[ci];
                 if &sheet.value(addr) != v {
                     sheet.write_bound(addr, v.clone());
+                    diffed += 1;
                 }
             }
         }
@@ -899,9 +903,11 @@ impl Workbook {
             for addr in old.iter_cells() {
                 if rect.is_none_or(|r| !r.contains(addr)) && !sheet.value(addr).is_empty() {
                     sheet.write_bound(addr, Value::Empty);
+                    diffed += 1;
                 }
             }
         }
+        self.obs.bind_cells_diffed.add(diffed);
         let b = &mut self.bindings.bindings[i];
         b.last_rect = rect;
         b.seen_version = version;

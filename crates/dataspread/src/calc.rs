@@ -19,7 +19,9 @@
 //!    left unordered sit on a reference cycle (or feed from one) and are
 //!    poisoned with `#CYCLE!`.
 //!
-//! [`CalcStats`] counts evaluations so tests can pin the "unrelated cells
+//! [`CalcStats`] is a view over the workbook's metrics registry
+//! (`calc_passes` / `calc_cells_dirtied` / `calc_cells_recomputed`, see
+//! `docs/OBSERVABILITY.md`); tests use it to pin the "unrelated cells
 //! are not recomputed" property, not just final values.
 
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -108,6 +110,7 @@ impl Workbook {
             dirty.extend(pending.cells.into_iter().map(|a| (i, a)));
             structural.extend(pending.ops.into_iter().map(|(seq, op)| (seq, i, op)));
         }
+        self.obs.calc_cells_dirtied.add(dirty.len() as u64);
         // Structural edits: the edited sheet rewrote its own references when
         // the edit happened; rewrite the references other sheets hold into
         // it, in edit-clock order. The per-formula stamp check inside
@@ -186,7 +189,7 @@ impl Workbook {
     /// Evaluate the formulas in `work` in dependency order; whatever Kahn's
     /// algorithm cannot order is on (or downstream of) a cycle → `#CYCLE!`.
     fn recompute_set(&mut self, graph: Vec<(CellId, Vec<(usize, Range)>)>, work: HashSet<CellId>) {
-        self.calc_stats.passes += 1;
+        self.obs.calc_passes.bump();
         let prec_of: HashMap<CellId, &Vec<(usize, Range)>> = graph
             .iter()
             .filter(|(id, _)| work.contains(id))
@@ -216,14 +219,23 @@ impl Workbook {
             .filter(|id| indegree[id] == 0)
             .collect();
         let mut done: HashSet<CellId> = HashSet::new();
+        // Topological level per cell: roots sit at level 1, a dependent sits
+        // one past its deepest evaluated precedent. The max over the pass is
+        // the critical-path depth the `calc_topo_depth` gauge reports.
+        let mut level: HashMap<CellId, u64> = queue.iter().map(|id| (*id, 1)).collect();
+        let mut max_level: u64 = if queue.is_empty() { 0 } else { 1 };
         while let Some(id) = queue.pop_front() {
             if !done.insert(id) {
                 continue;
             }
             self.eval_formula_cell(id);
+            let lvl = level.get(&id).copied().unwrap_or(1);
+            max_level = max_level.max(lvl);
             if let Some(deps) = dependents.get(&id) {
                 // Clone: decrementing counts while iterating the edge list.
                 for d in deps.clone() {
+                    let slot = level.entry(d).or_insert(0);
+                    *slot = (*slot).max(lvl + 1);
                     let slot = indegree.get_mut(&d).expect("member");
                     *slot -= 1;
                     if *slot == 0 {
@@ -232,11 +244,12 @@ impl Workbook {
                 }
             }
         }
+        self.obs.calc_topo_depth.set(max_level as i64);
         // Leftovers are cyclic (or fed by a cycle): poison them.
         for id in members {
             if !done.contains(&id) {
                 self.sheets[id.0].set_cached(id.1, Value::Error(CellError::Cycle));
-                self.calc_stats.cells_recomputed += 1;
+                self.obs.calc_cells_recomputed.bump();
             }
         }
     }
@@ -255,7 +268,7 @@ impl Workbook {
             None => return, // formula removed mid-pass; nothing to do
         };
         self.sheets[i].set_cached(addr, v);
-        self.calc_stats.cells_recomputed += 1;
+        self.obs.calc_cells_recomputed.bump();
     }
 }
 

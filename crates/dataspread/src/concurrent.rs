@@ -100,6 +100,7 @@ impl ReadSession<'_> {
             catalog: self.wb.catalog(),
             resolver: &resolver,
             options: self.wb.exec_options(),
+            metrics: self.wb.obs.exec.clone(),
         };
         run_select(&ctx, &sel)
     }

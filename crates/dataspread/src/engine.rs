@@ -12,7 +12,9 @@ use dataspread_sql::expr::{bind, eval, truth, BExpr, ColInfo};
 use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{DsError, DsResult, Value};
 
-use crate::exec::{eval_standalone, explain_select, run_select, ExecCtx, ExecOptions};
+use crate::exec::{
+    analyze_select, eval_standalone, explain_select, run_select, ExecCtx, ExecMetrics, ExecOptions,
+};
 
 /// Outcome of one executed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,6 +54,7 @@ pub(crate) fn execute(
     resolver: &dyn SheetResolver,
     stmt: Statement,
     options: ExecOptions,
+    metrics: &ExecMetrics,
 ) -> DsResult<QueryResult> {
     match stmt {
         Statement::Select(sel) => {
@@ -59,6 +62,7 @@ pub(crate) fn execute(
                 catalog,
                 resolver,
                 options,
+                metrics: metrics.clone(),
             };
             let (columns, rows) = run_select(&ctx, &sel)?;
             Ok(QueryResult::Rows { columns, rows })
@@ -68,6 +72,7 @@ pub(crate) fn execute(
                 catalog,
                 resolver,
                 options,
+                metrics: metrics.clone(),
             };
             let rows = explain_select(&ctx, &sel)?
                 .into_iter()
@@ -76,6 +81,19 @@ pub(crate) fn execute(
             Ok(QueryResult::Rows {
                 columns: vec!["plan".to_string()],
                 rows,
+            })
+        }
+        Statement::ExplainAnalyze(sel) => {
+            let ctx = ExecCtx {
+                catalog,
+                resolver,
+                options,
+                metrics: metrics.clone(),
+            };
+            let (lines, _) = analyze_select(&ctx, &sel)?;
+            Ok(QueryResult::Rows {
+                columns: vec!["plan".to_string()],
+                rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
             })
         }
         Statement::Analyze { table } => {
@@ -97,6 +115,7 @@ pub(crate) fn execute(
             catalog,
             resolver,
             options,
+            metrics,
             &table,
             columns.as_deref(),
             &source,
@@ -180,6 +199,7 @@ fn run_insert(
     catalog: &mut Catalog,
     resolver: &dyn SheetResolver,
     options: ExecOptions,
+    metrics: &ExecMetrics,
     table: &str,
     columns: Option<&[String]>,
     source: &InsertSource,
@@ -196,6 +216,7 @@ fn run_insert(
                 catalog,
                 resolver,
                 options,
+                metrics: metrics.clone(),
             };
             run_select(&ctx, sel)?.1
         }

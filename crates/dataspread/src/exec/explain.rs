@@ -19,6 +19,18 @@ pub(crate) fn render(
     offset: usize,
     limit: Option<usize>,
 ) -> Vec<String> {
+    render_with_marks(p, distinct, offset, limit).0
+}
+
+/// [`render`], also returning the output index of every plan-node line in
+/// pre-order (self, left, right) — the same order `planner::build`
+/// allocates node meters, so `EXPLAIN ANALYZE` can pair them by position.
+pub(crate) fn render_with_marks(
+    p: &Prepared,
+    distinct: bool,
+    offset: usize,
+    limit: Option<usize>,
+) -> (Vec<String>, Vec<usize>) {
     let mut out = Vec::new();
     let names: Vec<&str> = p.proj.iter().map(|(_, n)| n.as_str()).collect();
     out.push(format!("project: {}", names.join(", ")));
@@ -48,8 +60,9 @@ pub(crate) fn render(
     if !p.top_filters.is_empty() {
         out.push(format!("filter: {} predicates", p.top_filters.len()));
     }
-    node(&p.plan, 0, &mut out);
-    out
+    let mut marks = Vec::new();
+    node(&p.plan, 0, &mut out, &mut marks);
+    (out, marks)
 }
 
 fn est_of(plan: &Plan) -> u64 {
@@ -57,7 +70,8 @@ fn est_of(plan: &Plan) -> u64 {
     rows.round().clamp(0.0, u64::MAX as f64) as u64
 }
 
-fn node(plan: &Plan, depth: usize, out: &mut Vec<String>) {
+fn node(plan: &Plan, depth: usize, out: &mut Vec<String>, marks: &mut Vec<usize>) {
+    marks.push(out.len());
     let pad = "  ".repeat(depth);
     match plan {
         Plan::Dual => out.push(format!("{pad}dual")),
@@ -128,8 +142,8 @@ fn node(plan: &Plan, depth: usize, out: &mut Vec<String>) {
             }
             line.push_str(&format!(" est~{}", est_of(plan)));
             out.push(line);
-            node(&j.left, depth + 1, out);
-            node(&j.right, depth + 1, out);
+            node(&j.left, depth + 1, out, marks);
+            node(&j.right, depth + 1, out, marks);
         }
     }
 }

@@ -42,7 +42,10 @@ pub(crate) mod planner;
 pub(crate) mod scan;
 
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
+use dataspread_obs::Counter;
 use dataspread_relstore::Catalog;
 use dataspread_sql::ast::{Expr, SelectItem, SelectStmt};
 use dataspread_sql::expr::{bind, eval, truth, AggContext, BExpr};
@@ -51,7 +54,7 @@ use dataspread_sql::resolver::SheetResolver;
 use dataspread_types::{DsError, DsResult, Value};
 
 use aggregate::{collect_aggregates, AggSpec};
-use planner::{Plan, Used};
+use planner::{NodeMeter, Plan, Used};
 use scan::FilterIter;
 
 /// Executor strategy switches. All default to on; benches and the
@@ -83,12 +86,31 @@ impl Default for ExecOptions {
     }
 }
 
+/// Per-operator executor counters. Handles are `Arc`-backed
+/// ([`dataspread_obs::Counter`]); a workbook clones its set into every
+/// [`ExecCtx`] it builds, so query work lands in the workbook's metrics
+/// registry. `Default` gives standalone (unregistered) counters for tests.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExecMetrics {
+    /// SELECT statements executed.
+    pub queries: Counter,
+    /// Rows produced by leaf scans (table and range scans), pre-filter.
+    pub rows_scanned: Counter,
+    /// Rows returned to the client.
+    pub rows_output: Counter,
+    /// Rows materialized into join build sides.
+    pub join_build_rows: Counter,
+    /// Rows streamed through join probe sides.
+    pub join_probe_rows: Counter,
+}
+
 /// Everything a query needs to run: the catalog, the live-sheet resolver,
-/// and the strategy switches.
+/// the strategy switches, and the counters that observe it.
 pub(crate) struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
     pub resolver: &'a dyn SheetResolver,
     pub options: ExecOptions,
+    pub metrics: ExecMetrics,
 }
 
 /// A stream of rows flowing through the operator pipeline. Errors surface
@@ -259,6 +281,19 @@ pub(crate) fn run_select(
     ctx: &ExecCtx<'_>,
     sel: &SelectStmt,
 ) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+    let prepared = prepare_select(ctx, sel)?;
+    execute_prepared(ctx, sel, prepared, None)
+}
+
+/// Execute an already-prepared `SELECT`. With `meters`, every plan node's
+/// stream is wrapped to record actual rows, loops, and wall time (the
+/// `EXPLAIN ANALYZE` path); without, the pipeline runs unwrapped.
+fn execute_prepared(
+    ctx: &ExecCtx<'_>,
+    sel: &SelectStmt,
+    prepared: Prepared,
+    meters: Option<&mut Vec<Arc<NodeMeter>>>,
+) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
     let Prepared {
         plan,
         width,
@@ -269,10 +304,11 @@ pub(crate) fn run_select(
         having,
         proj,
         order,
-    } = prepare_select(ctx, sel)?;
+    } = prepared;
+    ctx.metrics.queries.bump();
 
     // Build the pipeline.
-    let mut stream = planner::build(plan, ctx)?;
+    let mut stream = planner::build(plan, ctx, meters)?;
     if !top_filters.is_empty() {
         stream = Box::new(FilterIter::new(stream, top_filters));
     }
@@ -326,6 +362,7 @@ pub(crate) fn run_select(
     }
 
     let rows = output::finish(contexts, &proj, &order, sel.distinct, offset, limit)?;
+    ctx.metrics.rows_output.add(rows.len() as u64);
     Ok((proj.into_iter().map(|(_, n)| n).collect(), rows))
 }
 
@@ -344,4 +381,55 @@ pub(crate) fn explain_select(ctx: &ExecCtx<'_>, sel: &SelectStmt) -> DsResult<Ve
         None => None,
     };
     Ok(explain::render(&prepared, sel.distinct, offset, limit))
+}
+
+/// `EXPLAIN ANALYZE`: plan, render the `EXPLAIN` tree, *execute* the plan
+/// with per-node meters, then annotate each node line with its actual
+/// rows/loops/wall-time next to the estimates. Returns the annotated lines
+/// plus the executed result set so callers can cross-check actual row
+/// counts against the equivalent `SELECT`.
+pub(crate) fn analyze_select(
+    ctx: &ExecCtx<'_>,
+    sel: &SelectStmt,
+) -> DsResult<(Vec<String>, Vec<Vec<Value>>)> {
+    let prepared = prepare_select(ctx, sel)?;
+    let offset = match &sel.offset {
+        Some(e) => count_arg(e, ctx.resolver, "OFFSET")?,
+        None => 0,
+    };
+    let limit = match &sel.limit {
+        Some(e) => Some(count_arg(e, ctx.resolver, "LIMIT")?),
+        None => None,
+    };
+    // Skeleton first: rendering borrows the plan, execution consumes it.
+    // `render_with_marks` visits nodes in the same pre-order as
+    // `planner::build` allocates meters, so marks[i] pairs with meters[i].
+    let (mut lines, marks) = explain::render_with_marks(&prepared, sel.distinct, offset, limit);
+    let mut meters: Vec<Arc<NodeMeter>> = Vec::new();
+    let started = Instant::now();
+    let (_, rows) = execute_prepared(ctx, sel, prepared, Some(&mut meters))?;
+    let total_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    debug_assert_eq!(marks.len(), meters.len());
+    for (mark, meter) in marks.iter().zip(&meters) {
+        lines[*mark].push_str(&format!(
+            " (actual rows={} loops={} time={})",
+            meter.rows(),
+            meter.loops(),
+            fmt_ms(meter.ns()),
+        ));
+    }
+    // The top shaping line gets the statement-level actuals.
+    if let Some(first) = lines.first_mut() {
+        first.push_str(&format!(
+            " (actual rows={} time={})",
+            rows.len(),
+            fmt_ms(total_ns),
+        ));
+    }
+    Ok((lines, rows))
+}
+
+/// Milliseconds with three decimals, the `EXPLAIN ANALYZE` time unit.
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1_000_000.0)
 }

@@ -21,6 +21,9 @@
 //! [`build`] then turns the tree into the streaming operator pipeline.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use dataspread_relstore::TableSnapshot;
 use dataspread_sql::ast::{JoinConstraint, JoinKind, TableExpr};
@@ -511,21 +514,99 @@ impl JoinPlan {
 
 // ---- stream construction -------------------------------------------------
 
+/// Actuals for one plan node under `EXPLAIN ANALYZE`: rows emitted, times
+/// the stream was started, and wall nanoseconds spent inside the node
+/// (inclusive of its children, PostgreSQL-style).
+#[derive(Debug, Default)]
+pub(crate) struct NodeMeter {
+    rows: AtomicU64,
+    loops: AtomicU64,
+    ns: AtomicU64,
+}
+
+impl NodeMeter {
+    /// Rows this node emitted.
+    pub(crate) fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+    /// Times the node's stream was started (always 1 in this executor —
+    /// kept for plan-format fidelity with rescanning executors).
+    pub(crate) fn loops(&self) -> u64 {
+        self.loops.load(Ordering::Relaxed)
+    }
+    /// Wall nanoseconds spent pulling from this node, children included.
+    pub(crate) fn ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Wraps a node's output stream, timing every `next()` and counting rows.
+/// Only constructed under `EXPLAIN ANALYZE`; normal execution never pays
+/// the per-row clock reads.
+struct MeterIter<'a> {
+    inner: RowStream<'a>,
+    meter: Arc<NodeMeter>,
+    started: bool,
+}
+
+impl Iterator for MeterIter<'_> {
+    type Item = DsResult<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.started {
+            self.started = true;
+            self.meter.loops.fetch_add(1, Ordering::Relaxed);
+        }
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.meter
+            .ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if matches!(item, Some(Ok(_))) {
+            self.meter.rows.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+}
+
 /// Turn a plan into its operator pipeline.
-pub(crate) fn build<'a>(plan: Plan, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>> {
-    Ok(match plan {
-        Plan::Dual => Box::new(std::iter::once(Ok(Vec::new()))),
+///
+/// With `meters` (the `EXPLAIN ANALYZE` path), each node's post-filter
+/// stream is wrapped in a [`MeterIter`] and its meter pushed in *pre-order*
+/// (self, left, right) — the same order `explain::render` emits node lines,
+/// which is what lets the annotator pair meters with lines by index.
+pub(crate) fn build<'a>(
+    plan: Plan,
+    ctx: &ExecCtx<'a>,
+    mut meters: Option<&mut Vec<Arc<NodeMeter>>>,
+) -> DsResult<RowStream<'a>> {
+    let meter = meters.as_mut().map(|v| {
+        let m = Arc::new(NodeMeter::default());
+        v.push(Arc::clone(&m));
+        m
+    });
+    let stream = match plan {
+        Plan::Dual => Box::new(std::iter::once(Ok(Vec::new()))) as RowStream<'a>,
         Plan::TableScan {
             snap,
             filters,
             used,
-        } => filtered(table_scan(snap, &used), filters),
+        } => {
+            let scan = counted(table_scan(snap, &used), &ctx.metrics.rows_scanned);
+            filtered(scan, filters)
+        }
         Plan::RangeScan {
             a1,
             width,
             filters,
             used,
-        } => filtered(range_scan(ctx.resolver, &a1, width, &used)?, filters),
+        } => {
+            let scan = counted(
+                range_scan(ctx.resolver, &a1, width, &used)?,
+                &ctx.metrics.rows_scanned,
+            );
+            filtered(scan, filters)
+        }
         Plan::Derived { rows, filters, .. } => {
             filtered(Box::new(rows.into_iter().map(Ok)), filters)
         }
@@ -540,8 +621,16 @@ pub(crate) fn build<'a>(plan: Plan, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>
                 emit,
                 filters,
             } = *j;
-            let lstream = build(left, ctx)?;
-            let rstream = build(right, ctx)?;
+            // Left streams through the probe side; right is materialized
+            // as the build side (both strategies consume right first).
+            let lstream = counted(
+                build(left, ctx, meters.as_deref_mut())?,
+                &ctx.metrics.join_probe_rows,
+            );
+            let rstream = counted(
+                build(right, ctx, meters)?,
+                &ctx.metrics.join_build_rows,
+            );
             let left_join = kind == JoinKind::Left;
             let joined = match strategy {
                 Strategy::Hash {
@@ -571,6 +660,50 @@ pub(crate) fn build<'a>(plan: Plan, ctx: &ExecCtx<'a>) -> DsResult<RowStream<'a>
             };
             filtered(joined, filters)
         }
+    };
+    Ok(match meter {
+        Some(m) => Box::new(MeterIter {
+            inner: stream,
+            meter: m,
+            started: false,
+        }),
+        None => stream,
+    })
+}
+
+/// Counts Ok rows through a stream into a shared counter. The tally is
+/// kept in a local `u64` and folded in once on drop, so the hot path pays
+/// a plain increment instead of per-row atomic traffic.
+struct CountedStream<'a> {
+    inner: RowStream<'a>,
+    n: u64,
+    counter: dataspread_obs::Counter,
+}
+
+impl Drop for CountedStream<'_> {
+    fn drop(&mut self) {
+        self.counter.add(self.n);
+    }
+}
+
+impl Iterator for CountedStream<'_> {
+    type Item = DsResult<Vec<Value>>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next();
+        if matches!(item, Some(Ok(_))) {
+            self.n += 1;
+        }
+        item
+    }
+}
+
+fn counted<'a>(inner: RowStream<'a>, counter: &dataspread_obs::Counter) -> RowStream<'a> {
+    Box::new(CountedStream {
+        inner,
+        n: 0,
+        counter: counter.clone(),
     })
 }
 
@@ -615,6 +748,7 @@ mod tests {
             catalog: &catalog,
             resolver: &NoSheet,
             options: ExecOptions::default(),
+            metrics: Default::default(),
         };
         let (mut plan, cols) = plan_from(&ctx, sel.from.as_ref().unwrap()).unwrap();
         if let Some(f) = &sel.filter {

@@ -77,6 +77,7 @@ pub mod calc;
 pub mod concurrent;
 pub mod engine;
 pub mod exec;
+pub(crate) mod metrics;
 pub mod persist;
 pub mod sheet;
 pub mod view;
@@ -94,6 +95,7 @@ pub use workbook::{EngineHealth, SheetId, Workbook};
 // Re-export the layer crates so downstream users need only one dependency.
 pub use dataspread_formula as formula;
 pub use dataspread_gridstore as gridstore;
+pub use dataspread_obs as obs;
 pub use dataspread_posindex as posindex;
 pub use dataspread_relstore as relstore;
 pub use dataspread_sql as sql;

@@ -37,12 +37,12 @@ use dataspread_relstore::codec::{put_str, put_u32, put_u64, Cursor};
 use dataspread_relstore::snapshot::{self, load_catalog_with, save_catalog_with, DATA_FILE};
 use dataspread_relstore::vfs::{os_vfs, Vfs};
 use dataspread_relstore::wal::{scan_wal_with, GridEditKind, SheetCellContent, WalOp};
-use dataspread_relstore::{Catalog, PageFile};
+use dataspread_relstore::{Catalog, MeteredVfs, PageFile, VfsMeter};
 use dataspread_types::{CellAddr, DsError, DsResult};
 
 use crate::bind::BindingRegistry;
-use crate::calc::CalcStats;
 use crate::exec::ExecOptions;
+use crate::metrics::WbObs;
 use crate::sheet::{Sheet, StoreKind};
 use crate::workbook::Workbook;
 
@@ -219,7 +219,7 @@ pub(crate) fn decode_workbook_meta(meta: &[u8], catalog: Catalog) -> DsResult<Wo
         default_store,
         exec_options: ExecOptions::default(),
         store: None,
-        calc_stats: CalcStats::default(),
+        obs: WbObs::default(),
         clock,
         bindings,
     })
@@ -246,18 +246,26 @@ impl Workbook {
         let dir = dir.as_ref().to_path_buf();
         // Saving back into the attached directory must go through the same
         // VFS that directory was opened with (the fault suites depend on
-        // this); a fresh directory defaults to the real filesystem.
+        // this); a fresh directory defaults to the real filesystem. The
+        // attached VFS is already metered (attachment wraps exactly once),
+        // so only the fresh-directory arm wraps here.
         let vfs = match &self.store {
             Some(store) if store.dir == dir => Arc::clone(&store.vfs),
-            _ => os_vfs(),
+            _ => MeteredVfs::wrap(os_vfs(), self.obs.vfs.clone()),
         };
-        self.save_with_vfs(dir, vfs)
+        self.save_inner(dir, vfs)
     }
 
     /// [`Workbook::save`] against an explicit [`Vfs`] — the hook the
     /// fault-injection suites use to persist through an injecting VFS.
+    /// The VFS is wrapped in the workbook's I/O meter, so `vfs_*` metrics
+    /// keep counting through injected faults.
     pub fn save_with_vfs(&mut self, dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> DsResult<()> {
-        let dir = dir.as_ref().to_path_buf();
+        let vfs = MeteredVfs::wrap(vfs, self.obs.vfs.clone());
+        self.save_inner(dir.as_ref().to_path_buf(), vfs)
+    }
+
+    fn save_inner(&mut self, dir: PathBuf, vfs: Arc<dyn Vfs>) -> DsResult<()> {
         // A read-only engine must not re-checkpoint its own directory: the
         // checkpoint would fold un-acked in-memory state into a durable
         // snapshot and attach a fresh (unpoisoned) WAL, silently clearing
@@ -312,9 +320,15 @@ impl Workbook {
     /// the committed prefix survives.
     pub fn open_with_vfs(dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> DsResult<Workbook> {
         let dir = dir.as_ref().to_path_buf();
+        // Meter the recovery I/O too: the workbook does not exist yet, so a
+        // detached meter counts the load and is adopted into the registry
+        // once the metadata decodes.
+        let meter = VfsMeter::default();
+        let vfs = MeteredVfs::wrap(vfs, meter.clone());
         let loaded = load_catalog_with(&vfs, &dir)?;
         let generation = loaded.generation;
         let mut wb = decode_workbook_meta(&loaded.extra_meta, loaded.catalog)?;
+        wb.obs.adopt_vfs_meter(meter);
         // Replay committed engine ops — sheet edits and binding
         // create/drop — on top of the decoded state (the relational ops,
         // including CREATE/DROP TABLE DDL records, were already replayed by

@@ -20,6 +20,7 @@ use crate::bind::BindingRegistry;
 use crate::calc::CalcStats;
 use crate::engine::{self, QueryResult};
 use crate::exec::ExecOptions;
+use crate::metrics::WbObs;
 use crate::sheet::{Sheet, StoreKind};
 
 /// Handle to a sheet inside a workbook.
@@ -63,8 +64,9 @@ pub struct Workbook {
     pub(crate) exec_options: ExecOptions,
     /// Attached durable store, if any (see [`Workbook::save`]).
     pub(crate) store: Option<StoreHandle>,
-    /// Formula recomputation counters.
-    pub(crate) calc_stats: CalcStats,
+    /// Metrics registry, span tracer, and every engine counter handle
+    /// (see `docs/OBSERVABILITY.md`).
+    pub(crate) obs: WbObs,
     /// Edit clock shared with every sheet: totally orders formula writes
     /// and structural edits workbook-wide (see `calc::Workbook::flush_grid`).
     pub(crate) clock: Arc<AtomicU64>,
@@ -94,7 +96,7 @@ impl Workbook {
             default_store: kind,
             exec_options: ExecOptions::default(),
             store: None,
-            calc_stats: CalcStats::default(),
+            obs: WbObs::default(),
             clock: Arc::new(AtomicU64::new(1)),
             bindings: BindingRegistry::default(),
         };
@@ -341,9 +343,13 @@ impl Workbook {
     }
 
     /// Cumulative recomputation counters (how many formula evaluations the
-    /// incremental engine actually ran).
+    /// incremental engine actually ran). A registry-backed view: the same
+    /// numbers exported as `calc_passes` / `calc_cells_recomputed`.
     pub fn calc_stats(&self) -> CalcStats {
-        self.calc_stats
+        CalcStats {
+            cells_recomputed: self.obs.calc_cells_recomputed.get(),
+            passes: self.obs.calc_passes.get(),
+        }
     }
 
     // ---- relational side -------------------------------------------------
@@ -411,6 +417,7 @@ impl Workbook {
     }
 
     fn execute_stmt(&mut self, stmt: Statement) -> DsResult<QueryResult> {
+        let _span = self.obs.tracer.span("sql_execute");
         // Fold pending grid edits first: RANGEVALUE/RANGETABLE must see
         // computed formula results, not stale caches.
         self.flush_grid();
@@ -449,7 +456,13 @@ impl Workbook {
             by_name: &self.by_name,
             current: self.current,
         };
-        let result = engine::execute(&mut self.catalog, &ctx, stmt, self.exec_options);
+        let result = engine::execute(
+            &mut self.catalog,
+            &ctx,
+            stmt,
+            self.exec_options,
+            &self.obs.exec,
+        );
         if in_txn {
             let store = self.store.as_ref().expect("store present when in_txn");
             match &result {
@@ -571,6 +584,64 @@ impl Workbook {
             DdlInfo::None => {}
         }
         Ok(())
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// One coherent pass over every engine metric: the workbook registry
+    /// (executor, calc, binding, VFS, span counters) plus the per-component
+    /// counters aggregated at scrape time — the attached WAL writer's
+    /// append/commit/fsync/poison tallies and the per-table buffer pools
+    /// summed across the catalog.
+    pub fn metrics_snapshot(&self) -> dataspread_obs::Snapshot {
+        let mut snap = self.obs.registry.snapshot();
+        let wal = self
+            .store
+            .as_ref()
+            .map(|s| s.wal.counters())
+            .unwrap_or_default();
+        snap.push_counter("wal_appends", wal.appends.get());
+        snap.push_counter("wal_commits", wal.commits.get());
+        snap.push_counter("wal_fsyncs", wal.fsyncs.get());
+        snap.push_counter("wal_poison_flips", wal.poison_flips.get());
+        let mut pools = dataspread_relstore::PoolSnapshot::default();
+        for name in self.catalog.table_names() {
+            if let Ok(t) = self.catalog.get(&name) {
+                let s = t.pool().stats().snapshot();
+                pools.hits += s.hits;
+                pools.misses += s.misses;
+                pools.evictions += s.evictions;
+                pools.dirty_writebacks += s.dirty_writebacks;
+                pools.write_back_errors += s.write_back_errors;
+            }
+        }
+        snap.push_counter("pool_hits", pools.hits);
+        snap.push_counter("pool_misses", pools.misses);
+        snap.push_counter("pool_evictions", pools.evictions);
+        snap.push_counter("pool_writeback_pages", pools.dirty_writebacks);
+        snap.push_counter(
+            "pool_writeback_bytes",
+            pools.dirty_writebacks * dataspread_relstore::PAGE_SIZE as u64,
+        );
+        snap.push_counter("pool_writeback_errors", pools.write_back_errors);
+        snap.sort();
+        snap
+    }
+
+    /// Every engine metric in Prometheus text exposition format — what a
+    /// future server crate serves from its scrape endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().prometheus_text()
+    }
+
+    /// Every engine metric as one JSON object keyed by metric name.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().json()
+    }
+
+    /// The workbook's span tracer (enter/exit scopes, slow-op log).
+    pub fn tracer(&self) -> &dataspread_obs::Tracer {
+        &self.obs.tracer
     }
 
     /// Execute and demand a row set (convenience for queries).

@@ -11,32 +11,35 @@
 
 use std::collections::HashMap;
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use dataspread_obs::Counter;
 
 /// Identity of a page frame: (attribute-group index, page index in chain).
 pub type PageRef = (u32, u32);
 
 /// Counters for the memory/disk boundary.
 ///
-/// The fields are atomics so `&self` paths can count; read them through the
-/// accessors, or grab a coherent one-pass copy with [`PoolStats::snapshot`].
+/// The fields are registry-grade [`Counter`] handles (relaxed atomics under
+/// `Arc`) so `&self` paths can count and a workbook can clone them into its
+/// metrics registry; read them through the accessors, or grab a coherent
+/// one-pass copy with [`PoolStats::snapshot`].
 #[derive(Debug, Default)]
 pub struct PoolStats {
     /// Accesses that found their page resident.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Accesses that had to fault their page in (modeled disk reads).
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Frames evicted to make room.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
     /// Evicted frames that were dirty (modeled — or, with a durable store
     /// attached, real — disk writes).
-    pub dirty_writebacks: AtomicU64,
+    pub dirty_writebacks: Counter,
     /// Write-backs whose physical scratch-frame write failed. Scratch
     /// frames are advisory (recovery never reads them), so a failure is
     /// counted rather than surfaced — keeping reads alive on a degraded
     /// store.
-    pub write_back_errors: AtomicU64,
+    pub write_back_errors: Counter,
 }
 
 /// A point-in-time copy of [`PoolStats`], taken in one pass so benches stop
@@ -65,23 +68,23 @@ impl PoolSnapshot {
 impl PoolStats {
     /// Accesses that found their page resident.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
     /// Accesses that faulted their page in.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
     /// Frames evicted to make room.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
     /// Evicted frames that were dirty.
     pub fn dirty_writebacks(&self) -> u64 {
-        self.dirty_writebacks.load(Ordering::Relaxed)
+        self.dirty_writebacks.get()
     }
     /// Write-backs whose physical write failed.
     pub fn write_back_errors(&self) -> u64 {
-        self.write_back_errors.load(Ordering::Relaxed)
+        self.write_back_errors.get()
     }
     /// One-pass copy of all counters.
     pub fn snapshot(&self) -> PoolSnapshot {
@@ -95,11 +98,11 @@ impl PoolStats {
     }
     /// Zero every counter (bench phase boundaries).
     pub fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.dirty_writebacks.store(0, Ordering::Relaxed);
-        self.write_back_errors.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+        self.dirty_writebacks.reset();
+        self.write_back_errors.reset();
     }
 }
 
@@ -255,15 +258,15 @@ impl BufferPool {
     pub fn access(&self, page: PageRef, write: bool) -> Option<PageRef> {
         let (hit, evicted) = self.lru().access(page, write);
         if hit {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.bump();
         } else {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.misses.bump();
         }
         let mut dirty_evicted = None;
         if let Some((key, dirty)) = evicted {
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.stats.evictions.bump();
             if dirty {
-                self.stats.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
+                self.stats.dirty_writebacks.bump();
                 dirty_evicted = Some(key);
             }
         }
@@ -275,9 +278,7 @@ impl BufferPool {
     /// [`PageRef`]s so an attached store can write them out.
     pub fn flush(&self) -> Vec<PageRef> {
         let dirty = self.lru().evict_all();
-        self.stats
-            .dirty_writebacks
-            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
+        self.stats.dirty_writebacks.add(dirty.len() as u64);
         dirty
     }
 

@@ -33,6 +33,7 @@ pub mod bufferpool;
 pub mod catalog;
 pub mod codec;
 pub mod crc;
+pub mod metered;
 pub mod page;
 pub mod pager;
 pub mod schema;
@@ -45,6 +46,7 @@ pub mod wal;
 pub use binding::{BindModel, BindingMeta};
 pub use bufferpool::{BufferPool, PageRef, PoolSnapshot, PoolStats};
 pub use catalog::{Catalog, TableRef, TableRefMut, TableShard, DEFAULT_POLICY};
+pub use metered::{MeteredVfs, VfsMeter};
 pub use page::{Page, PAGE_SIZE};
 pub use pager::{PageFile, PageFileSnapshot, PageFileStats};
 pub use schema::{ColumnDef, KeyTuple, Schema};
@@ -56,6 +58,8 @@ pub use table::{GroupPolicy, RowIter, SnapRowIter, Table, TableSnapshot, TableSt
 pub use vfs::{
     os_vfs, FaultKind, FaultPlan, FaultStats, FaultVfs, OsVfs, RecoveryImage, Vfs, VfsFile,
 };
-pub use wal::{GridEditKind, GroupCommitStats, SheetCellContent, WalOp, WalRecord, WalWriter};
+pub use wal::{
+    GridEditKind, GroupCommitStats, SheetCellContent, WalCounters, WalOp, WalRecord, WalWriter,
+};
 
 pub use dataspread_posindex::RowKey;

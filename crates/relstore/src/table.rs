@@ -300,10 +300,7 @@ impl Table {
             .and_then(|group| group.pages.get(p as usize))
         {
             if pager.append_frame(&page.to_image()).is_err() {
-                self.pool
-                    .stats()
-                    .write_back_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                self.pool.stats().write_back_errors.bump();
             }
         }
         Ok(())

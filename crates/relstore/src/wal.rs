@@ -36,9 +36,10 @@
 //! retry-and-report-success would ack commits that never reached disk.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use dataspread_obs::Counter;
 use dataspread_posindex::RowKey;
 use dataspread_types::{DsError, DsResult, Value};
 
@@ -644,6 +645,21 @@ pub struct GroupCommitStats {
     pub fsyncs: u64,
 }
 
+/// Clonable handles to this writer's counters, so a metrics registry can
+/// expose them without routing the append path through a lookup.
+#[derive(Clone, Debug, Default)]
+pub struct WalCounters {
+    /// Framed records appended (BEGIN/COMMIT frames included).
+    pub appends: Counter,
+    /// Transactions committed (explicit commits plus autocommits).
+    pub commits: Counter,
+    /// `fsync` calls issued by the group-commit leader.
+    pub fsyncs: Counter,
+    /// Times the writer flipped into the sticky poisoned state (0 or 1 per
+    /// writer — poisoning is idempotent and the first reason wins).
+    pub poison_flips: Counter,
+}
+
 /// Appending side of the log. All methods take `&self` (a mutex guards the
 /// file) so tables can log through a shared [`std::sync::Arc`] handle.
 ///
@@ -659,8 +675,7 @@ pub struct WalWriter {
     sync_file: Box<dyn VfsFile>,
     sync_state: Mutex<SyncState>,
     sync_cv: Condvar,
-    commits: AtomicU64,
-    fsyncs: AtomicU64,
+    counters: WalCounters,
     /// Sticky fault flag (fsyncgate semantics): once set, every write path
     /// is refused with [`DsError::ReadOnly`]. Mirrors `poison_reason`; the
     /// atomic makes the hot-path check lock-free.
@@ -714,8 +729,7 @@ impl WalWriter {
                 syncing: false,
             }),
             sync_cv: Condvar::new(),
-            commits: AtomicU64::new(0),
-            fsyncs: AtomicU64::new(0),
+            counters: WalCounters::default(),
             poisoned: AtomicBool::new(false),
             poison_reason: Mutex::new(None),
         })
@@ -738,6 +752,7 @@ impl WalWriter {
             let mut r = self.poison_reason.lock().unwrap_or_else(|e| e.into_inner());
             if r.is_none() {
                 *r = Some(reason.into());
+                self.counters.poison_flips.bump();
             }
         }
         self.poisoned.store(true, Ordering::SeqCst);
@@ -790,6 +805,7 @@ impl WalWriter {
         match inner.file.write_all_at(offset, &framed) {
             Ok(()) => {
                 inner.len += framed.len() as u64;
+                self.counters.appends.bump();
                 Ok(())
             }
             Err(e) => {
@@ -848,7 +864,7 @@ impl WalWriter {
             // followers that arrived after our own append are swept along.
             let high = self.inner().len;
             let res = self.sync_file.sync();
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.counters.fsyncs.bump();
             if let Err(e) = &res {
                 // Poison *before* clearing `syncing`: once followers wake
                 // they must observe the sticky state, not start a new fsync.
@@ -867,9 +883,14 @@ impl WalWriter {
     /// Commit/fsync counters since this writer was created.
     pub fn group_commit_stats(&self) -> GroupCommitStats {
         GroupCommitStats {
-            commits: self.commits.load(Ordering::Relaxed),
-            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            commits: self.counters.commits.get(),
+            fsyncs: self.counters.fsyncs.get(),
         }
+    }
+
+    /// Clonable handles to this writer's counters, for registry attachment.
+    pub fn counters(&self) -> WalCounters {
+        self.counters.clone()
     }
 
     /// Open a statement transaction; its operations are durable only after
@@ -904,7 +925,7 @@ impl WalWriter {
             self.append_locked(&mut inner, &WalRecord::Commit { txn })?;
             inner.len
         };
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.counters.commits.bump();
         self.group_sync(target)
     }
 
@@ -935,7 +956,7 @@ impl WalWriter {
                 }
             }
         };
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.counters.commits.bump();
         self.group_sync(target)
     }
 }

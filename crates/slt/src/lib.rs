@@ -36,6 +36,9 @@
 //!   columns space-separated, `NULL` for SQL NULL, `(empty)` for the empty
 //!   string. With `rowsort` the result lines are sorted before comparison.
 //! * `explain` — runs `EXPLAIN <sql>` and compares the plan lines verbatim.
+//! * `analyze` — runs `EXPLAIN ANALYZE <sql>` and compares the annotated
+//!   plan lines with every `time=…ms` normalized to `time=<t>` (actual row
+//!   counts stay golden-locked; wall time is inherently nondeterministic).
 //! * `cell <a1> <input>` — types `input` into the current sheet (formulas
 //!   start with `=`), so `RANGETABLE`/`RANGEVALUE` queries have a grid.
 //! * `bind <tom|rom> <a1> <table>` — binds a table region at `a1`.
@@ -90,6 +93,13 @@ pub enum RecordKind {
         /// The SELECT to explain (without the `EXPLAIN` keyword).
         sql: String,
         /// Expected plan lines (after `----`).
+        expected: Vec<String>,
+    },
+    /// `analyze` with expected timing-normalized plan lines.
+    Analyze {
+        /// The SELECT to profile (without the `EXPLAIN ANALYZE` prefix).
+        sql: String,
+        /// Expected plan lines (after `----`), `time=<t>`-normalized.
         expected: Vec<String>,
     },
     /// `cell <a1> <input>`.
@@ -203,6 +213,11 @@ fn parse_record(lines: &[&str], i: usize) -> Result<(RecordKind, usize), String>
             let (expected, next) = take_expected(lines, sep);
             Ok((RecordKind::Explain { sql, expected }, next))
         }
+        "analyze" => {
+            let (sql, sep) = take_sql(lines, i + 1, true)?;
+            let (expected, next) = take_expected(lines, sep);
+            Ok((RecordKind::Analyze { sql, expected }, next))
+        }
         "cell" => {
             let mut parts = head.splitn(3, char::is_whitespace);
             parts.next();
@@ -303,6 +318,14 @@ pub fn render(corpus: &Corpus) -> String {
                     let _ = writeln!(out, "{l}");
                 }
             }
+            RecordKind::Analyze { sql, expected } => {
+                out.push_str("analyze\n");
+                let _ = writeln!(out, "{sql}");
+                out.push_str("----\n");
+                for l in expected {
+                    let _ = writeln!(out, "{l}");
+                }
+            }
             RecordKind::Cell { a1, input } => {
                 let _ = writeln!(out, "cell {a1} {input}");
             }
@@ -336,6 +359,29 @@ pub fn format_rows(rows: &[Vec<Value>]) -> Vec<String> {
     rows.iter()
         .map(|r| r.iter().map(format_value).collect::<Vec<_>>().join(" "))
         .collect()
+}
+
+/// Normalize `EXPLAIN ANALYZE` output for golden comparison: every
+/// `time=<digits-and-dots>ms` becomes `time=<t>`. Row counts and loop
+/// counts are deterministic and stay verbatim.
+pub fn normalize_timings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find("time=") {
+        let (head, tail) = rest.split_at(at + "time=".len());
+        out.push_str(head);
+        let digits = tail
+            .find(|c: char| !c.is_ascii_digit() && c != '.')
+            .unwrap_or(tail.len());
+        if digits > 0 && tail[digits..].starts_with("ms") {
+            out.push_str("<t>");
+            rest = &tail[digits + 2..];
+        } else {
+            rest = tail;
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Is record mode on (`SLT_RECORD=1`)?
@@ -425,6 +471,24 @@ pub fn run_file(path: &Path) -> Result<(), String> {
                     }
                 }
             },
+            RecordKind::Analyze { sql, expected } => {
+                match wb.query(&format!("EXPLAIN ANALYZE {sql}")) {
+                    Err(e) => failures.push(format!("{at}: analyze failed: {e}\n  {sql}")),
+                    Ok((_, rows)) => {
+                        let actual: Vec<String> = rows
+                            .iter()
+                            .map(|r| {
+                                normalize_timings(&format_value(r.first().unwrap_or(&Value::Empty)))
+                            })
+                            .collect();
+                        if recording {
+                            *expected = actual;
+                        } else if actual != *expected {
+                            failures.push(diff(&at, sql, expected, &actual));
+                        }
+                    }
+                }
+            }
             RecordKind::Cell { a1, input } => {
                 let sheet = wb.current_sheet();
                 match CellAddr::parse_a1(a1) {
@@ -541,6 +605,33 @@ bind tom B1 t
     fn missing_separator_is_an_error() {
         let err = parse("query I\nSELECT 1\n").unwrap_err();
         assert!(err.contains("----"), "{err}");
+    }
+
+    #[test]
+    fn timing_normalization() {
+        assert_eq!(
+            normalize_timings("scan t (actual rows=3 loops=1 time=0.123ms)"),
+            "scan t (actual rows=3 loops=1 time=<t>)"
+        );
+        assert_eq!(
+            normalize_timings("a time=1ms b time=22.5ms c"),
+            "a time=<t> b time=<t> c"
+        );
+        // Not a timing: left alone.
+        assert_eq!(normalize_timings("uptime=high"), "uptime=high");
+        assert_eq!(normalize_timings("no timings here"), "no timings here");
+    }
+
+    #[test]
+    fn analyze_record_round_trip() {
+        let text = "analyze\nSELECT 1\n----\nproject: 1 (actual rows=1 loops=1 time=<t>)\n";
+        let corpus = parse(text).unwrap();
+        let RecordKind::Analyze { sql, expected } = &corpus.records[0].kind else {
+            panic!("expected analyze record");
+        };
+        assert_eq!(sql, "SELECT 1");
+        assert_eq!(expected.len(), 1);
+        assert_eq!(render(&corpus), text);
     }
 
     #[test]

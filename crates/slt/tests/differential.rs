@@ -87,7 +87,7 @@ fn golden_corpus_plans_agree() {
                     let addr = CellAddr::parse_a1(a1).unwrap();
                     let _ = wb.bind_table(sheet, addr, table, m);
                 }
-                RecordKind::Explain { .. } => {}
+                RecordKind::Explain { .. } | RecordKind::Analyze { .. } => {}
                 RecordKind::Query { sql, .. } => {
                     let mut baseline: Option<(String, Vec<Vec<Value>>)> = None;
                     for (name, opts) in arms() {

@@ -43,6 +43,7 @@ fn golden_corpus() {
 fn corpus_is_substantial() {
     let mut queries = 0usize;
     let mut explains = 0usize;
+    let mut analyzes = 0usize;
     for path in corpus_files() {
         let text = std::fs::read_to_string(&path).unwrap();
         let corpus = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
@@ -50,6 +51,7 @@ fn corpus_is_substantial() {
             match rec.kind {
                 RecordKind::Query { .. } => queries += 1,
                 RecordKind::Explain { .. } => explains += 1,
+                RecordKind::Analyze { .. } => analyzes += 1,
                 _ => {}
             }
         }
@@ -61,5 +63,9 @@ fn corpus_is_substantial() {
     assert!(
         explains >= 20,
         "golden corpus has {explains} explain records; need >= 20"
+    );
+    assert!(
+        analyzes >= 5,
+        "golden corpus has {analyzes} analyze records; need >= 5"
     );
 }

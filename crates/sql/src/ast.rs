@@ -44,6 +44,9 @@ pub enum Statement {
     /// `EXPLAIN <select>` — render the chosen physical plan as a text tree
     /// without executing it.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE <select>` — execute the plan, then render the tree
+    /// annotated with actual rows, loops, and per-operator wall time.
+    ExplainAnalyze(SelectStmt),
     /// `ANALYZE [table]` — rebuild optimizer statistics exactly, for one
     /// table or (with no argument) every table in the catalog.
     Analyze {

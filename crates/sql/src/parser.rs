@@ -186,13 +186,20 @@ impl Parser {
             return self.alter_table();
         }
         if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
             if !self.peek_kw("SELECT") {
                 return Err(DsError::Parse(format!(
-                    "EXPLAIN supports SELECT statements, found {:?}",
+                    "EXPLAIN{} supports SELECT statements, found {:?}",
+                    if analyze { " ANALYZE" } else { "" },
                     self.peek()
                 )));
             }
-            return Ok(Statement::Explain(self.select()?));
+            let sel = self.select()?;
+            return Ok(if analyze {
+                Statement::ExplainAnalyze(sel)
+            } else {
+                Statement::Explain(sel)
+            });
         }
         if self.eat_kw("ANALYZE") {
             let table = match self.peek() {
@@ -1318,6 +1325,16 @@ mod tests {
     fn explain_rejects_non_select() {
         assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
         assert!(parse_statement("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_wraps_select() {
+        let st = parse_statement("EXPLAIN ANALYZE SELECT a FROM t").unwrap();
+        let Statement::ExplainAnalyze(sel) = st else {
+            panic!("expected ExplainAnalyze, got {st:?}");
+        };
+        assert!(sel.from.is_some());
+        assert!(parse_statement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").is_err());
     }
 
     #[test]

@@ -9,6 +9,10 @@ pub fn tidy(x: Option<u8>) -> u8 {
     x.unwrap_or_default()
 }
 
+pub fn observe(reg: &Registry) {
+    reg.counter("demo_requests").bump();
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

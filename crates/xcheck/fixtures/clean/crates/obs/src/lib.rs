@@ -1,0 +1,19 @@
+//! Mini metrics registry: valid, unique, fully documented names.
+
+pub struct MetricSpec {
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub help: &'static str,
+}
+
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+pub const METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "demo_requests", kind: MetricKind::Counter, help: "Requests served" },
+    MetricSpec { name: "demo_queue_depth", kind: MetricKind::Gauge, help: "Work items queued" },
+    MetricSpec { name: "demo_latency_ns", kind: MetricKind::Histogram, help: "Request latency" },
+];

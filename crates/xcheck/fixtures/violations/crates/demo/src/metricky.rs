@@ -1,0 +1,8 @@
+//! Seeds a metric-name usage violation: a series name that is not in
+//! the `METRICS` registry, plus a suppressed one that must stay silent.
+
+pub fn observe(reg: &Registry) {
+    reg.counter("demo_unregistered").bump();
+    // xcheck:allow(metric-name) migration shim, catalog row lands next PR
+    reg.counter("demo_shimmed").bump();
+}

@@ -1,0 +1,21 @@
+//! Seeds metric-name registry violations: an invalid name, a duplicate,
+//! and an undocumented metric.
+
+pub struct MetricSpec {
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub help: &'static str,
+}
+
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+pub const METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "demo_requests", kind: MetricKind::Counter, help: "Requests served" },
+    MetricSpec { name: "Bad-Name", kind: MetricKind::Counter, help: "violates the name rule" },
+    MetricSpec { name: "demo_requests", kind: MetricKind::Counter, help: "registered twice" },
+    MetricSpec { name: "demo_undocumented", kind: MetricKind::Gauge, help: "no catalog row" },
+];

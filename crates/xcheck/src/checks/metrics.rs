@@ -1,0 +1,239 @@
+//! `metric-name`: the `METRICS` registry in `crates/obs` is the source
+//! of truth for observability series. Every registered name must obey
+//! the repo's Prometheus rule `[a-z0-9_]+` and be unique; every metric
+//! needs a catalog row in `docs/OBSERVABILITY.md`; and every string
+//! literal handed to a registry/snapshot method anywhere in library code
+//! (`.counter("…")`, `.push_counter("…")`, …) must be a registered name
+//! — ad-hoc series names silently fork the catalog.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::{Allowlist, Finding};
+
+/// Check id used in findings.
+pub const CHECK: &str = "metric-name";
+
+/// Registry / snapshot methods whose first argument names a metric.
+const NAME_SINKS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "push_counter",
+    "push_gauge",
+    "push_histogram",
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+];
+
+/// A parsed `MetricSpec` entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// Metric name string.
+    pub name: String,
+    /// Kind variant, lowercased: `counter` / `gauge` / `histogram`.
+    pub kind: String,
+    /// Line of the entry.
+    pub line: u32,
+}
+
+/// Mirror of `dataspread_obs::is_valid_metric_name`: `[a-z0-9_]+`.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Parse the `METRICS` slice literal into entries. Returns None if the
+/// registry is absent.
+fn registry(obs: &SourceFile) -> Option<Vec<Entry>> {
+    let t = &obs.tokens;
+    let start = t.iter().position(|x| x.is_ident("METRICS"))?;
+    // Find the opening `[` of the slice literal — the one after the `=`
+    // (the type annotation `&[MetricSpec]` also contains a `[`).
+    let eq = (start..t.len()).find(|&i| t[i].is_punct('='))?;
+    let open = (eq..t.len()).find(|&i| t[i].is_punct('['))?;
+    let mut depth = 0i32;
+    let mut close = open;
+    for (i, tok) in t.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut entries = Vec::new();
+    let mut i = open;
+    while i < close {
+        if !t[i].is_ident("MetricSpec") {
+            i += 1;
+            continue;
+        }
+        let line = t[i].line;
+        // Scan this struct literal's fields up to its closing `}`.
+        let mut name = String::new();
+        let mut kind = String::new();
+        let mut bd = 0i32;
+        let mut j = i + 1;
+        while j < close {
+            match t[j].kind {
+                TokKind::Punct('{') => bd += 1,
+                TokKind::Punct('}') => {
+                    bd -= 1;
+                    if bd == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if t[j].is_ident("name") && t.get(j + 1).is_some_and(|x| x.is_punct(':')) {
+                if let Some(s) = t.get(j + 2) {
+                    if s.kind == TokKind::Str {
+                        name = s.text.clone();
+                    }
+                }
+            }
+            if t[j].is_ident("MetricKind")
+                && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 3).is_some_and(|x| x.kind == TokKind::Ident)
+            {
+                kind = t[j + 3].text.to_lowercase();
+            }
+            j += 1;
+        }
+        entries.push(Entry { name, kind, line });
+        i = j + 1;
+    }
+    Some(entries)
+}
+
+/// Run the metric-name checks: registry hygiene + docs rows in `obs`,
+/// then a usage sweep over every workspace file.
+pub fn check(
+    obs: &SourceFile,
+    obs_doc_md: &str,
+    obs_doc_rel: &str,
+    files: &[SourceFile],
+    allow: &Allowlist,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(entries) = registry(obs) else {
+        out.push(Finding::new(
+            &obs.rel,
+            0,
+            CHECK,
+            "no `METRICS` registry found; every exported series must be registered".to_string(),
+        ));
+        return out;
+    };
+
+    for (i, e) in entries.iter().enumerate() {
+        if !valid_name(&e.name) {
+            out.push(Finding::new(
+                &obs.rel,
+                e.line,
+                CHECK,
+                format!("metric name `{}` violates the `[a-z0-9_]+` rule", e.name),
+            ));
+            continue; // don't pile docs findings onto an invalid name
+        }
+        if entries[..i].iter().any(|p| p.name == e.name) {
+            out.push(Finding::new(
+                &obs.rel,
+                e.line,
+                CHECK,
+                format!("metric `{}` registered twice in `METRICS`", e.name),
+            ));
+            continue;
+        }
+        // Catalog row: `| `name` | kind |` in docs/OBSERVABILITY.md.
+        let needle = format!("| `{}` | {} |", e.name, e.kind);
+        if !obs_doc_md.contains(&needle) {
+            out.push(Finding::new(
+                &obs.rel,
+                e.line,
+                CHECK,
+                format!(
+                    "metric `{}` has no `{needle}` row in the {obs_doc_rel} catalog table",
+                    e.name
+                ),
+            ));
+        }
+    }
+
+    // Usage sweep: every literal name passed to a registry/snapshot
+    // method must be registered. Method-call shape only (`.sink("…"`), so
+    // trait definitions and non-metric helpers named `counter` don't trip.
+    for f in files {
+        if allow.allows(CHECK, &f.rel) {
+            continue;
+        }
+        let t = &f.tokens;
+        for i in 1..t.len() {
+            if f.in_test[i] {
+                continue;
+            }
+            if !(t[i].kind == TokKind::Ident
+                && NAME_SINKS.contains(&t[i].text.as_str())
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 2).is_some_and(|x| x.kind == TokKind::Str))
+            {
+                continue;
+            }
+            let name = &t[i + 2].text;
+            let line = t[i].line;
+            if entries.iter().any(|e| &e.name == name) || f.allowed(CHECK, line) {
+                continue;
+            }
+            out.push(Finding::new(
+                &f.rel,
+                line,
+                CHECK,
+                format!(
+                    "metric `{name}` is used here but not registered in the `METRICS` table ({})",
+                    obs.rel
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_rule() {
+        assert!(valid_name("wal_appends"));
+        assert!(valid_name("calc_topo_depth"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("Bad-Name"));
+        assert!(!valid_name("walAppends"));
+    }
+
+    #[test]
+    fn registry_parses_entries() {
+        let src = r#"
+            pub const METRICS: &[MetricSpec] = &[
+                MetricSpec { name: "a_one", kind: MetricKind::Counter, help: "x" },
+                MetricSpec { name: "b_two", kind: MetricKind::Histogram, help: "y" },
+            ];
+        "#;
+        let f = SourceFile::from_source("crates/obs/src/lib.rs", src);
+        let entries = registry(&f).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a_one");
+        assert_eq!(entries[0].kind, "counter");
+        assert_eq!(entries[1].kind, "histogram");
+    }
+}

@@ -1,8 +1,9 @@
-//! The five repo invariants. Each check takes lexed sources and returns
+//! The six repo invariants. Each check takes lexed sources and returns
 //! [`crate::Finding`]s; none of them parse Rust beyond the token stream.
 
 pub mod errors;
 pub mod locks;
+pub mod metrics;
 pub mod panics;
 pub mod vfs;
 pub mod waltags;

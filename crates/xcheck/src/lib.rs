@@ -2,7 +2,7 @@
 //! workspace. See `docs/ANALYSIS.md` for the invariants, the suppression
 //! syntax, and the analyzer's (deliberate) limits.
 //!
-//! Five checks, all driven by a hand-rolled token scanner (no syn, no
+//! Six checks, all driven by a hand-rolled token scanner (no syn, no
 //! dependencies):
 //!
 //! * `vfs-boundary` — file I/O goes through `relstore::vfs`
@@ -12,6 +12,8 @@
 //!   burn-down baseline
 //! * `wal-tag` — the `WAL_TAGS` registry covers encode/decode/replay/docs
 //! * `error-code` — `DsError` Display prefixes are unique and complete
+//! * `metric-name` — the `METRICS` registry names are valid, unique,
+//!   documented in `docs/OBSERVABILITY.md`, and cover every usage site
 
 pub mod checks;
 pub mod lexer;
@@ -75,6 +77,10 @@ pub struct Config {
     pub engine_replay_file: String,
     /// The `DsError` definition file.
     pub error_file: String,
+    /// The metrics registry file (`METRICS` table in `crates/obs`).
+    pub obs_file: String,
+    /// Markdown file holding the metric catalog table.
+    pub obs_doc: String,
     /// Allowlist file: `<check-id> <path-prefix>` lines.
     pub allowlist: String,
     /// Panic-path baseline file: `<count> <path>` lines.
@@ -94,6 +100,8 @@ impl Config {
             wal_file: "crates/relstore/src/wal.rs".into(),
             engine_replay_file: "crates/dataspread/src/persist.rs".into(),
             error_file: "crates/types/src/error.rs".into(),
+            obs_file: "crates/obs/src/lib.rs".into(),
+            obs_doc: "docs/OBSERVABILITY.md".into(),
             allowlist: "crates/xcheck/xcheck-allow.txt".into(),
             baseline: "crates/xcheck/panic-baseline.txt".into(),
             panic_crates: vec![
@@ -166,7 +174,7 @@ pub fn load_sources(cfg: &Config) -> std::io::Result<Vec<SourceFile>> {
     Ok(files)
 }
 
-/// Run all five checks; findings come back sorted by (file, line, check).
+/// Run all six checks; findings come back sorted by (file, line, check).
 pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     let allow = Allowlist::load(&cfg.root, &cfg.allowlist);
@@ -224,6 +232,26 @@ pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Finding> {
             0,
             checks::errors::CHECK,
             "error definition file not found".to_string(),
+        )),
+    }
+
+    // 6. Metric-name registry.
+    match files.iter().find(|f| f.rel == cfg.obs_file) {
+        Some(obs) => {
+            let doc = std::fs::read_to_string(cfg.root.join(&cfg.obs_doc)).unwrap_or_default();
+            out.extend(checks::metrics::check(
+                obs,
+                &doc,
+                &cfg.obs_doc,
+                files,
+                &allow,
+            ));
+        }
+        None => out.push(Finding::new(
+            &cfg.obs_file,
+            0,
+            checks::metrics::CHECK,
+            "metrics registry file not found".to_string(),
         )),
     }
 

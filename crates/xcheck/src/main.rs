@@ -76,7 +76,7 @@ fn main() -> ExitCode {
     }
     if findings.is_empty() {
         println!(
-            "xcheck: {} files clean (vfs-boundary, lock-order, panic-path, wal-tag, error-code)",
+            "xcheck: {} files clean (vfs-boundary, lock-order, panic-path, wal-tag, error-code, metric-name)",
             files.len()
         );
         ExitCode::SUCCESS

@@ -39,11 +39,17 @@ fn violations_fixture_reports_every_seeded_finding() {
         "crates/demo/src/leaky.rs:12: [vfs-boundary] direct `std::fs` use in library code; route through the `Vfs` trait",
         "crates/demo/src/leaky.rs:13: [vfs-boundary] raw `.sync_all()` outside the `Vfs`; durability must flow through `VfsFile::sync`",
         "crates/demo/src/leaky.rs:14: [vfs-boundary] raw `.sync_data()` outside the `Vfs`; durability must flow through `VfsFile::sync`",
+        // metric-name: metricky.rs uses an unregistered series name.
+        "crates/demo/src/metricky.rs:5: [metric-name] metric `demo_unregistered` is used here but not registered in the `METRICS` table (crates/obs/src/lib.rs)",
         // lock-order: locky.rs.
         "crates/demo/src/locky.rs:6: [lock-order] fn `bad_order` acquires `outer` (level 1) while holding `inner` (level 2, line 5); hierarchy: docs/CONCURRENCY.md",
         "crates/demo/src/locky.rs:11: [lock-order] fn `fsync_while_locked` calls `.sync()` while holding `outer` (line 10); release before fsync-class calls",
         // panic-path: panicky.rs grew past its baseline.
         "crates/demo/src/panicky.rs:4: [panic-path] 2 panic sites (unwrap/expect/panic!) exceed baseline 1; near lines 4, 8 — return a typed DsError instead",
+        // metric-name: obs lib.rs seeds.
+        "crates/obs/src/lib.rs:18: [metric-name] metric name `Bad-Name` violates the `[a-z0-9_]+` rule",
+        "crates/obs/src/lib.rs:19: [metric-name] metric `demo_requests` registered twice in `METRICS`",
+        "crates/obs/src/lib.rs:20: [metric-name] metric `demo_undocumented` has no `| `demo_undocumented` | gauge |` row in the docs/OBSERVABILITY.md catalog table",
         // wal-tag: wal.rs seeds.
         "crates/relstore/src/wal.rs:7: [wal-tag] `TAG_ORPHAN` is declared but missing from the `WAL_TAGS` registry",
         "crates/relstore/src/wal.rs:22: [wal-tag] registered tag values [1, 2, 4] are not unique+contiguous from 1; reusing or skipping a tag byte breaks recovery of existing WALs",
@@ -118,5 +124,9 @@ fn suppressed_and_test_code_sites_are_not_reported() {
         !got.iter()
             .any(|g| g.contains("leaky.rs:3") && g.contains("test")),
         "cfg(test) site reported"
+    );
+    assert!(
+        !got.iter().any(|g| g.contains("metricky.rs:7")),
+        "suppressed metric site reported"
     );
 }

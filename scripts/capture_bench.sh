@@ -8,10 +8,13 @@
 #   scripts/capture_bench.sh concurrent BENCH_6.json
 #   scripts/capture_bench.sh query            # prints to stdout
 #
-# Every bench prints machine-readable lines prefixed `BENCH_JSON `; this
-# script runs the bench in release mode, strips the prefix, and writes one
-# JSON object per line (JSONL). Commit the result as BENCH_<pr>.json so the
-# numbers travel with the change that produced them.
+# Every bench prints machine-readable lines prefixed `BENCH_JSON `; some
+# also dump the workbook metrics registry as a `METRICS_JSON ` line (see
+# docs/OBSERVABILITY.md). This script runs the bench in release mode,
+# strips the prefixes, and writes one JSON object per line (JSONL) — the
+# metrics dump becomes `{"bench":"<name>/metrics","snapshot":{...}}`.
+# Commit the result as BENCH_<pr>.json so the numbers travel with the
+# change that produced them.
 
 set -euo pipefail
 
@@ -27,6 +30,15 @@ json=$(printf '%s\n' "$raw" | grep '^BENCH_JSON ' | sed 's/^BENCH_JSON //')
 if [ -z "$json" ]; then
     echo "error: bench '$bench' emitted no BENCH_JSON lines" >&2
     exit 1
+fi
+
+# Append each registry dump (if the bench emits any) as its own record.
+metrics=$(printf '%s\n' "$raw" | grep '^METRICS_JSON ' | sed 's/^METRICS_JSON //' || true)
+if [ -n "$metrics" ]; then
+    while IFS= read -r snap; do
+        json="$json
+{\"bench\":\"$bench/metrics\",\"snapshot\":$snap}"
+    done <<< "$metrics"
 fi
 
 if [ -n "$out" ]; then
